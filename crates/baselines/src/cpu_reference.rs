@@ -1,0 +1,106 @@
+//! CPU reference scans: the ground truth for every GPU result, plus a
+//! multithreaded host-side implementation for sanity comparisons.
+
+use skeletons::{ScanOp, Scannable};
+
+/// Sequential inclusive scan (re-exported convenience over
+/// [`skeletons::reference_inclusive`], kept here so the baselines crate is
+/// self-contained for callers).
+pub fn sequential_inclusive<T: Scannable, O: ScanOp<T>>(op: O, data: &[T]) -> Vec<T> {
+    skeletons::reference_inclusive(op, data)
+}
+
+/// Multithreaded two-pass inclusive scan on the host CPU.
+///
+/// Pass 1: each thread reduces its chunk. Pass 2: after an exclusive scan
+/// of the chunk totals, each thread scans its chunk seeded with its offset.
+/// The same reduce-then-scan structure as the GPU pipelines, which makes it
+/// a good differential-testing oracle.
+pub fn parallel_inclusive<T: Scannable, O: ScanOp<T>>(op: O, data: &[T], threads: usize) -> Vec<T> {
+    assert!(threads > 0, "need at least one thread");
+    let n = data.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.min(n);
+    let chunk = n.div_ceil(threads);
+
+    // Pass 1: per-chunk reductions.
+    let totals: Vec<T> = std::thread::scope(|s| {
+        let handles: Vec<_> = data
+            .chunks(chunk)
+            .map(|c| s.spawn(move || c.iter().fold(op.identity(), |acc, &x| op.combine(acc, x))))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("reduce thread panicked")).collect()
+    });
+
+    // Exclusive scan of totals.
+    let offsets = skeletons::reference_exclusive(op, &totals);
+
+    // Pass 2: per-chunk scans with offsets.
+    let mut out = vec![T::default(); n];
+    std::thread::scope(|s| {
+        for ((c_in, c_out), &offset) in data.chunks(chunk).zip(out.chunks_mut(chunk)).zip(&offsets)
+        {
+            s.spawn(move || {
+                let mut acc = offset;
+                for (o, &x) in c_out.iter_mut().zip(c_in) {
+                    acc = op.combine(acc, x);
+                    *o = acc;
+                }
+            });
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skeletons::{Add, Max};
+
+    fn pseudo(n: usize) -> Vec<i64> {
+        (0..n).map(|i| ((i as i64).wrapping_mul(2654435761) % 1000) - 500).collect()
+    }
+
+    #[test]
+    fn parallel_matches_sequential_for_add() {
+        for n in [1usize, 7, 100, 1 << 12, (1 << 16) + 3] {
+            let data = pseudo(n);
+            assert_eq!(
+                parallel_inclusive(Add, &data, 8),
+                sequential_inclusive(Add, &data),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_for_max() {
+        let data = pseudo(10_000);
+        assert_eq!(parallel_inclusive(Max, &data, 4), sequential_inclusive(Max, &data));
+    }
+
+    #[test]
+    fn single_thread_degenerates_to_sequential() {
+        let data = pseudo(1000);
+        assert_eq!(parallel_inclusive(Add, &data, 1), sequential_inclusive(Add, &data));
+    }
+
+    #[test]
+    fn more_threads_than_elements() {
+        let data = pseudo(3);
+        assert_eq!(parallel_inclusive(Add, &data, 64), sequential_inclusive(Add, &data));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(parallel_inclusive(Add, &[] as &[i64], 4).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        parallel_inclusive(Add, &[1i64], 0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Criterion wall-clock benchmarks of the multi-GPU pipelines
+//! (Figures 9/10/13 workloads at reduced scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpu_sim::DeviceSpec;
+use interconnect::Fabric;
+use scan_core::{premises, scan_mppc, scan_mps, scan_mps_multinode, NodeConfig, ProblemParams};
+use skeletons::Add;
+
+fn input_for(problem: ProblemParams) -> Vec<i32> {
+    (0..problem.total_elems()).map(|i| ((i * 41) % 211) as i32 - 105).collect()
+}
+
+/// Scan-MPS (Fig. 9): sweep W at a fixed 2^18 total, n = 15.
+fn bench_mps(c: &mut Criterion) {
+    let device = DeviceSpec::tesla_k80();
+    let fabric = Fabric::tsubame_kfc(1);
+    let problem = ProblemParams::fixed_total(18, 15);
+    let input = input_for(problem);
+    let base = premises::derive_tuple(&device, 4, 0);
+    let mut group = c.benchmark_group("scan_mps_fig9");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(problem.total_elems() as u64));
+    for (w, v, y) in [(1usize, 1usize, 1usize), (2, 2, 1), (4, 4, 1), (8, 4, 2)] {
+        let k = premises::default_k(&device, &problem, &base, w).unwrap_or(0);
+        let cfg = NodeConfig::new(w, v, y, 1).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(w), &w, |b, _| {
+            b.iter(|| {
+                scan_mps(Add, base.with_k(k), &device, &fabric, cfg, problem, &input).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Scan-MP-PC (Fig. 10): the paper's two configurations.
+fn bench_mppc(c: &mut Criterion) {
+    let device = DeviceSpec::tesla_k80();
+    let fabric = Fabric::tsubame_kfc(1);
+    let problem = ProblemParams::fixed_total(18, 15);
+    let input = input_for(problem);
+    let base = premises::derive_tuple(&device, 4, 0);
+    let mut group = c.benchmark_group("scan_mppc_fig10");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(problem.total_elems() as u64));
+    for (w, v, y) in [(4usize, 2usize, 2usize), (8, 4, 2)] {
+        let k = premises::default_k(&device, &problem, &base, v).unwrap_or(0);
+        let cfg = NodeConfig::new(w, v, y, 1).unwrap();
+        group.bench_with_input(BenchmarkId::new("WV", format!("{w}x{v}")), &w, |b, _| {
+            b.iter(|| {
+                scan_mppc(Add, base.with_k(k), &device, &fabric, cfg, problem, &input).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Multi-node Scan-MPS (Fig. 13/14): M=2, W=4.
+fn bench_multinode(c: &mut Criterion) {
+    let device = DeviceSpec::tesla_k80();
+    let fabric = Fabric::tsubame_kfc(2);
+    let problem = ProblemParams::fixed_total(18, 15);
+    let input = input_for(problem);
+    let base = premises::derive_tuple(&device, 4, 0);
+    let k = premises::default_k(&device, &problem, &base, 8).unwrap_or(0);
+    let cfg = NodeConfig::new(4, 4, 1, 2).unwrap();
+    let mut group = c.benchmark_group("scan_multinode_fig13");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(problem.total_elems() as u64));
+    group.bench_function("M2_W4", |b| {
+        b.iter(|| {
+            scan_mps_multinode(Add, base.with_k(k), &device, &fabric, cfg, problem, &input).unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mps, bench_mppc, bench_multinode);
+criterion_main!(benches);

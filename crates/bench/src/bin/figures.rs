@@ -1,0 +1,276 @@
+//! Regenerate the paper's tables and figures on the simulator.
+//!
+//! ```text
+//! figures [--total-log2 N] [--n-lo N] [--no-verify] [CMD...]
+//!
+//! CMD: table3 fig1 fig9 fig10 fig11 fig12 fig13 fig14 mw-sweep k-sweep
+//!      ablations all (default: all)
+//! ```
+//!
+//! `--total-log2 28` reproduces the paper's full 2^28-element sweeps
+//! (slow); the default 22 preserves every shape at a fraction of the
+//! runtime.
+
+use bench::{average_speedups, render_table, Harness, Series};
+use gpu_sim::{occupancy, AccessWidth, DeviceSpec, Gpu, LaunchConfig};
+use skeletons::{lf, shared_scan, warp_scan_exclusive, warp_scan_inclusive, Add, Max};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut harness = Harness::default();
+    let mut cmds: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--total-log2" => {
+                i += 1;
+                harness.total_log2 = args[i].parse().expect("--total-log2 takes an integer");
+            }
+            "--n-lo" => {
+                i += 1;
+                harness.n_lo = args[i].parse().expect("--n-lo takes an integer");
+            }
+            "--no-verify" => harness.verify = false,
+            "--help" | "-h" => {
+                println!(
+                    "figures [--total-log2 N] [--n-lo N] [--no-verify] \
+                     [table3 fig1 fig9 fig10 fig11 fig12 fig13 fig14 mw-sweep k-sweep ablations all]"
+                );
+                return;
+            }
+            cmd => cmds.push(cmd.to_string()),
+        }
+        i += 1;
+    }
+    if cmds.is_empty() {
+        cmds.push("all".into());
+    }
+
+    println!(
+        "# Reproduction harness — total = 2^{} elements per point, n = {}..={}, verify = {}\n",
+        harness.total_log2, harness.n_lo, harness.total_log2, harness.verify
+    );
+
+    for cmd in &cmds {
+        match cmd.as_str() {
+            "table3" => table3(),
+            "fig1" => fig1(),
+            "fig9" => fig9(&harness),
+            "fig10" => fig10(&harness),
+            "fig11" => fig11(&harness),
+            "fig12" => fig12(&harness),
+            "fig13" => fig13(&harness),
+            "fig14" => fig14(&harness),
+            "mw-sweep" => mw_sweep(&harness),
+            "k-sweep" => k_sweep(&harness),
+            "ablations" => ablations(),
+            "all" => {
+                table3();
+                fig1();
+                fig9(&harness);
+                fig10(&harness);
+                fig11(&harness);
+                fig12(&harness);
+                fig13(&harness);
+                fig14(&harness);
+                mw_sweep(&harness);
+                k_sweep(&harness);
+                ablations();
+            }
+            other => eprintln!("unknown command: {other}"),
+        }
+    }
+}
+
+fn table3() {
+    println!("## Table 3 — Performance parameters per SM (Kepler CC 3.7)");
+    println!(
+        "{:>16} {:>16} {:>18} {:>18} {:>14}",
+        "warps/block", "regs/thread", "smem/block (B)", "warp occupancy", "blocks/SM"
+    );
+    for row in occupancy::table3(&DeviceSpec::tesla_k80()) {
+        println!(
+            "{:>16} {:>16} {:>18} {:>17.0}% {:>14}",
+            row.warps_per_block,
+            row.regs_per_thread,
+            row.shared_bytes_per_block,
+            row.warp_occupancy_pct,
+            row.blocks_per_sm
+        );
+    }
+    println!();
+}
+
+fn fig1() {
+    println!("## Figure 1 — LF scan primitive for addition with N=8");
+    print!("{}", lf::render(8));
+    let mut data = vec![3, 1, 7, 0, 4, 1, 6, 3];
+    println!("  input:  {data:?}");
+    lf::scan_inplace(Add, &mut data);
+    println!("  output: {data:?}\n");
+}
+
+fn print_speedups(series: &[Series]) {
+    let ours = &series[0];
+    let speedups = average_speedups(ours, &series[1..]);
+    println!("Average speedup of `{}`:", ours.name);
+    for (name, s) in speedups {
+        println!("  {s:>7.2}x vs {name}");
+    }
+    println!();
+}
+
+fn fig9(h: &Harness) {
+    let series = h.fig9();
+    print!(
+        "{}",
+        render_table(
+            "Figure 9 — Scan-MPS, G = 2^total/N (note the W=8 host-staging collapse at small n)",
+            "n",
+            "Melem/s",
+            &series
+        )
+    );
+    println!();
+}
+
+fn fig10(h: &Harness) {
+    let series = h.fig10();
+    print!(
+        "{}",
+        render_table(
+            "Figure 10 — Scan-MP-PC, G = 2^total/N (all exchanges P2P)",
+            "n",
+            "Melem/s",
+            &series
+        )
+    );
+    println!();
+}
+
+fn fig11(h: &Harness) {
+    let series = h.fig11();
+    print!("{}", render_table("Figure 11 — G = 1 comparison", "n", "Melem/s", &series));
+    print_speedups(&series);
+}
+
+fn fig12(h: &Harness) {
+    let series = h.fig12();
+    print!(
+        "{}",
+        render_table("Figure 12 — batch comparison, G = 2^total/N", "n", "Melem/s", &series)
+    );
+    print_speedups(&series);
+}
+
+fn fig13(h: &Harness) {
+    let series = h.fig13();
+    print!(
+        "{}",
+        render_table(
+            "Figure 13 — multi-node (M=2, W=4) vs single-GPU libraries, G = 2^total/N",
+            "n",
+            "Melem/s",
+            &series
+        )
+    );
+    print_speedups(&series);
+}
+
+fn fig14(h: &Harness) {
+    println!("## Figure 14 — breakdown of times, M=2, W=4, G = 2^total/N");
+    for (n, breakdown) in h.fig14() {
+        println!("n = {n}:");
+        print!("{breakdown}");
+    }
+    println!();
+}
+
+fn mw_sweep(h: &Harness) {
+    let series = h.mw_sweep();
+    print!("{}", render_table("§5.2 — M×W = 8 combinations", "n", "Melem/s", &series));
+    // The paper's 1.48x -> 1.03x narrowing.
+    if let (Some(m2), Some(m8)) =
+        (series.iter().find(|s| s.name == "M=2,W=4"), series.iter().find(|s| s.name == "M=8,W=1"))
+    {
+        let lo = h.n_lo;
+        let hi = h.total_log2;
+        if let (Some(a), Some(b)) = (m2.at(lo), m8.at(lo)) {
+            println!("  at n={lo}: M=2,W=4 is {:.2}x faster than M=8,W=1", a / b);
+        }
+        if let (Some(a), Some(b)) = (m2.at(hi), m8.at(hi)) {
+            println!("  at n={hi}: M=2,W=4 is {:.2}x faster than M=8,W=1", a / b);
+        }
+    }
+    println!();
+}
+
+fn k_sweep(h: &Harness) {
+    let n = (h.total_log2 - 2).max(h.n_lo);
+    println!("## Premise 3 — K sweep at n = {n}, G = 2^{}", h.total_log2 - n);
+    for (k, secs) in h.k_sweep(n) {
+        println!("  K = {:>4}: {:>10.3} ms", 1 << k, secs * 1e3);
+    }
+    println!();
+}
+
+/// Counter-level ablations of the §3.1 design choices.
+fn ablations() {
+    println!("## Ablations — hardware-counter comparisons");
+
+    // Shuffle vs shared-memory warp exchange.
+    let lanes: gpu_sim::LaneArray<i32> = std::array::from_fn(|i| i as i32);
+    let run = |f: &mut dyn FnMut(&mut gpu_sim::BlockCtx<'_, i32>)| {
+        let mut gpu = Gpu::new(0, DeviceSpec::tesla_k80());
+        let cfg = LaunchConfig::new("abl", (1, 1), (32, 1)).shared_elems(64).regs(32);
+        gpu.launch::<i32, _>(&cfg, f).unwrap().counters
+    };
+    let c_shfl = run(&mut |ctx| {
+        warp_scan_inclusive(ctx, Add, &lanes);
+    });
+    let c_shared = run(&mut |ctx| {
+        shared_scan::warp_scan_inclusive_shared(ctx, Add, &lanes, 0);
+    });
+    println!("Warp scan exchange (one warp):");
+    println!("  shuffle-based : {} shuffles, {} shared ops", c_shfl.shuffles, c_shfl.shared_ops());
+    println!(
+        "  shared-memory : {} shuffles, {} shared ops",
+        c_shared.shuffles,
+        c_shared.shared_ops()
+    );
+
+    // Exclusive-scan trick: invertible vs non-invertible operator.
+    let c_add = run(&mut |ctx| {
+        warp_scan_exclusive(ctx, Add, &lanes);
+    });
+    let c_max = run(&mut |ctx| {
+        warp_scan_exclusive(ctx, Max, &lanes);
+    });
+    println!("Exclusive warp scan (§3.1's saved communication step):");
+    println!("  add (invertible)    : {} shuffles", c_add.shuffles);
+    println!("  max (needs shift)   : {} shuffles", c_max.shuffles);
+
+    // int4 vs scalar loads.
+    let mut width_counters = Vec::new();
+    for width in [AccessWidth::Vec4, AccessWidth::Scalar] {
+        let mut gpu = Gpu::new(0, DeviceSpec::tesla_k80());
+        let data: Vec<i32> = (0..4096).collect();
+        let buf = gpu.alloc_from(&data).unwrap();
+        let cfg = LaunchConfig::new("abl", (1, 1), (128, 1)).regs(32).width(width);
+        let stats = gpu
+            .launch::<i32, _>(&cfg, |ctx| {
+                let mut tile = vec![0i32; 4096];
+                ctx.read_global(buf.host_view(), 0, &mut tile);
+            })
+            .unwrap();
+        width_counters.push((width, stats.counters));
+    }
+    println!("Global loads of 4096 i32 (one block):");
+    for (width, c) in width_counters {
+        println!(
+            "  {width:?}: {} load instructions, {} transactions",
+            c.gld_instructions, c.gld_transactions
+        );
+    }
+    println!();
+}

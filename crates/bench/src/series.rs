@@ -1,0 +1,139 @@
+//! Result series and table rendering for the figure harness.
+
+/// One line of a figure: a named series of `(n, value)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Series label (e.g. `"W=4"` or `"CUB"`).
+    pub name: String,
+    /// Points: `n` (log2 problem size) → value (Melem/s unless stated).
+    pub points: Vec<(u32, f64)>,
+}
+
+impl Series {
+    /// An empty series.
+    pub fn new(name: impl Into<String>) -> Self {
+        Series { name: name.into(), points: Vec::new() }
+    }
+
+    /// Append a point.
+    pub fn push(&mut self, n: u32, value: f64) {
+        self.points.push((n, value));
+    }
+
+    /// Value at a given `n`, if sampled.
+    pub fn at(&self, n: u32) -> Option<f64> {
+        self.points.iter().find(|&&(x, _)| x == n).map(|&(_, v)| v)
+    }
+}
+
+/// Geometric mean of a ratio list (the paper's "averaging the speedup
+/// obtained for each data point").
+pub fn geomean(ratios: &[f64]) -> f64 {
+    if ratios.is_empty() {
+        return f64::NAN;
+    }
+    (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp()
+}
+
+/// Arithmetic mean.
+pub fn mean(vals: &[f64]) -> f64 {
+    if vals.is_empty() {
+        return f64::NAN;
+    }
+    vals.iter().sum::<f64>() / vals.len() as f64
+}
+
+/// Render series as an aligned text table: one row per `n`, one column per
+/// series.
+pub fn render_table(title: &str, x_label: &str, unit: &str, series: &[Series]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    writeln!(out, "## {title}  [{unit}]").unwrap();
+    let mut ns: Vec<u32> = series.iter().flat_map(|s| s.points.iter().map(|&(n, _)| n)).collect();
+    ns.sort_unstable();
+    ns.dedup();
+    write!(out, "{x_label:>4}").unwrap();
+    for s in series {
+        write!(out, " {:>14}", s.name).unwrap();
+    }
+    writeln!(out).unwrap();
+    for &n in &ns {
+        write!(out, "{n:>4}").unwrap();
+        for s in series {
+            match s.at(n) {
+                Some(v) => write!(out, " {v:>14.2}").unwrap(),
+                None => write!(out, " {:>14}", "-").unwrap(),
+            }
+        }
+        writeln!(out).unwrap();
+    }
+    out
+}
+
+/// Per-series speedup of `ours` over each baseline, averaged over the
+/// common points (the paper's headline "Nx faster than …" numbers).
+pub fn average_speedups(ours: &Series, baselines: &[Series]) -> Vec<(String, f64)> {
+    baselines
+        .iter()
+        .map(|b| {
+            let ratios: Vec<f64> =
+                b.points.iter().filter_map(|&(n, v)| ours.at(n).map(|o| o / v)).collect();
+            (b.name.clone(), mean(&ratios))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_points_round_trip() {
+        let mut s = Series::new("W=4");
+        s.push(13, 100.0);
+        s.push(14, 200.0);
+        assert_eq!(s.at(13), Some(100.0));
+        assert_eq!(s.at(15), None);
+    }
+
+    #[test]
+    fn geomean_of_identical_ratios() {
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!(geomean(&[]).is_nan());
+    }
+
+    #[test]
+    fn mean_basic() {
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_renders_all_series_and_gaps() {
+        let mut a = Series::new("A");
+        a.push(13, 1.0);
+        a.push(14, 2.0);
+        let mut b = Series::new("B");
+        b.push(14, 3.0);
+        let t = render_table("Fig", "n", "Melem/s", &[a, b]);
+        assert!(t.contains("Fig"));
+        assert!(t.contains("A"));
+        assert!(t.contains("B"));
+        assert!(t.contains("-"), "missing points render as dashes");
+        assert!(t.contains("3.00"));
+    }
+
+    #[test]
+    fn speedups_computed_on_common_points() {
+        let mut ours = Series::new("ours");
+        ours.push(13, 100.0);
+        ours.push(14, 100.0);
+        let mut base = Series::new("lib");
+        base.push(13, 10.0);
+        base.push(14, 50.0);
+        base.push(15, 1.0); // no common point; ignored
+        let sp = average_speedups(&ours, &[base]);
+        assert_eq!(sp[0].0, "lib");
+        assert!((sp[0].1 - 6.0).abs() < 1e-12, "(10 + 2) / 2");
+    }
+}

@@ -1,0 +1,51 @@
+//! Workload generation for the evaluation harness.
+//!
+//! The paper's evaluation uses integer data resident in GPU memory (§5);
+//! exact values do not affect timing, but the harness still verifies every
+//! run against the CPU reference, so inputs are random and seeded for
+//! reproducibility.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform random `i32` values in a range small enough that even 2^28-long
+/// prefix sums stay within wrapping-equivalent behaviour checks.
+pub fn uniform_input(len: usize, seed: u64) -> Vec<i32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen_range(-100..=100)).collect()
+}
+
+/// Non-negative values (for Min/Max style demos).
+pub fn non_negative_input(len: usize, seed: u64) -> Vec<i32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen_range(0..1000)).collect()
+}
+
+/// The paper's sweep axis: problem sizes `n = lo ..= hi` at a fixed total
+/// of `2^total` elements (`G = 2^total / N`).
+pub fn sweep_ns(lo: u32, total: u32) -> Vec<u32> {
+    (lo..=total).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        assert_eq!(uniform_input(100, 42), uniform_input(100, 42));
+        assert_ne!(uniform_input(100, 42), uniform_input(100, 43));
+    }
+
+    #[test]
+    fn values_bounded() {
+        assert!(uniform_input(1000, 1).iter().all(|&v| (-100..=100).contains(&v)));
+        assert!(non_negative_input(1000, 1).iter().all(|&v| (0..1000).contains(&v)));
+    }
+
+    #[test]
+    fn sweep_covers_paper_range() {
+        assert_eq!(sweep_ns(13, 16), vec![13, 14, 15, 16]);
+        assert_eq!(sweep_ns(13, 13), vec![13]);
+    }
+}

@@ -1,0 +1,131 @@
+//! Phase breakdown reporting (Figure 14 of the paper).
+//!
+//! Aggregates a [`Timeline`] by phase label and renders the table the
+//! harness prints: time per phase, percentage of the makespan.
+
+use std::fmt;
+
+use interconnect::Timeline;
+
+/// One aggregated breakdown row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BreakdownRow {
+    /// Phase label (repeated phases are merged).
+    pub label: String,
+    /// Total seconds across occurrences.
+    pub seconds: f64,
+    /// Fraction of the makespan in percent.
+    pub percent: f64,
+}
+
+/// A per-phase decomposition of a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Breakdown {
+    /// Aggregated rows, in first-occurrence order.
+    pub rows: Vec<BreakdownRow>,
+    /// The makespan.
+    pub total: f64,
+}
+
+impl Breakdown {
+    /// Aggregate a timeline by label.
+    pub fn from_timeline(tl: &Timeline) -> Self {
+        let total = tl.total();
+        let mut rows: Vec<BreakdownRow> = Vec::new();
+        for phase in tl.phases() {
+            if let Some(row) = rows.iter_mut().find(|r| r.label == phase.label) {
+                row.seconds += phase.seconds;
+            } else {
+                rows.push(BreakdownRow {
+                    label: phase.label.clone(),
+                    seconds: phase.seconds,
+                    percent: 0.0,
+                });
+            }
+        }
+        for row in &mut rows {
+            row.percent = if total > 0.0 { row.seconds / total * 100.0 } else { 0.0 };
+        }
+        Breakdown { rows, total }
+    }
+
+    /// Seconds attributed to rows whose label starts with `prefix`.
+    pub fn seconds_with_prefix(&self, prefix: &str) -> f64 {
+        self.rows.iter().filter(|r| r.label.starts_with(prefix)).map(|r| r.seconds).sum()
+    }
+}
+
+impl fmt::Display for Breakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let width = self.rows.iter().map(|r| r.label.len()).max().unwrap_or(8).max(8);
+        for row in &self.rows {
+            writeln!(
+                f,
+                "  {:width$}  {:>12.3} ms  {:>6.2}%",
+                row.label,
+                row.seconds * 1e3,
+                row.percent,
+                width = width
+            )?;
+        }
+        writeln!(f, "  {:width$}  {:>12.3} ms  100.00%", "TOTAL", self.total * 1e3, width = width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timeline() -> Timeline {
+        let mut tl = Timeline::new();
+        tl.push("MPI_Barrier", 1.0);
+        tl.push("stage1", 2.0);
+        tl.push("MPI_Gather", 1.0);
+        tl.push("stage2", 0.5);
+        tl.push("MPI_Scatter", 1.0);
+        tl.push("stage3", 3.5);
+        tl.push("MPI_Barrier", 1.0);
+        tl
+    }
+
+    #[test]
+    fn repeated_labels_are_merged() {
+        let b = Breakdown::from_timeline(&timeline());
+        assert_eq!(b.rows.len(), 6);
+        let barrier = b.rows.iter().find(|r| r.label == "MPI_Barrier").unwrap();
+        assert!((barrier.seconds - 2.0).abs() < 1e-12, "two barriers merged");
+        assert!((barrier.percent - 20.0).abs() < 1e-9);
+        assert!((b.total - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentages_sum_to_hundred() {
+        let b = Breakdown::from_timeline(&timeline());
+        let sum: f64 = b.rows.iter().map(|r| r.percent).sum();
+        assert!((sum - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prefix_sums() {
+        let b = Breakdown::from_timeline(&timeline());
+        assert!((b.seconds_with_prefix("MPI_") - 4.0).abs() < 1e-12);
+        assert!((b.seconds_with_prefix("stage") - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_renders_all_rows() {
+        let b = Breakdown::from_timeline(&timeline());
+        let s = b.to_string();
+        assert!(s.contains("MPI_Gather"));
+        assert!(s.contains("TOTAL"));
+        assert!(s.contains("100.00%"));
+    }
+
+    #[test]
+    fn empty_timeline_is_harmless() {
+        let b = Breakdown::from_timeline(&Timeline::new());
+        assert!(b.rows.is_empty());
+        assert_eq!(b.total, 0.0);
+        assert!(b.to_string().contains("TOTAL"));
+    }
+}

@@ -1,0 +1,81 @@
+//! Error type for the scan library.
+
+use std::fmt;
+
+use gpu_sim::SimError;
+use skeletons::TupleError;
+
+/// Errors surfaced by the batch-scan pipelines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScanError {
+    /// An underlying simulator error (allocation failure, bad launch).
+    Sim(SimError),
+    /// An invalid `(s, p, l, K)` tuple.
+    Tuple(TupleError),
+    /// Input data inconsistent with the declared problem parameters.
+    InvalidInput(String),
+    /// A problem/tuple/node combination that cannot be planned
+    /// (e.g. chunk larger than a GPU's portion — violates Eq. 2/3).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for ScanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScanError::Sim(e) => write!(f, "simulator error: {e}"),
+            ScanError::Tuple(e) => write!(f, "invalid tuple: {e}"),
+            ScanError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            ScanError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ScanError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScanError::Sim(e) => Some(e),
+            ScanError::Tuple(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for ScanError {
+    fn from(e: SimError) -> Self {
+        ScanError::Sim(e)
+    }
+}
+
+impl From<TupleError> for ScanError {
+    fn from(e: TupleError) -> Self {
+        ScanError::Tuple(e)
+    }
+}
+
+/// Convenience alias for scan-library results.
+pub type ScanResult<T> = Result<T, ScanError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: ScanError = SimError::InvalidLaunch("x".into()).into();
+        assert!(e.to_string().contains("simulator error"));
+        let e: ScanError = TupleError::BlockTooLarge(12).into();
+        assert!(e.to_string().contains("invalid tuple"));
+        let e = ScanError::InvalidConfig("chunk too big".into());
+        assert!(e.to_string().contains("chunk too big"));
+        let e = ScanError::InvalidInput("short".into());
+        assert!(e.to_string().contains("invalid input"));
+    }
+
+    #[test]
+    fn sources_are_preserved() {
+        use std::error::Error;
+        let e: ScanError = SimError::InvalidLaunch("x".into()).into();
+        assert!(e.source().is_some());
+        assert!(ScanError::InvalidInput("y".into()).source().is_none());
+    }
+}

@@ -1,0 +1,77 @@
+//! # scan-core — the multi-GPU batch scan library
+//!
+//! Reproduction of the primary contribution of *"Efficient Solving of Scan
+//! Primitive on Multi-GPU Systems"* (Diéguez, Amor, Doallo, Nukada,
+//! Matsuoka — IPPS 2018): a tuned, batched, multi-GPU prefix-sum built on
+//! the three-kernel Chunk-Reduce / Intermediate-Scan / Scan+Add pipeline
+//! (Fig. 3) with the `(s, p, l, K)` tuning premises of §3.2.
+//!
+//! ## Proposals
+//!
+//! * [`scan_sp`] — **Scan-SP**, the single-GPU batch pipeline;
+//! * [`scan_mps`] — **Scan-MPS**, Multi-GPU Problem Scattering: every
+//!   problem split across all `W` GPUs of a node (Fig. 7);
+//! * [`scan_mppc`] — **Scan-MP-PC**, Prioritized Communications: each PCIe
+//!   network's `V` GPUs take a slice of the batch, so no transfer ever
+//!   leaves a network (Fig. 8);
+//! * [`scan_mps_multinode`] — Scan-MPS across nodes with
+//!   MPI_Gather/MPI_Scatter collectives (§4.1);
+//! * [`scan_case1`] — the trivial no-communication distribution (Case 1).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gpu_sim::DeviceSpec;
+//! use scan_core::{premises, scan_sp, verify, ProblemParams};
+//! use skeletons::Add;
+//!
+//! // 8 problems of 4096 elements, batched in one invocation.
+//! let problem = ProblemParams::new(12, 3);
+//! let input: Vec<i32> = (0..problem.total_elems()).map(|i| (i % 5) as i32).collect();
+//!
+//! let device = DeviceSpec::tesla_k80();
+//! // Premises 1-3 derive (s, p, l) and the K search space; take the default K.
+//! let base = premises::derive_tuple(&device, 4, 0);
+//! let k = premises::default_k(&device, &problem, &base, 1).unwrap_or(0);
+//!
+//! let out = scan_sp(Add, base.with_k(k), &device, problem, &input).unwrap();
+//! verify::verify_batch(Add, problem, &input, &out.data).unwrap();
+//! println!("{:.1} Melem/s", out.report.throughput() / 1e6);
+//! ```
+
+#![warn(missing_docs)]
+// Warp/worker-indexed loops mirror the CUDA kernels they model; iterator
+// rewrites would obscure the lane/warp index arithmetic under test.
+#![allow(clippy::needless_range_loop)]
+
+pub mod autotune;
+pub mod breakdown;
+pub mod case1;
+pub mod error;
+pub mod mppc;
+pub mod mps;
+pub mod multi_gpu;
+pub mod multinode;
+pub mod params;
+pub mod plan;
+pub mod premises;
+pub mod reduce;
+pub mod report;
+pub mod single;
+pub mod stage1;
+pub mod stage2;
+pub mod stage3;
+pub mod verify;
+
+pub use autotune::{autotune_k, autotune_scan_sp, TuneResult};
+pub use breakdown::{Breakdown, BreakdownRow};
+pub use case1::scan_case1;
+pub use error::{ScanError, ScanResult};
+pub use mppc::scan_mppc;
+pub use mps::{scan_mps, scan_mps_exclusive};
+pub use multinode::scan_mps_multinode;
+pub use params::{NodeConfig, ProblemParams, ScanKind};
+pub use plan::ExecutionPlan;
+pub use reduce::{reduce_sp, ReduceOutput};
+pub use report::{RunReport, ScanOutput};
+pub use single::{scan_sp, scan_sp_exclusive};

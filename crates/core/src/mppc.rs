@@ -1,0 +1,210 @@
+//! Scan-MP-PC: Multi-GPU Problem with Prioritized Communications
+//! (§4.1.1, Fig. 8).
+//!
+//! A sub-case of Scan-MPS that never leaves a PCIe network: the `Y`
+//! networks of each node (across `M` nodes) each take `G / (M · Y)`
+//! problems and solve them with their `V` GPUs, so every aux exchange is
+//! P2P. "Communication is only performed among the V GPUs of the same
+//! PCI-e network, whereas other PCI-e GPUs work on their problems."
+//!
+//! The multi-node variant "runs the same code … being executed through
+//! several computing nodes. There is no MPI communication in this
+//! proposal."
+//!
+//! When the batch has fewer problems than there are network groups, "the
+//! number of PCI-e \[networks\] being used has to be reduced".
+
+use gpu_sim::DeviceSpec;
+use interconnect::{Fabric, Timeline};
+use skeletons::{ScanOp, Scannable, SplkTuple};
+
+use crate::error::{ScanError, ScanResult};
+use crate::multi_gpu::run_pipeline_group;
+use crate::params::{NodeConfig, ProblemParams};
+use crate::report::{RunReport, ScanOutput};
+
+/// Batch inclusive scan with the Prioritized Communications approach.
+///
+/// Uses `M · Y` independent network groups of `V` GPUs each; groups run
+/// concurrently with no inter-group communication, so the simulated
+/// makespan of each phase is the maximum across groups.
+pub fn scan_mppc<T: Scannable, O: ScanOp<T>>(
+    op: O,
+    tuple: SplkTuple,
+    device: &DeviceSpec,
+    fabric: &Fabric,
+    cfg: NodeConfig,
+    problem: ProblemParams,
+    input: &[T],
+) -> ScanResult<ScanOutput<T>> {
+    cfg.validate_against(fabric.topology())?;
+    if input.len() != problem.total_elems() {
+        return Err(ScanError::InvalidInput(format!(
+            "input holds {} elements but G·N = {}",
+            input.len(),
+            problem.total_elems()
+        )));
+    }
+
+    // One group per used PCIe network, across all nodes; reduce the group
+    // count when the batch is smaller (all quantities are powers of two).
+    let groups_available = cfg.m() * cfg.y();
+    let groups = groups_available.min(problem.batch());
+    let problems_per_group = problem.batch() / groups;
+    let sub_problem = ProblemParams::new(problem.n(), problems_per_group.trailing_zeros());
+    let n = problem.problem_size();
+
+    let mut data = vec![T::default(); problem.total_elems()];
+    let mut group_timelines: Vec<Timeline> = Vec::with_capacity(groups);
+
+    for group in 0..groups {
+        // Groups are assigned round-robin over (node, network).
+        let node = group / cfg.y();
+        let network = group % cfg.y();
+        let gpu_ids: Vec<usize> =
+            (0..cfg.v()).map(|slot| fabric.topology().gpu_at(node, network, slot)).collect();
+        let start = group * problems_per_group * n;
+        let end = start + problems_per_group * n;
+        let (sub_out, tl) = run_pipeline_group(
+            op,
+            tuple,
+            device,
+            fabric,
+            &gpu_ids,
+            sub_problem,
+            &input[start..end],
+        )?;
+        data[start..end].copy_from_slice(&sub_out);
+        group_timelines.push(tl);
+    }
+
+    // Groups run concurrently and are symmetric: the run's timeline is the
+    // phase-wise maximum across groups.
+    let mut timeline = Timeline::new();
+    let phase_count = group_timelines[0].phases().len();
+    for i in 0..phase_count {
+        let label = group_timelines[0].phases()[i].label.clone();
+        let secs = group_timelines.iter().map(|t| t.phases()[i].seconds).fold(0.0, f64::max);
+        timeline.push(label, secs);
+    }
+
+    Ok(ScanOutput {
+        data,
+        report: RunReport {
+            label: format!(
+                "Scan-MP-PC W={} V={} Y={} M={} ({groups} groups)",
+                cfg.w(),
+                cfg.v(),
+                cfg.y(),
+                cfg.m()
+            ),
+            elements: problem.total_elems(),
+            timeline,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skeletons::{reference_inclusive, Add};
+
+    fn pseudo(n: usize) -> Vec<i32> {
+        (0..n).map(|i| ((i as i64 * 65497 + 7) % 173) as i32 - 86).collect()
+    }
+
+    fn k80() -> DeviceSpec {
+        DeviceSpec::tesla_k80()
+    }
+
+    fn verify_batch(out: &[i32], input: &[i32], problem: ProblemParams) {
+        let n = problem.problem_size();
+        for g in 0..problem.batch() {
+            let expected = reference_inclusive(Add, &input[g * n..(g + 1) * n]);
+            assert_eq!(&out[g * n..(g + 1) * n], &expected[..], "problem {g}");
+        }
+    }
+
+    #[test]
+    fn w4_v2_two_groups() {
+        // The paper's first MP-PC test: W=4, V=2 (two networks of two).
+        let fabric = Fabric::tsubame_kfc(1);
+        let problem = ProblemParams::new(13, 3);
+        let input = pseudo(problem.total_elems());
+        let cfg = NodeConfig::new(4, 2, 2, 1).unwrap();
+        let out =
+            scan_mppc(Add, SplkTuple::kepler_premises(0), &k80(), &fabric, cfg, problem, &input)
+                .unwrap();
+        verify_batch(&out.data, &input, problem);
+        assert!(out.report.label.contains("2 groups"));
+    }
+
+    #[test]
+    fn w8_v4_two_groups() {
+        // The paper's second MP-PC test: W=8, V=4.
+        let fabric = Fabric::tsubame_kfc(1);
+        let problem = ProblemParams::new(14, 2);
+        let input = pseudo(problem.total_elems());
+        let cfg = NodeConfig::new(8, 4, 2, 1).unwrap();
+        let out =
+            scan_mppc(Add, SplkTuple::kepler_premises(0), &k80(), &fabric, cfg, problem, &input)
+                .unwrap();
+        verify_batch(&out.data, &input, problem);
+    }
+
+    #[test]
+    fn mppc_avoids_host_staging_entirely() {
+        // For the same W=8, MP-PC's comm must be far cheaper than MPS's,
+        // because no transfer leaves a PCIe network (the Fig. 10 vs Fig. 9
+        // story).
+        let fabric = Fabric::tsubame_kfc(1);
+        let problem = ProblemParams::new(13, 5);
+        let input = pseudo(problem.total_elems());
+        let t = SplkTuple::kepler_premises(0);
+        let cfg = NodeConfig::new(8, 4, 2, 1).unwrap();
+        let mppc = scan_mppc(Add, t, &k80(), &fabric, cfg, problem, &input).unwrap();
+        let mps = crate::mps::scan_mps(Add, t, &k80(), &fabric, cfg, problem, &input).unwrap();
+        let comm_mppc = mppc.report.timeline.seconds_with_prefix("comm:");
+        let comm_mps = mps.report.timeline.seconds_with_prefix("comm:");
+        assert!(
+            comm_mps > 5.0 * comm_mppc,
+            "MP-PC must avoid the host-staged exchange ({comm_mps} vs {comm_mppc})"
+        );
+        assert!(mppc.report.seconds() < mps.report.seconds());
+    }
+
+    #[test]
+    fn group_count_reduced_when_batch_is_small() {
+        // G = 1 problem with 2 networks available: only one group runs
+        // ("the Scan-MP-PC proposal is executed on a V=1 PCI-e network",
+        // i.e. it degenerates to MPS on one network).
+        let fabric = Fabric::tsubame_kfc(1);
+        let problem = ProblemParams::new(14, 0);
+        let input = pseudo(problem.total_elems());
+        let cfg = NodeConfig::new(4, 2, 2, 1).unwrap();
+        let out =
+            scan_mppc(Add, SplkTuple::kepler_premises(0), &k80(), &fabric, cfg, problem, &input)
+                .unwrap();
+        verify_batch(&out.data, &input, problem);
+        assert!(out.report.label.contains("(1 groups)"));
+    }
+
+    #[test]
+    fn multinode_mppc_runs_without_mpi() {
+        // M = 2: four groups across two nodes, still no MPI phases.
+        let fabric = Fabric::tsubame_kfc(2);
+        let problem = ProblemParams::new(13, 4);
+        let input = pseudo(problem.total_elems());
+        let cfg = NodeConfig::new(4, 2, 2, 2).unwrap();
+        let out =
+            scan_mppc(Add, SplkTuple::kepler_premises(0), &k80(), &fabric, cfg, problem, &input)
+                .unwrap();
+        verify_batch(&out.data, &input, problem);
+        assert!(out.report.label.contains("4 groups"));
+        assert_eq!(
+            out.report.timeline.seconds_with_prefix("MPI"),
+            0.0,
+            "there is no MPI communication in this proposal (§4.1.1)"
+        );
+    }
+}

@@ -1,0 +1,195 @@
+//! Scan-MPS: Multi-GPU Problem Scattering (§4.1, Fig. 6/7).
+//!
+//! Every problem is split across all `W` participating GPUs of one node;
+//! each GPU computes Stage 1 on its `N/W`-element portions, the chunk
+//! reductions are gathered on GPU 0, which runs Stage 2 for all problems,
+//! and the scanned offsets are scattered back for Stage 3.
+//!
+//! This proposal handles Case 2 — problems too large for one GPU's memory —
+//! and "is bounded by GPU-communication bandwidth in most cases". The
+//! choice of `W` vs. `Y` decides whether the aux exchange rides P2P or host
+//! staging, which is the entire story of Fig. 9.
+
+use gpu_sim::DeviceSpec;
+use interconnect::Fabric;
+use skeletons::{ScanOp, Scannable, SplkTuple};
+
+use crate::error::{ScanError, ScanResult};
+use crate::multi_gpu::run_pipeline_group_kind;
+use crate::params::{NodeConfig, ProblemParams, ScanKind};
+use crate::report::{RunReport, ScanOutput};
+
+/// Batch inclusive scan with the Multi-GPU Problem Scattering approach on a
+/// single node.
+///
+/// `cfg` selects the GPUs (`W = Y · V` on node 0, `M` must be 1 — use
+/// [`crate::multinode::scan_mps_multinode`] for several nodes). All `W`
+/// GPUs collaborate on every problem.
+pub fn scan_mps<T: Scannable, O: ScanOp<T>>(
+    op: O,
+    tuple: SplkTuple,
+    device: &DeviceSpec,
+    fabric: &Fabric,
+    cfg: NodeConfig,
+    problem: ProblemParams,
+    input: &[T],
+) -> ScanResult<ScanOutput<T>> {
+    scan_mps_kind(op, tuple, device, fabric, cfg, problem, input, ScanKind::Inclusive)
+}
+
+/// Scan-MPS with exclusive semantics.
+#[allow(clippy::too_many_arguments)]
+pub fn scan_mps_exclusive<T: Scannable, O: ScanOp<T>>(
+    op: O,
+    tuple: SplkTuple,
+    device: &DeviceSpec,
+    fabric: &Fabric,
+    cfg: NodeConfig,
+    problem: ProblemParams,
+    input: &[T],
+) -> ScanResult<ScanOutput<T>> {
+    scan_mps_kind(op, tuple, device, fabric, cfg, problem, input, ScanKind::Exclusive)
+}
+
+/// Scan-MPS with explicit semantics.
+#[allow(clippy::too_many_arguments)]
+pub fn scan_mps_kind<T: Scannable, O: ScanOp<T>>(
+    op: O,
+    tuple: SplkTuple,
+    device: &DeviceSpec,
+    fabric: &Fabric,
+    cfg: NodeConfig,
+    problem: ProblemParams,
+    input: &[T],
+    kind: ScanKind,
+) -> ScanResult<ScanOutput<T>> {
+    if cfg.m() != 1 {
+        return Err(ScanError::InvalidConfig(
+            "scan_mps is the single-node proposal; use scan_mps_multinode for M > 1".into(),
+        ));
+    }
+    cfg.validate_against(fabric.topology())?;
+    let gpu_ids = cfg.selected_gpus(fabric.topology());
+    let (data, timeline) =
+        run_pipeline_group_kind(op, tuple, device, fabric, &gpu_ids, problem, input, kind)?;
+    Ok(ScanOutput {
+        data,
+        report: RunReport {
+            label: format!("Scan-MPS W={} V={} Y={}", cfg.w(), cfg.v(), cfg.y()),
+            elements: problem.total_elems(),
+            timeline,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skeletons::{reference_inclusive, Add};
+
+    fn pseudo(n: usize) -> Vec<i32> {
+        (0..n).map(|i| ((i as i64 * 37 + 11) % 251) as i32 - 125).collect()
+    }
+
+    fn k80() -> DeviceSpec {
+        DeviceSpec::tesla_k80()
+    }
+
+    fn verify_batch(out: &[i32], input: &[i32], problem: ProblemParams) {
+        let n = problem.problem_size();
+        for g in 0..problem.batch() {
+            let expected = reference_inclusive(Add, &input[g * n..(g + 1) * n]);
+            assert_eq!(&out[g * n..(g + 1) * n], &expected[..], "problem {g}");
+        }
+    }
+
+    #[test]
+    fn w2_same_network() {
+        let fabric = Fabric::tsubame_kfc(1);
+        let problem = ProblemParams::new(13, 2);
+        let input = pseudo(problem.total_elems());
+        let cfg = NodeConfig::new(2, 2, 1, 1).unwrap();
+        let out =
+            scan_mps(Add, SplkTuple::kepler_premises(0), &k80(), &fabric, cfg, problem, &input)
+                .unwrap();
+        verify_batch(&out.data, &input, problem);
+        assert!(out.report.label.contains("W=2"));
+    }
+
+    #[test]
+    fn w8_crosses_networks_and_still_scans_correctly() {
+        let fabric = Fabric::tsubame_kfc(1);
+        let problem = ProblemParams::new(14, 1);
+        let input = pseudo(problem.total_elems());
+        let cfg = NodeConfig::new(8, 4, 2, 1).unwrap();
+        let out =
+            scan_mps(Add, SplkTuple::kepler_premises(0), &k80(), &fabric, cfg, problem, &input)
+                .unwrap();
+        verify_batch(&out.data, &input, problem);
+    }
+
+    #[test]
+    fn w8_pays_host_staging_w4_does_not() {
+        // The Fig. 9 mechanism: at the same problem shape, W=8 (two PCIe
+        // networks) must spend far more on the aux exchange than W=4.
+        let fabric = Fabric::tsubame_kfc(1);
+        let problem = ProblemParams::new(13, 5); // many problems -> many segments
+        let input = pseudo(problem.total_elems());
+        let t = SplkTuple::kepler_premises(0);
+        let w4 = scan_mps(
+            Add,
+            t,
+            &k80(),
+            &fabric,
+            NodeConfig::new(4, 4, 1, 1).unwrap(),
+            problem,
+            &input,
+        )
+        .unwrap();
+        let w8 = scan_mps(
+            Add,
+            t,
+            &k80(),
+            &fabric,
+            NodeConfig::new(8, 4, 2, 1).unwrap(),
+            problem,
+            &input,
+        )
+        .unwrap();
+        verify_batch(&w8.data, &input, problem);
+        let comm4 = w4.report.timeline.seconds_with_prefix("comm:");
+        let comm8 = w8.report.timeline.seconds_with_prefix("comm:");
+        assert!(comm8 > 3.0 * comm4, "W=8 host staging must dominate ({comm8} vs {comm4})");
+    }
+
+    #[test]
+    fn multinode_config_is_rejected() {
+        let fabric = Fabric::tsubame_kfc(2);
+        let problem = ProblemParams::new(13, 0);
+        let input = pseudo(problem.total_elems());
+        let cfg = NodeConfig::new(4, 4, 1, 2).unwrap();
+        let err =
+            scan_mps(Add, SplkTuple::kepler_premises(0), &k80(), &fabric, cfg, problem, &input)
+                .unwrap_err();
+        assert!(matches!(err, ScanError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn oversized_w_for_problem_is_rejected() {
+        // N = 2^12 over 8 GPUs: portions of 512 < one iteration.
+        let fabric = Fabric::tsubame_kfc(1);
+        let problem = ProblemParams::new(12, 0);
+        let input = pseudo(problem.total_elems());
+        let cfg = NodeConfig::new(8, 4, 2, 1).unwrap();
+        assert!(scan_mps(
+            Add,
+            SplkTuple::kepler_premises(0),
+            &k80(),
+            &fabric,
+            cfg,
+            problem,
+            &input
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,409 @@
+//! Shared multi-GPU plumbing: per-GPU workers, parallel phase execution,
+//! and the auxiliary-array exchange.
+//!
+//! A [`Worker`] owns one simulated GPU and its buffers (input portions,
+//! output, local auxiliary array, received offsets). Phases run on real
+//! host threads — one per GPU — and the phase's simulated duration is the
+//! maximum of the per-GPU times, matching the paper's phase-synchronous
+//! execution.
+
+use gpu_sim::{DeviceSpec, EventKind, Gpu, KernelStats, SimResult};
+use interconnect::{strided_exchange_cost, CollectiveCost, Fabric, StridedPart, Timeline};
+use skeletons::{ScanOp, Scannable, SplkTuple};
+
+use crate::error::{ScanError, ScanResult};
+use crate::params::{ProblemParams, ScanKind};
+use crate::plan::ExecutionPlan;
+use crate::stage1::run_stage1;
+use crate::stage2::run_stage2;
+use crate::stage3::run_stage3_kind;
+
+/// One participating GPU and its buffers.
+#[derive(Debug)]
+pub struct Worker<T: Scannable> {
+    /// The simulated GPU.
+    pub gpu: Gpu,
+    /// Index within the problem-sharing group (`0 .. parts`).
+    pub part: usize,
+    /// Flat topology id of the GPU.
+    pub global_id: usize,
+    /// Input portions, `[g][portion]`.
+    pub input: gpu_sim::DeviceBuffer<T>,
+    /// Output portions, same layout.
+    pub output: gpu_sim::DeviceBuffer<T>,
+    /// Local auxiliary array, `[g][Bx¹]`.
+    pub aux: gpu_sim::DeviceBuffer<T>,
+    /// Exclusive chunk offsets received from Stage 2, `[g][Bx¹]`.
+    pub offsets: gpu_sim::DeviceBuffer<T>,
+}
+
+/// Create one worker per GPU id, distributing each problem's elements
+/// round-robin by portion: worker `w` receives elements
+/// `[w · portion, (w+1) · portion)` of every problem (Fig. 6).
+pub fn build_workers<T: Scannable>(
+    device: &DeviceSpec,
+    plan: &ExecutionPlan,
+    gpu_ids: &[usize],
+    input: &[T],
+) -> ScanResult<Vec<Worker<T>>> {
+    assert_eq!(gpu_ids.len(), plan.parts, "one GPU per part");
+    if input.len() != plan.problem.total_elems() {
+        return Err(ScanError::InvalidInput(format!(
+            "input holds {} elements but G·N = {}",
+            input.len(),
+            plan.problem.total_elems()
+        )));
+    }
+    let n = plan.problem.problem_size();
+    let g_total = plan.problem.batch();
+    gpu_ids
+        .iter()
+        .enumerate()
+        .map(|(w, &gid)| {
+            let gpu = Gpu::new(gid, device.clone());
+            let mut local = Vec::with_capacity(plan.elems_per_gpu());
+            for g in 0..g_total {
+                let s = g * n + w * plan.portion;
+                local.extend_from_slice(&input[s..s + plan.portion]);
+            }
+            let input_buf = gpu.alloc_from(&local)?;
+            let output = gpu.alloc(local.len())?;
+            let aux = gpu.alloc(plan.aux_local_len())?;
+            let offsets = gpu.alloc(plan.aux_local_len())?;
+            Ok(Worker { gpu, part: w, global_id: gid, input: input_buf, output, aux, offsets })
+        })
+        .collect()
+}
+
+/// Run `f` on every worker concurrently (one host thread per GPU) and
+/// return each GPU's simulated time spent in the phase, in worker order.
+pub fn parallel_phase<T, F>(workers: &mut [Worker<T>], f: F) -> ScanResult<Vec<f64>>
+where
+    T: Scannable,
+    F: Fn(&mut Worker<T>) -> SimResult<KernelStats> + Sync,
+{
+    let results: Vec<SimResult<f64>> = std::thread::scope(|s| {
+        let handles: Vec<_> = workers
+            .iter_mut()
+            .map(|w| {
+                let f = &f;
+                s.spawn(move || {
+                    let before = w.gpu.elapsed();
+                    f(w)?;
+                    Ok(w.gpu.elapsed() - before)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect()
+    });
+    results.into_iter().map(|r| r.map_err(ScanError::from)).collect()
+}
+
+/// Gather every worker's local auxiliary array into the root's global one
+/// (`root_aux[g][w · Bx¹ + c] = worker_w.aux[g][c]`), returning the
+/// strided-exchange cost. The root is `workers[0]`.
+pub fn gather_aux<T: Scannable>(
+    fabric: &Fabric,
+    workers: &[Worker<T>],
+    root_aux: &mut gpu_sim::DeviceBuffer<T>,
+    plan: &ExecutionPlan,
+) -> CollectiveCost {
+    let rows = plan.chunks_per_problem();
+    let bx1 = plan.bx1;
+    let g_total = plan.problem.batch();
+    for w in workers {
+        let src = w.input_aux_view();
+        let dst = root_aux.host_view_mut();
+        for g in 0..g_total {
+            dst[g * rows + w.part * bx1..g * rows + (w.part + 1) * bx1]
+                .copy_from_slice(&src[g * bx1..(g + 1) * bx1]);
+        }
+    }
+    strided_exchange_cost(fabric, workers[0].global_id, &strided_parts(workers, plan))
+}
+
+/// Scatter each worker's slice of the scanned auxiliary array back
+/// (`worker_w.offsets[g][c] = root_aux[g][w · Bx¹ + c]`), returning the
+/// strided-exchange cost.
+pub fn scatter_offsets<T: Scannable>(
+    fabric: &Fabric,
+    workers: &mut [Worker<T>],
+    root_aux: &gpu_sim::DeviceBuffer<T>,
+    plan: &ExecutionPlan,
+) -> CollectiveCost {
+    let root_id = workers[0].global_id;
+    let parts = strided_parts(workers, plan);
+    scatter_offsets_functional(workers, root_aux, plan);
+    strided_exchange_cost(fabric, root_id, &parts)
+}
+
+/// The functional half of the offsets scatter, without cost accounting —
+/// the multi-node path charges MPI costs instead.
+pub fn scatter_offsets_functional<T: Scannable>(
+    workers: &mut [Worker<T>],
+    root_aux: &gpu_sim::DeviceBuffer<T>,
+    plan: &ExecutionPlan,
+) {
+    let rows = plan.chunks_per_problem();
+    let bx1 = plan.bx1;
+    let g_total = plan.problem.batch();
+    for w in workers.iter_mut() {
+        let src = root_aux.host_view();
+        let dst = w.offsets.host_view_mut();
+        for g in 0..g_total {
+            dst[g * bx1..(g + 1) * bx1]
+                .copy_from_slice(&src[g * rows + w.part * bx1..g * rows + (w.part + 1) * bx1]);
+        }
+    }
+}
+
+fn strided_parts<T: Scannable>(workers: &[Worker<T>], plan: &ExecutionPlan) -> Vec<StridedPart> {
+    workers
+        .iter()
+        .map(|w| StridedPart {
+            gpu: w.global_id,
+            segments: plan.problem.batch(),
+            bytes_per_segment: plan.bx1 * std::mem::size_of::<T>(),
+        })
+        .collect()
+}
+
+impl<T: Scannable> Worker<T> {
+    fn input_aux_view(&self) -> &[T] {
+        self.aux.host_view()
+    }
+}
+
+/// Interleave the workers' output portions back into batch layout
+/// (`out[g · N + w · portion + i] = worker_w.output[g · portion + i]`).
+pub fn assemble_output<T: Scannable>(plan: &ExecutionPlan, workers: &[Worker<T>]) -> Vec<T> {
+    let n = plan.problem.problem_size();
+    let g_total = plan.problem.batch();
+    let mut out = vec![T::default(); plan.problem.total_elems()];
+    for w in workers {
+        let src = w.output.host_view();
+        for g in 0..g_total {
+            out[g * n + w.part * plan.portion..g * n + (w.part + 1) * plan.portion]
+                .copy_from_slice(&src[g * plan.portion..(g + 1) * plan.portion]);
+        }
+    }
+    out
+}
+
+/// The full Scan-MPS pipeline over one group of GPUs sharing every problem:
+/// Stage 1 in parallel, auxiliary gather to the group root, Stage 2 on the
+/// root ("executing this second kernel on a single GPU has better
+/// performance than splitting it", §4.1), offsets scatter, Stage 3 in
+/// parallel.
+///
+/// Returns the scanned batch (problem-major) and the phase timeline.
+pub fn run_pipeline_group<T: Scannable, O: ScanOp<T>>(
+    op: O,
+    tuple: SplkTuple,
+    device: &DeviceSpec,
+    fabric: &Fabric,
+    gpu_ids: &[usize],
+    problem: ProblemParams,
+    input: &[T],
+) -> ScanResult<(Vec<T>, Timeline)> {
+    run_pipeline_group_kind(op, tuple, device, fabric, gpu_ids, problem, input, ScanKind::Inclusive)
+}
+
+/// [`run_pipeline_group`] with explicit inclusive/exclusive semantics.
+#[allow(clippy::too_many_arguments)]
+pub fn run_pipeline_group_kind<T: Scannable, O: ScanOp<T>>(
+    op: O,
+    tuple: SplkTuple,
+    device: &DeviceSpec,
+    fabric: &Fabric,
+    gpu_ids: &[usize],
+    problem: ProblemParams,
+    input: &[T],
+    kind: ScanKind,
+) -> ScanResult<(Vec<T>, Timeline)> {
+    let plan = ExecutionPlan::new(problem, tuple, gpu_ids.len())?;
+    let mut workers = build_workers(device, &plan, gpu_ids, input)?;
+    let mut tl = Timeline::new();
+
+    let t1 =
+        parallel_phase(&mut workers, |w| run_stage1(&mut w.gpu, &plan, op, &w.input, &mut w.aux))?;
+    tl.push_parallel("stage1:chunk-reduce", &t1);
+
+    let mut root_aux = workers[0].gpu.alloc::<T>(plan.aux_global_len())?;
+    let gather = gather_aux(fabric, &workers, &mut root_aux, &plan);
+    tl.push("comm:gather-aux", gather.seconds);
+    workers[0].gpu.charge("comm:gather-aux", EventKind::Transfer, gather.seconds);
+
+    let before = workers[0].gpu.elapsed();
+    run_stage2(&mut workers[0].gpu, &plan, op, &mut root_aux)?;
+    tl.push("stage2:intermediate-scan", workers[0].gpu.elapsed() - before);
+
+    let scatter = scatter_offsets(fabric, &mut workers, &root_aux, &plan);
+    tl.push("comm:scatter-offsets", scatter.seconds);
+    workers[0].gpu.charge("comm:scatter-offsets", EventKind::Transfer, scatter.seconds);
+
+    let t3 = parallel_phase(&mut workers, |w| {
+        run_stage3_kind(&mut w.gpu, &plan, op, &w.input, &w.offsets, &mut w.output, kind)
+    })?;
+    tl.push_parallel("stage3:scan-add", &t3);
+
+    Ok((assemble_output(&plan, &workers), tl))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skeletons::{reference_inclusive, Add};
+
+    fn pseudo(n: usize) -> Vec<i32> {
+        (0..n).map(|i| ((i as i64 * 22695477 + 1) % 139) as i32 - 69).collect()
+    }
+
+    fn k80() -> DeviceSpec {
+        DeviceSpec::tesla_k80()
+    }
+
+    #[test]
+    fn build_workers_distributes_portions() {
+        let problem = ProblemParams::new(12, 1); // 2 problems of 4096
+        let plan = ExecutionPlan::new(problem, SplkTuple::kepler_premises(0), 2).unwrap();
+        let input = pseudo(2 << 12);
+        let workers = build_workers(&k80(), &plan, &[0, 1], &input).unwrap();
+        assert_eq!(workers.len(), 2);
+        // Worker 1's first portion is the second half of problem 0.
+        assert_eq!(
+            workers[1].input.host_view()[..plan.portion],
+            input[plan.portion..2 * plan.portion]
+        );
+        // Worker 1's second portion is the second half of problem 1.
+        assert_eq!(
+            workers[1].input.host_view()[plan.portion..],
+            input[4096 + plan.portion..4096 + 2 * plan.portion]
+        );
+    }
+
+    #[test]
+    fn build_workers_rejects_wrong_input_length() {
+        let problem = ProblemParams::new(12, 1);
+        let plan = ExecutionPlan::new(problem, SplkTuple::kepler_premises(0), 2).unwrap();
+        let err = build_workers::<i32>(&k80(), &plan, &[0, 1], &[0; 17]).unwrap_err();
+        assert!(matches!(err, ScanError::InvalidInput(_)));
+    }
+
+    #[test]
+    fn gather_and_scatter_round_trip_layouts() {
+        let problem = ProblemParams::new(12, 2); // 4 problems, portions of 2048
+        let plan = ExecutionPlan::new(problem, SplkTuple::kepler_premises(0), 2).unwrap();
+        let input = pseudo(4 << 12);
+        let fabric = Fabric::tsubame_kfc(1);
+        let mut workers = build_workers(&k80(), &plan, &[0, 1], &input).unwrap();
+        // Fill each worker's aux with identifiable values.
+        for w in 0..2 {
+            let vals: Vec<i32> = (0..plan.aux_local_len()).map(|i| (w * 1000 + i) as i32).collect();
+            workers[w].aux.copy_from_host(&vals);
+        }
+        let mut root_aux = workers[0].gpu.alloc::<i32>(plan.aux_global_len()).unwrap();
+        gather_aux(&fabric, &workers, &mut root_aux, &plan);
+        let rows = plan.chunks_per_problem();
+        // Problem 1's row: worker 0's chunks then worker 1's chunks.
+        let row: Vec<i32> = root_aux.host_view()[rows..2 * rows].to_vec();
+        assert_eq!(&row[..plan.bx1], &workers[0].aux.host_view()[plan.bx1..2 * plan.bx1]);
+        assert_eq!(&row[plan.bx1..], &workers[1].aux.host_view()[plan.bx1..2 * plan.bx1]);
+
+        scatter_offsets(&fabric, &mut workers, &root_aux, &plan);
+        // Scatter hands each worker exactly its slice back.
+        assert_eq!(workers[0].offsets.host_view(), workers[0].aux.host_view());
+        assert_eq!(workers[1].offsets.host_view(), workers[1].aux.host_view());
+    }
+
+    #[test]
+    fn pipeline_group_scans_correctly_two_gpus() {
+        let problem = ProblemParams::new(13, 2);
+        let input = pseudo(4 << 13);
+        let fabric = Fabric::tsubame_kfc(1);
+        let (out, tl) = run_pipeline_group(
+            Add,
+            SplkTuple::kepler_premises(0),
+            &k80(),
+            &fabric,
+            &[0, 1],
+            problem,
+            &input,
+        )
+        .unwrap();
+        for g in 0..4 {
+            let s = g << 13;
+            let expected = reference_inclusive(Add, &input[s..s + (1 << 13)]);
+            assert_eq!(&out[s..s + (1 << 13)], &expected[..], "problem {g}");
+        }
+        assert_eq!(tl.phases().len(), 5, "three stages and two comm phases");
+        assert!(tl.total() > 0.0);
+    }
+
+    #[test]
+    fn pipeline_group_single_gpu_matches_reference() {
+        let problem = ProblemParams::new(12, 3);
+        let input = pseudo(8 << 12);
+        let fabric = Fabric::tsubame_kfc(1);
+        let (out, tl) = run_pipeline_group(
+            Add,
+            SplkTuple::kepler_premises(1),
+            &k80(),
+            &fabric,
+            &[0],
+            problem,
+            &input,
+        )
+        .unwrap();
+        for g in 0..8 {
+            let s = g << 12;
+            let expected = reference_inclusive(Add, &input[s..s + (1 << 12)]);
+            assert_eq!(&out[s..s + (1 << 12)], &expected[..]);
+        }
+        // Single-GPU comm phases are free.
+        assert_eq!(tl.seconds_with_prefix("comm:"), 0.0);
+    }
+
+    #[test]
+    fn four_gpu_pipeline() {
+        let problem = ProblemParams::new(14, 1);
+        let input = pseudo(2 << 14);
+        let fabric = Fabric::tsubame_kfc(1);
+        let (out, _) = run_pipeline_group(
+            Add,
+            SplkTuple::kepler_premises(0),
+            &k80(),
+            &fabric,
+            &[0, 1, 2, 3],
+            problem,
+            &input,
+        )
+        .unwrap();
+        for g in 0..2 {
+            let s = g << 14;
+            let expected = reference_inclusive(Add, &input[s..s + (1 << 14)]);
+            assert_eq!(&out[s..s + (1 << 14)], &expected[..]);
+        }
+    }
+
+    #[test]
+    fn cross_network_group_pays_host_staging() {
+        let problem = ProblemParams::new(14, 4);
+        let input = pseudo(16 << 14);
+        let fabric = Fabric::tsubame_kfc(1);
+        let tuple = SplkTuple::kepler_premises(0);
+        // Same-network four GPUs vs four GPUs split across two networks.
+        let (_, tl_p2p) =
+            run_pipeline_group(Add, tuple, &k80(), &fabric, &[0, 1, 2, 3], problem, &input)
+                .unwrap();
+        let (_, tl_host) =
+            run_pipeline_group(Add, tuple, &k80(), &fabric, &[0, 1, 4, 5], problem, &input)
+                .unwrap();
+        let comm_p2p = tl_p2p.seconds_with_prefix("comm:");
+        let comm_host = tl_host.seconds_with_prefix("comm:");
+        assert!(
+            comm_host > 2.0 * comm_p2p,
+            "cross-network aux exchange must be much slower ({comm_host} vs {comm_p2p})"
+        );
+    }
+}

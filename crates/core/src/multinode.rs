@@ -1,0 +1,242 @@
+//! Multi-node Scan-MPS: problem scattering across nodes with MPI (§4.1).
+//!
+//! All `M · W` GPUs collaborate on every problem. "One GPU in the system
+//! acts as a master process (GPU 0) … After synchronizing all MPI
+//! processes, the first stage is executed … these values are collected from
+//! all GPUs by the master process with an MPI_Gather instruction. The
+//! master process computes the second stage in its memory and returns the
+//! resulting values … through an MPI_Scatter instruction. Finally, each GPU
+//! executes the third stage."
+//!
+//! CUDA-aware MPI routes same-network ranks over P2P automatically, which
+//! the [`interconnect::MpiComm`] cost model honours.
+
+use gpu_sim::{DeviceSpec, EventKind};
+use interconnect::{Fabric, MpiComm, Timeline};
+use skeletons::{ScanOp, Scannable, SplkTuple};
+
+use crate::error::{ScanError, ScanResult};
+use crate::multi_gpu::{
+    assemble_output, build_workers, parallel_phase, scatter_offsets_functional,
+};
+use crate::params::{NodeConfig, ProblemParams};
+use crate::plan::ExecutionPlan;
+use crate::report::{RunReport, ScanOutput};
+use crate::stage1::run_stage1;
+use crate::stage2::run_stage2;
+use crate::stage3::run_stage3;
+
+/// Batch inclusive scan with Multi-GPU Problem Scattering across `M` nodes.
+///
+/// Requires `cfg.m() > 1`; for a single node use [`crate::mps::scan_mps`].
+pub fn scan_mps_multinode<T: Scannable, O: ScanOp<T>>(
+    op: O,
+    tuple: SplkTuple,
+    device: &DeviceSpec,
+    fabric: &Fabric,
+    cfg: NodeConfig,
+    problem: ProblemParams,
+    input: &[T],
+) -> ScanResult<ScanOutput<T>> {
+    if cfg.m() < 2 {
+        return Err(ScanError::InvalidConfig(
+            "scan_mps_multinode needs M ≥ 2; use scan_mps on a single node".into(),
+        ));
+    }
+    cfg.validate_against(fabric.topology())?;
+    let gpu_ids = cfg.selected_gpus(fabric.topology());
+    let comm = MpiComm::new(gpu_ids.clone(), gpu_ids[0]);
+
+    let plan = ExecutionPlan::new(problem, tuple, gpu_ids.len())?;
+    let mut workers = build_workers(device, &plan, &gpu_ids, input)?;
+    let mut tl = Timeline::new();
+    let elem_bytes = std::mem::size_of::<T>();
+
+    // "After synchronizing all MPI processes, the first stage is executed."
+    let barrier = comm.barrier(fabric);
+    tl.push("MPI_Barrier", barrier.seconds);
+
+    let t1 =
+        parallel_phase(&mut workers, |w| run_stage1(&mut w.gpu, &plan, op, &w.input, &mut w.aux))?;
+    tl.push_parallel("stage1:chunk-reduce", &t1);
+
+    // MPI_Gather: every rank's local aux (G · Bx¹ elements) to the master.
+    let mut root_aux = workers[0].gpu.alloc::<T>(plan.aux_global_len())?;
+    gather_functional(&workers, &mut root_aux, &plan);
+    let gather = comm.gather(fabric, plan.aux_local_len() * elem_bytes);
+    tl.push("MPI_Gather", gather.seconds);
+    workers[0].gpu.charge("MPI_Gather", EventKind::Collective, gather.seconds);
+
+    let before = workers[0].gpu.elapsed();
+    run_stage2(&mut workers[0].gpu, &plan, op, &mut root_aux)?;
+    tl.push("stage2:intermediate-scan", workers[0].gpu.elapsed() - before);
+
+    // MPI_Scatter: each rank's slice of the scanned offsets back.
+    scatter_offsets_functional(&mut workers, &root_aux, &plan);
+    let scatter = comm.scatter(fabric, plan.aux_local_len() * elem_bytes);
+    tl.push("MPI_Scatter", scatter.seconds);
+    workers[0].gpu.charge("MPI_Scatter", EventKind::Collective, scatter.seconds);
+
+    let t3 = parallel_phase(&mut workers, |w| {
+        run_stage3(&mut w.gpu, &plan, op, &w.input, &w.offsets, &mut w.output)
+    })?;
+    tl.push_parallel("stage3:scan-add", &t3);
+
+    // Final synchronisation before the result is collected from the GPUs.
+    let barrier = comm.barrier(fabric);
+    tl.push("MPI_Barrier", barrier.seconds);
+
+    Ok(ScanOutput {
+        data: assemble_output(&plan, &workers),
+        report: RunReport {
+            label: format!("Scan-MPS multi-node M={} W={}", cfg.m(), cfg.w()),
+            elements: problem.total_elems(),
+            timeline: tl,
+        },
+    })
+}
+
+/// Functional part of the MPI gather: place each rank's aux rows in the
+/// master's global array (MPI delivers per-rank contiguous blocks; the
+/// master's receive layout interleaves by problem, matching Stage 2).
+fn gather_functional<T: Scannable>(
+    workers: &[crate::multi_gpu::Worker<T>],
+    root_aux: &mut gpu_sim::DeviceBuffer<T>,
+    plan: &ExecutionPlan,
+) {
+    let rows = plan.chunks_per_problem();
+    let bx1 = plan.bx1;
+    for w in workers {
+        let src = w.aux.host_view();
+        let dst = root_aux.host_view_mut();
+        for g in 0..plan.problem.batch() {
+            dst[g * rows + w.part * bx1..g * rows + (w.part + 1) * bx1]
+                .copy_from_slice(&src[g * bx1..(g + 1) * bx1]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skeletons::{reference_inclusive, Add};
+
+    fn pseudo(n: usize) -> Vec<i32> {
+        (0..n).map(|i| ((i as i64 * 48271 + 3) % 163) as i32 - 81).collect()
+    }
+
+    fn k80() -> DeviceSpec {
+        DeviceSpec::tesla_k80()
+    }
+
+    fn verify_batch(out: &[i32], input: &[i32], problem: ProblemParams) {
+        let n = problem.problem_size();
+        for g in 0..problem.batch() {
+            let expected = reference_inclusive(Add, &input[g * n..(g + 1) * n]);
+            assert_eq!(&out[g * n..(g + 1) * n], &expected[..], "problem {g}");
+        }
+    }
+
+    #[test]
+    fn m2_w4_scans_correctly() {
+        // The paper's best multi-node combination: M=2, W=4.
+        let fabric = Fabric::tsubame_kfc(2);
+        let problem = ProblemParams::new(14, 2);
+        let input = pseudo(problem.total_elems());
+        let cfg = NodeConfig::new(4, 4, 1, 2).unwrap();
+        let out = scan_mps_multinode(
+            Add,
+            SplkTuple::kepler_premises(0),
+            &k80(),
+            &fabric,
+            cfg,
+            problem,
+            &input,
+        )
+        .unwrap();
+        verify_batch(&out.data, &input, problem);
+        assert!(out.report.label.contains("M=2"));
+    }
+
+    #[test]
+    fn mpi_phases_appear_in_the_timeline() {
+        let fabric = Fabric::tsubame_kfc(2);
+        let problem = ProblemParams::new(14, 1);
+        let input = pseudo(problem.total_elems());
+        let cfg = NodeConfig::new(2, 2, 1, 2).unwrap();
+        let out = scan_mps_multinode(
+            Add,
+            SplkTuple::kepler_premises(0),
+            &k80(),
+            &fabric,
+            cfg,
+            problem,
+            &input,
+        )
+        .unwrap();
+        let tl = &out.report.timeline;
+        assert!(tl.seconds_with_prefix("MPI_Gather") > 0.0);
+        assert!(tl.seconds_with_prefix("MPI_Scatter") > 0.0);
+        assert!(tl.seconds_with_prefix("MPI_Barrier") > 0.0);
+        // Seven phases: 2 barriers, gather, scatter, 3 stages.
+        assert_eq!(tl.phases().len(), 7);
+    }
+
+    #[test]
+    fn m8_w1_pays_more_mpi_than_m2_w4() {
+        // §5.2: "the best performance is achieved with M=2, W=4 … whereas
+        // M=8, W=1 obtains the worst results" because MPI traffic replaces
+        // intra-node P2P.
+        let fabric = Fabric::tsubame_kfc(8);
+        let problem = ProblemParams::new(14, 2);
+        let input = pseudo(problem.total_elems());
+        let t = SplkTuple::kepler_premises(0);
+        let m2w4 = scan_mps_multinode(
+            Add,
+            t,
+            &k80(),
+            &fabric,
+            NodeConfig::new(4, 4, 1, 2).unwrap(),
+            problem,
+            &input,
+        )
+        .unwrap();
+        let m8w1 = scan_mps_multinode(
+            Add,
+            t,
+            &k80(),
+            &fabric,
+            NodeConfig::new(1, 1, 1, 8).unwrap(),
+            problem,
+            &input,
+        )
+        .unwrap();
+        verify_batch(&m8w1.data, &input, problem);
+        let mpi_24 = m2w4.report.timeline.seconds_with_prefix("MPI_Gather")
+            + m2w4.report.timeline.seconds_with_prefix("MPI_Scatter");
+        let mpi_81 = m8w1.report.timeline.seconds_with_prefix("MPI_Gather")
+            + m8w1.report.timeline.seconds_with_prefix("MPI_Scatter");
+        assert!(mpi_81 > mpi_24, "more remote ranks, more MPI wire time");
+        assert!(m2w4.report.seconds() <= m8w1.report.seconds());
+    }
+
+    #[test]
+    fn single_node_config_is_rejected() {
+        let fabric = Fabric::tsubame_kfc(1);
+        let problem = ProblemParams::new(13, 0);
+        let input = pseudo(problem.total_elems());
+        let cfg = NodeConfig::new(4, 4, 1, 1).unwrap();
+        assert!(matches!(
+            scan_mps_multinode(
+                Add,
+                SplkTuple::kepler_premises(0),
+                &k80(),
+                &fabric,
+                cfg,
+                problem,
+                &input
+            ),
+            Err(ScanError::InvalidConfig(_))
+        ));
+    }
+}

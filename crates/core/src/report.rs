@@ -1,0 +1,58 @@
+//! Run reports: what a pipeline invocation returns besides the data.
+
+use interconnect::Timeline;
+
+/// Timing report of one batch-scan invocation.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Which proposal produced it (`"Scan-SP"`, `"Scan-MPS"`, …).
+    pub label: String,
+    /// Total elements processed (`G · N`).
+    pub elements: usize,
+    /// Phase timeline (simulated seconds).
+    pub timeline: Timeline,
+}
+
+impl RunReport {
+    /// Total simulated duration (the makespan).
+    pub fn seconds(&self) -> f64 {
+        self.timeline.total()
+    }
+
+    /// Throughput in elements per simulated second — the paper's
+    /// performance metric.
+    pub fn throughput(&self) -> f64 {
+        self.elements as f64 / self.seconds()
+    }
+
+    /// Throughput in gigabytes per simulated second for the given element
+    /// width.
+    pub fn throughput_gbs(&self, elem_bytes: usize) -> f64 {
+        self.throughput() * elem_bytes as f64 / 1e9
+    }
+}
+
+/// Result of a batch scan: the scanned data plus the timing report.
+#[derive(Debug, Clone)]
+pub struct ScanOutput<T> {
+    /// Scanned batch, same layout as the input (`[g][N]`, problem-major).
+    pub data: Vec<T>,
+    /// Timing report.
+    pub report: RunReport,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_math() {
+        let mut tl = Timeline::new();
+        tl.push("stage1", 0.5);
+        tl.push("stage3", 0.5);
+        let r = RunReport { label: "test".into(), elements: 1_000_000, timeline: tl };
+        assert!((r.seconds() - 1.0).abs() < 1e-12);
+        assert!((r.throughput() - 1.0e6).abs() < 1e-6);
+        assert!((r.throughput_gbs(4) - 0.004).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,139 @@
+//! Verification helpers: batch results against the CPU reference.
+
+use skeletons::{reference_exclusive, reference_inclusive, ScanOp, Scannable};
+
+use crate::params::{ProblemParams, ScanKind};
+
+/// A result/reference mismatch: the first differing element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mismatch {
+    /// Problem index within the batch.
+    pub problem: usize,
+    /// Element index within the problem.
+    pub index: usize,
+    /// Expected value, rendered.
+    pub expected: String,
+    /// Actual value, rendered.
+    pub actual: String,
+}
+
+impl std::fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "mismatch at problem {}, element {}: expected {}, got {}",
+            self.problem, self.index, self.expected, self.actual
+        )
+    }
+}
+
+/// Compute the expected batch result: an independent inclusive scan per
+/// problem.
+pub fn expected_batch<T: Scannable, O: ScanOp<T>>(
+    op: O,
+    problem: ProblemParams,
+    input: &[T],
+) -> Vec<T> {
+    assert_eq!(input.len(), problem.total_elems(), "input/problem size mismatch");
+    let n = problem.problem_size();
+    let mut out = Vec::with_capacity(input.len());
+    for g in 0..problem.batch() {
+        out.extend(reference_inclusive(op, &input[g * n..(g + 1) * n]));
+    }
+    out
+}
+
+/// Compute the expected *exclusive* batch result.
+pub fn expected_batch_exclusive<T: Scannable, O: ScanOp<T>>(
+    op: O,
+    problem: ProblemParams,
+    input: &[T],
+) -> Vec<T> {
+    assert_eq!(input.len(), problem.total_elems(), "input/problem size mismatch");
+    let n = problem.problem_size();
+    let mut out = Vec::with_capacity(input.len());
+    for g in 0..problem.batch() {
+        out.extend(reference_exclusive(op, &input[g * n..(g + 1) * n]));
+    }
+    out
+}
+
+/// Verify a batch-scan output against the CPU reference, reporting the
+/// first mismatch.
+pub fn verify_batch<T: Scannable, O: ScanOp<T>>(
+    op: O,
+    problem: ProblemParams,
+    input: &[T],
+    output: &[T],
+) -> Result<(), Mismatch> {
+    verify_batch_kind(op, problem, input, output, ScanKind::Inclusive)
+}
+
+/// Verify with explicit inclusive/exclusive semantics.
+pub fn verify_batch_kind<T: Scannable, O: ScanOp<T>>(
+    op: O,
+    problem: ProblemParams,
+    input: &[T],
+    output: &[T],
+    kind: ScanKind,
+) -> Result<(), Mismatch> {
+    assert_eq!(output.len(), problem.total_elems(), "output/problem size mismatch");
+    let n = problem.problem_size();
+    let expected = match kind {
+        ScanKind::Inclusive => expected_batch(op, problem, input),
+        ScanKind::Exclusive => expected_batch_exclusive(op, problem, input),
+    };
+    for (i, (e, a)) in expected.iter().zip(output).enumerate() {
+        if e != a {
+            return Err(Mismatch {
+                problem: i / n,
+                index: i % n,
+                expected: format!("{e:?}"),
+                actual: format!("{a:?}"),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skeletons::Add;
+
+    #[test]
+    fn expected_batch_scans_each_problem_independently() {
+        let problem = ProblemParams::new(2, 1); // 2 problems of 4
+        let input = [1, 1, 1, 1, 10, 10, 10, 10];
+        let out = expected_batch(Add, problem, &input);
+        assert_eq!(out, vec![1, 2, 3, 4, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn verify_accepts_correct_output() {
+        let problem = ProblemParams::new(3, 0);
+        let input = [1, 2, 3, 4, 5, 6, 7, 8];
+        let output = [1, 3, 6, 10, 15, 21, 28, 36];
+        assert!(verify_batch(Add, problem, &input, &output).is_ok());
+    }
+
+    #[test]
+    fn verify_locates_the_first_mismatch() {
+        let problem = ProblemParams::new(2, 1);
+        let input = [1, 1, 1, 1, 2, 2, 2, 2];
+        let mut output = expected_batch(Add, problem, &input);
+        output[6] = 999;
+        let m = verify_batch(Add, problem, &input, &output).unwrap_err();
+        assert_eq!(m.problem, 1);
+        assert_eq!(m.index, 2);
+        assert_eq!(m.expected, "6");
+        assert_eq!(m.actual, "999");
+        assert!(m.to_string().contains("problem 1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn wrong_input_length_panics() {
+        expected_batch(Add, ProblemParams::new(4, 0), &[1, 2, 3]);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests of the planning layer and premise equations.
+
+use gpu_sim::DeviceSpec;
+use proptest::prelude::*;
+use scan_core::{premises, ExecutionPlan, ProblemParams};
+use skeletons::SplkTuple;
+
+fn device() -> DeviceSpec {
+    DeviceSpec::tesla_k80()
+}
+
+proptest! {
+    /// Every K in the premise search space yields a plannable execution,
+    /// and every plan satisfies Eqs. 2/3 (at least one chunk per GPU).
+    #[test]
+    fn search_space_is_exactly_the_feasible_set(
+        n in 10u32..22,
+        g in 0u32..6,
+        parts_log in 0u32..4,
+    ) {
+        let parts = 1usize << parts_log;
+        let problem = ProblemParams::new(n, g);
+        let base = premises::derive_tuple(&device(), 4, 0);
+        let space = premises::k_search_space(&device(), &problem, &base, parts);
+        for &k in &space {
+            let plan = ExecutionPlan::new(problem, base.with_k(k), parts);
+            prop_assert!(plan.is_ok(), "k={k} in space must plan");
+            let plan = plan.unwrap();
+            // Eq. 2/3: the chunk count per problem covers every GPU.
+            prop_assert!(plan.chunks_per_problem() >= parts);
+            // Bx1 ≥ 1 and the portion is fully tiled.
+            prop_assert!(plan.bx1 >= 1);
+            prop_assert_eq!(plan.bx1 * plan.chunk, plan.portion);
+        }
+        // One past the space's maximum must violate a bound (when the space
+        // is bounded by Eq. 2/3 rather than Eq. 1).
+        if let Some(&max_k) = space.last() {
+            if premises::premise4_max_k(&problem, &base, parts) == Some(max_k) {
+                prop_assert!(
+                    ExecutionPlan::new(problem, base.with_k(max_k + 1), parts).is_err()
+                );
+            }
+        }
+    }
+
+    /// The default K is always inside the search space.
+    #[test]
+    fn default_k_is_admissible(
+        n in 10u32..22,
+        g in 0u32..6,
+        parts_log in 0u32..4,
+    ) {
+        let parts = 1usize << parts_log;
+        let problem = ProblemParams::new(n, g);
+        let base = premises::derive_tuple(&device(), 4, 0);
+        let space = premises::k_search_space(&device(), &problem, &base, parts);
+        match premises::default_k(&device(), &problem, &base, parts) {
+            Some(k) => prop_assert!(space.contains(&k), "default {k} not in {space:?}"),
+            None => prop_assert!(space.is_empty()),
+        }
+    }
+
+    /// Eq. 1 bound arithmetic: the bound grows monotonically with the
+    /// total problem size.
+    #[test]
+    fn eq1_monotone_in_total(total in 24u32..32, n in 13u32..20) {
+        let base = premises::derive_tuple(&device(), 4, 0);
+        let small = premises::premise3_max_k(&device(), &ProblemParams::fixed_total(total, n), &base);
+        let large = premises::premise3_max_k(&device(), &ProblemParams::fixed_total(total + 1, n), &base);
+        match (small, large) {
+            (Some(a), Some(b)) => prop_assert!(b >= a),
+            (None, _) => {}
+            (Some(_), None) => prop_assert!(false, "bound vanished as total grew"),
+        }
+    }
+
+    /// Plan quantities are self-consistent for arbitrary valid tuples.
+    #[test]
+    fn plan_arithmetic_consistent(
+        n in 12u32..24,
+        g in 0u32..5,
+        k in 0u32..4,
+        parts_log in 0u32..3,
+    ) {
+        let parts = 1usize << parts_log;
+        let problem = ProblemParams::new(n, g);
+        let tuple = SplkTuple::kepler_premises(k);
+        if let Ok(plan) = ExecutionPlan::new(problem, tuple, parts) {
+            prop_assert_eq!(plan.portion * parts, problem.problem_size());
+            prop_assert_eq!(plan.elems_per_gpu() * parts, problem.total_elems());
+            prop_assert_eq!(plan.aux_global_len(), plan.aux_local_len() * parts);
+            let cfg1 = plan.stage1_cfg();
+            prop_assert_eq!(cfg1.grid_blocks(), plan.bx1 * problem.batch());
+            prop_assert!(cfg1.validate(&device(), 4).is_ok());
+            let (cfg2, ly2) = plan.stage2_cfg();
+            prop_assert!(cfg2.validate(&device(), 4).is_ok());
+            prop_assert!(ly2 >= 1);
+            prop_assert!(cfg2.threads_per_block() <= 128);
+            // Each stage-2 block covers ly2 problems; the grid covers G.
+            prop_assert!(cfg2.grid.1 * ly2 >= problem.batch());
+        }
+    }
+
+    /// Premise 1 always produces a configuration the occupancy calculator
+    /// certifies as jointly optimal, on any plausible device.
+    #[test]
+    fn premise1_is_always_optimal(
+        sms in 2usize..32,
+        max_blocks in prop::sample::select(vec![8usize, 16, 32]),
+    ) {
+        let mut d = device();
+        d.num_sms = sms;
+        d.max_blocks_per_sm = max_blocks;
+        let p1 = premises::premise1(&d);
+        prop_assert_eq!(
+            p1.threads_per_block,
+            (d.max_warps_per_sm / max_blocks).max(1) * 32
+        );
+        prop_assert!(p1.regs_per_thread > 0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Device specifications for the simulated GPUs.
+//!
+//! A [`DeviceSpec`] captures the static hardware limits the paper's tuning
+//! strategy reasons about (Table 3 of the paper): warp size, the number of
+//! streaming multiprocessors (SMs), per-SM block/warp/register/shared-memory
+//! limits, and the first-order performance constants used by the timing
+//! model (peak memory bandwidth, kernel launch overhead, instruction
+//! throughput).
+//!
+//! Two presets are provided: [`DeviceSpec::tesla_k80`], the compute
+//! capability 3.7 Kepler GPU used by the paper's TSUBAME-KFC evaluation
+//! platform, and [`DeviceSpec::maxwell`], used by the paper to illustrate the
+//! 32-blocks-per-SM limit of Maxwell parts.
+
+/// Size of a global memory transaction in bytes.
+///
+/// Coalesced accesses by a warp are served in 128-byte segments on the
+/// Kepler/Maxwell architectures the paper targets.
+pub const TRANSACTION_BYTES: usize = 128;
+
+/// Static description of a simulated GPU.
+///
+/// All limits are per physical GPU (one of the two GK210 dies on a Tesla K80
+/// board counts as one GPU, as in the paper where a 4-board node exposes
+/// 8 GPUs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Marketing / architecture name, e.g. `"Tesla K80 (GK210, CC 3.7)"`.
+    pub name: &'static str,
+    /// Compute capability as `(major, minor)`, e.g. `(3, 7)`.
+    pub compute_capability: (u32, u32),
+    /// Number of threads per warp. 32 on every CUDA architecture the paper
+    /// considers.
+    pub warp_size: usize,
+    /// Number of streaming multiprocessors on the device.
+    pub num_sms: usize,
+    /// Maximum number of resident thread blocks per SM
+    /// (16 on Kepler CC 3.7, 32 on Maxwell — Premise 1 in the paper).
+    pub max_blocks_per_sm: usize,
+    /// Maximum number of resident warps per SM (64 on Kepler and Maxwell).
+    pub max_warps_per_sm: usize,
+    /// Maximum number of threads in a single block (1024).
+    pub max_threads_per_block: usize,
+    /// Number of 32-bit registers available per SM.
+    pub registers_per_sm: usize,
+    /// Maximum number of registers addressable by one thread.
+    pub max_regs_per_thread: usize,
+    /// Shared memory available per SM in bytes (112 KiB on CC 3.7).
+    pub shared_mem_per_sm: usize,
+    /// Maximum shared memory a single block may allocate, in bytes.
+    pub shared_mem_per_block: usize,
+    /// Global memory capacity in bytes.
+    pub global_mem_bytes: usize,
+    /// Achievable global memory bandwidth in bytes per second.
+    ///
+    /// This is the *effective* (not theoretical) bandwidth a well-coalesced
+    /// streaming kernel reaches at full occupancy; the timing model derates
+    /// it further at low occupancy.
+    pub mem_bandwidth: f64,
+    /// Fixed host-side cost of launching one kernel, in seconds.
+    pub launch_overhead: f64,
+    /// Aggregate arithmetic instruction throughput of the device in
+    /// instructions per second (all SMs combined, one warp-instruction
+    /// counted per 32 lanes).
+    pub instr_throughput: f64,
+    /// Aggregate shuffle-instruction throughput (instructions per second).
+    pub shuffle_throughput: f64,
+    /// Aggregate shared-memory access throughput (accesses per second).
+    pub shared_throughput: f64,
+    /// Occupancy (fraction of `max_warps_per_sm`) at which the memory
+    /// subsystem saturates. Kepler reaches peak streaming bandwidth well
+    /// below 100% occupancy (Volkov's observation cited by Premise 1).
+    pub saturation_occupancy: f64,
+}
+
+impl DeviceSpec {
+    /// The paper's evaluation GPU: one GK210 die of a Tesla K80 board,
+    /// compute capability 3.7.
+    ///
+    /// The per-SM limits reproduce Table 3 of the paper exactly: 16 resident
+    /// blocks, 64 resident warps, 128 K registers and 112 KiB shared memory
+    /// per SM.
+    pub fn tesla_k80() -> Self {
+        DeviceSpec {
+            name: "Tesla K80 (GK210, CC 3.7)",
+            compute_capability: (3, 7),
+            warp_size: 32,
+            num_sms: 13,
+            max_blocks_per_sm: 16,
+            max_warps_per_sm: 64,
+            max_threads_per_block: 1024,
+            registers_per_sm: 128 * 1024,
+            max_regs_per_thread: 255,
+            shared_mem_per_sm: 112 * 1024,
+            shared_mem_per_block: 48 * 1024,
+            global_mem_bytes: 12 * 1024 * 1024 * 1024,
+            // 240 GB/s theoretical per GK210; ~170 GB/s achievable streaming.
+            mem_bandwidth: 170.0e9,
+            launch_overhead: 3.5e-6,
+            // 13 SMs x 192 cores x ~0.82 GHz, counted per warp instruction.
+            instr_throughput: 13.0 * 192.0 * 0.82e9 / 32.0 * 4.0,
+            shuffle_throughput: 13.0 * 32.0 * 0.82e9,
+            shared_throughput: 13.0 * 32.0 * 0.82e9,
+            saturation_occupancy: 0.5,
+        }
+    }
+
+    /// A first-generation Maxwell device (compute capability 5.2), used in
+    /// the paper to note the 32-blocks-per-SM limit.
+    pub fn maxwell() -> Self {
+        DeviceSpec {
+            name: "GeForce GTX Titan X (GM200, CC 5.2)",
+            compute_capability: (5, 2),
+            warp_size: 32,
+            num_sms: 24,
+            max_blocks_per_sm: 32,
+            max_warps_per_sm: 64,
+            max_threads_per_block: 1024,
+            registers_per_sm: 64 * 1024,
+            max_regs_per_thread: 255,
+            shared_mem_per_sm: 96 * 1024,
+            shared_mem_per_block: 48 * 1024,
+            global_mem_bytes: 12 * 1024 * 1024 * 1024,
+            mem_bandwidth: 240.0e9,
+            launch_overhead: 3.5e-6,
+            instr_throughput: 24.0 * 128.0 * 1.0e9 / 32.0 * 4.0,
+            shuffle_throughput: 24.0 * 32.0 * 1.0e9,
+            shared_throughput: 24.0 * 32.0 * 1.0e9,
+            saturation_occupancy: 0.5,
+        }
+    }
+
+    /// Maximum number of resident threads per SM.
+    pub fn max_threads_per_sm(&self) -> usize {
+        self.max_warps_per_sm * self.warp_size
+    }
+
+    /// Number of global-memory transactions needed to move `bytes` bytes
+    /// with perfectly coalesced accesses.
+    pub fn transactions_for_bytes(&self, bytes: usize) -> u64 {
+        (bytes.div_ceil(TRANSACTION_BYTES)) as u64
+    }
+}
+
+impl Default for DeviceSpec {
+    fn default() -> Self {
+        Self::tesla_k80()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k80_matches_paper_limits() {
+        let d = DeviceSpec::tesla_k80();
+        assert_eq!(d.warp_size, 32);
+        assert_eq!(d.max_blocks_per_sm, 16, "Premise 1: 16 blocks/SM on Kepler");
+        assert_eq!(d.max_warps_per_sm, 64);
+        assert_eq!(d.registers_per_sm, 131_072);
+        assert_eq!(d.shared_mem_per_sm, 114_688);
+        assert_eq!(d.compute_capability, (3, 7));
+    }
+
+    #[test]
+    fn maxwell_has_32_blocks_per_sm() {
+        let d = DeviceSpec::maxwell();
+        assert_eq!(d.max_blocks_per_sm, 32, "Premise 1: 32 blocks/SM on Maxwell");
+    }
+
+    #[test]
+    fn transaction_counting_rounds_up() {
+        let d = DeviceSpec::tesla_k80();
+        assert_eq!(d.transactions_for_bytes(0), 0);
+        assert_eq!(d.transactions_for_bytes(1), 1);
+        assert_eq!(d.transactions_for_bytes(128), 1);
+        assert_eq!(d.transactions_for_bytes(129), 2);
+        assert_eq!(d.transactions_for_bytes(512), 4);
+    }
+
+    #[test]
+    fn max_threads_per_sm_is_warps_times_warpsize() {
+        let d = DeviceSpec::tesla_k80();
+        assert_eq!(d.max_threads_per_sm(), 2048);
+    }
+}

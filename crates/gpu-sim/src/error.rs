@@ -1,0 +1,61 @@
+//! Error type for the GPU simulator.
+
+use std::fmt;
+
+/// Errors surfaced by the simulator's allocation and launch validation.
+///
+/// In-kernel logic errors (e.g. out-of-bounds buffer indexing) are
+/// programming mistakes in the kernel under test and panic instead, mirroring
+/// how an illegal address fault would abort a real CUDA kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A device allocation would exceed the GPU's global-memory capacity.
+    OutOfMemory {
+        /// Bytes requested by the failing allocation.
+        requested: usize,
+        /// Bytes already in use on the device.
+        in_use: usize,
+        /// Total device capacity in bytes.
+        capacity: usize,
+    },
+    /// A launch configuration violates a device limit
+    /// (block too large, too much shared memory, empty grid, …).
+    InvalidLaunch(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OutOfMemory { requested, in_use, capacity } => write!(
+                f,
+                "device out of memory: requested {requested} B with {in_use} B in use \
+                 of {capacity} B capacity"
+            ),
+            SimError::InvalidLaunch(msg) => write!(f, "invalid kernel launch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Convenience alias for simulator results.
+pub type SimResult<T> = Result<T, SimError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_out_of_memory() {
+        let e = SimError::OutOfMemory { requested: 100, in_use: 50, capacity: 120 };
+        let s = e.to_string();
+        assert!(s.contains("100 B"));
+        assert!(s.contains("120 B"));
+    }
+
+    #[test]
+    fn display_invalid_launch() {
+        let e = SimError::InvalidLaunch("grid is empty".into());
+        assert!(e.to_string().contains("grid is empty"));
+    }
+}

@@ -1,0 +1,143 @@
+//! Event log: a per-GPU record of everything that consumed simulated time.
+//!
+//! The breakdown figure of the paper (Fig. 14) decomposes execution into the
+//! three kernels, MPI collectives and barriers; the event log is where those
+//! rows come from.
+
+use crate::counters::CostCounters;
+
+/// Category of a timed event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A kernel execution on this GPU.
+    Kernel,
+    /// A point-to-point memory transfer this GPU participated in.
+    Transfer,
+    /// A collective operation (gather/scatter/broadcast).
+    Collective,
+    /// A synchronisation barrier (device sync or MPI barrier).
+    Barrier,
+    /// Host-side software overhead (library setup, temporary allocation,
+    /// plan creation — the per-invocation costs of §5's competing
+    /// libraries).
+    Host,
+}
+
+/// One timed event on a GPU's timeline.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Label, e.g. `"stage1:chunk-reduce"` or `"MPI_Gather"`.
+    pub label: String,
+    /// Category.
+    pub kind: EventKind,
+    /// Simulated duration in seconds.
+    pub seconds: f64,
+    /// Hardware counters charged by the event (zero for non-kernel events).
+    pub counters: CostCounters,
+}
+
+/// Ordered log of events with a running total.
+#[derive(Debug, Default, Clone)]
+pub struct EventLog {
+    events: Vec<Event>,
+    total: f64,
+}
+
+impl EventLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an event and advance the running total.
+    pub fn push(&mut self, event: Event) {
+        self.total += event.seconds;
+        self.events.push(event);
+    }
+
+    /// All recorded events in order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Sum of all event durations.
+    pub fn total_seconds(&self) -> f64 {
+        self.total
+    }
+
+    /// Sum of durations of events whose label starts with `prefix`.
+    pub fn seconds_with_prefix(&self, prefix: &str) -> f64 {
+        self.events.iter().filter(|e| e.label.starts_with(prefix)).map(|e| e.seconds).sum()
+    }
+
+    /// Sum of durations of events of a given kind.
+    pub fn seconds_of_kind(&self, kind: EventKind) -> f64 {
+        self.events.iter().filter(|e| e.kind == kind).map(|e| e.seconds).sum()
+    }
+
+    /// Aggregate counters across all kernel events.
+    pub fn total_counters(&self) -> CostCounters {
+        let mut c = CostCounters::default();
+        for e in &self.events {
+            c += e.counters;
+        }
+        c
+    }
+
+    /// Remove all events and reset the total.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.total = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(label: &str, kind: EventKind, secs: f64) -> Event {
+        Event { label: label.into(), kind, seconds: secs, counters: CostCounters::default() }
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let mut log = EventLog::new();
+        log.push(ev("stage1", EventKind::Kernel, 1.0));
+        log.push(ev("stage2", EventKind::Kernel, 0.5));
+        log.push(ev("MPI_Gather", EventKind::Collective, 0.25));
+        assert!((log.total_seconds() - 1.75).abs() < 1e-12);
+        assert_eq!(log.events().len(), 3);
+    }
+
+    #[test]
+    fn prefix_and_kind_filters() {
+        let mut log = EventLog::new();
+        log.push(ev("stage1:reduce", EventKind::Kernel, 1.0));
+        log.push(ev("stage1:reduce", EventKind::Kernel, 2.0));
+        log.push(ev("stage3:scan", EventKind::Kernel, 4.0));
+        log.push(ev("MPI_Barrier", EventKind::Barrier, 8.0));
+        assert!((log.seconds_with_prefix("stage1") - 3.0).abs() < 1e-12);
+        assert!((log.seconds_of_kind(EventKind::Kernel) - 7.0).abs() < 1e-12);
+        assert!((log.seconds_of_kind(EventKind::Barrier) - 8.0).abs() < 1e-12);
+        assert_eq!(log.seconds_of_kind(EventKind::Transfer), 0.0);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut log = EventLog::new();
+        log.push(ev("a", EventKind::Kernel, 1.0));
+        log.clear();
+        assert_eq!(log.events().len(), 0);
+        assert_eq!(log.total_seconds(), 0.0);
+    }
+
+    #[test]
+    fn counters_aggregate_over_events() {
+        let mut log = EventLog::new();
+        let mut e = ev("k", EventKind::Kernel, 1.0);
+        e.counters.gld_transactions = 5;
+        log.push(e.clone());
+        log.push(e);
+        assert_eq!(log.total_counters().gld_transactions, 10);
+    }
+}

@@ -1,0 +1,301 @@
+//! The simulated GPU: device spec + global memory + event timeline +
+//! kernel launch engine.
+
+use crate::block::BlockCtx;
+use crate::counters::CostCounters;
+use crate::device::DeviceSpec;
+use crate::error::SimResult;
+use crate::event::{Event, EventKind, EventLog};
+use crate::grid::LaunchConfig;
+use crate::memory::{DeviceBuffer, DeviceCopy, MemoryTracker};
+use crate::occupancy::{occupancy, Occupancy};
+use crate::timing::{KernelTime, TimingModel};
+
+/// Statistics returned by one kernel launch.
+#[derive(Debug, Clone)]
+pub struct KernelStats {
+    /// Label of the launch.
+    pub label: String,
+    /// Counters charged by the kernel's blocks.
+    pub counters: CostCounters,
+    /// Occupancy achieved by the block configuration.
+    pub occupancy: Occupancy,
+    /// Timing decomposition.
+    pub time: KernelTime,
+}
+
+impl KernelStats {
+    /// Total simulated duration of the launch.
+    pub fn seconds(&self) -> f64 {
+        self.time.total()
+    }
+}
+
+/// One simulated GPU.
+///
+/// Owns a memory tracker (allocations are [`DeviceBuffer`]s that debit it),
+/// an [`EventLog`] of everything that consumed simulated time, and the
+/// launch engine that executes kernels block by block.
+///
+/// Blocks within a launch execute sequentially in row-major order
+/// (`by` outer, `bx` inner), which makes chained-scan algorithms (each block
+/// reading its predecessor's published aggregate) deterministic. Separate
+/// `Gpu`s are independent and `Send`, so a multi-GPU run can execute each
+/// GPU on its own host thread.
+#[derive(Debug)]
+pub struct Gpu {
+    id: usize,
+    spec: DeviceSpec,
+    tracker: MemoryTracker,
+    log: EventLog,
+    timing: TimingModel,
+}
+
+impl Gpu {
+    /// Create GPU `id` with the given device spec.
+    pub fn new(id: usize, spec: DeviceSpec) -> Self {
+        let tracker = MemoryTracker::new(spec.global_mem_bytes);
+        Gpu { id, spec, tracker, log: EventLog::new(), timing: TimingModel::default() }
+    }
+
+    /// Create a whole node of `count` identical GPUs (ids `0..count`).
+    pub fn node(count: usize, spec: &DeviceSpec) -> Vec<Gpu> {
+        (0..count).map(|i| Gpu::new(i, spec.clone())).collect()
+    }
+
+    /// This GPU's identifier.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The device specification.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// The memory tracker (used/available bytes).
+    pub fn memory(&self) -> &MemoryTracker {
+        &self.tracker
+    }
+
+    /// The timing model (tunable before running experiments).
+    pub fn timing_mut(&mut self) -> &mut TimingModel {
+        &mut self.timing
+    }
+
+    /// The event log accumulated so far.
+    pub fn log(&self) -> &EventLog {
+        &self.log
+    }
+
+    /// Total simulated time elapsed on this GPU.
+    pub fn elapsed(&self) -> f64 {
+        self.log.total_seconds()
+    }
+
+    /// Clear the event log (e.g. between benchmark repetitions). Memory
+    /// allocations are unaffected.
+    pub fn reset_time(&mut self) {
+        self.log.clear();
+    }
+
+    /// Allocate a zero-initialised device buffer of `len` elements.
+    pub fn alloc<T: DeviceCopy>(&self, len: usize) -> SimResult<DeviceBuffer<T>> {
+        DeviceBuffer::new(self.id, self.tracker.clone(), vec![T::default(); len])
+    }
+
+    /// Allocate a device buffer initialised from host data
+    /// (a host-to-device copy).
+    pub fn alloc_from<T: DeviceCopy>(&self, data: &[T]) -> SimResult<DeviceBuffer<T>> {
+        DeviceBuffer::new(self.id, self.tracker.clone(), data.to_vec())
+    }
+
+    /// Launch a kernel: run `kernel` once per block of `cfg`'s grid,
+    /// validate the configuration, account costs and record the event.
+    ///
+    /// The closure receives a fresh [`BlockCtx`] per block; shared memory is
+    /// zero-initialised for each block (deterministic simulation; real CUDA
+    /// leaves it undefined, so kernels must not rely on this).
+    pub fn launch<T, F>(&mut self, cfg: &LaunchConfig, mut kernel: F) -> SimResult<KernelStats>
+    where
+        T: DeviceCopy,
+        F: FnMut(&mut BlockCtx<'_, T>),
+    {
+        cfg.validate(&self.spec, std::mem::size_of::<T>())?;
+        let occ = occupancy(&self.spec, &cfg.block_resources(std::mem::size_of::<T>()));
+
+        let mut counters = CostCounters { launches: 1, ..Default::default() };
+        let mut shared = vec![T::default(); cfg.shared_elems];
+
+        for by in 0..cfg.grid.1 {
+            for bx in 0..cfg.grid.0 {
+                shared.fill(T::default());
+                let mut ctx = BlockCtx::new(
+                    (bx, by),
+                    cfg.grid,
+                    cfg.block,
+                    cfg.width,
+                    &mut shared,
+                    &mut counters,
+                );
+                kernel(&mut ctx);
+            }
+        }
+
+        let time = self.timing.kernel_time(&self.spec, cfg, &occ, &counters);
+        self.log.push(Event {
+            label: cfg.label.clone(),
+            kind: EventKind::Kernel,
+            seconds: time.total(),
+            counters,
+        });
+        Ok(KernelStats { label: cfg.label.clone(), counters, occupancy: occ, time })
+    }
+
+    /// Charge externally-computed time to this GPU's timeline (memory
+    /// transfers and collectives are timed by the interconnect crate and
+    /// recorded here).
+    pub fn charge(&mut self, label: impl Into<String>, kind: EventKind, seconds: f64) {
+        self.log.push(Event {
+            label: label.into(),
+            kind,
+            seconds,
+            counters: CostCounters::default(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::warp::WARP_SIZE;
+
+    fn gpu() -> Gpu {
+        Gpu::new(0, DeviceSpec::tesla_k80())
+    }
+
+    #[test]
+    fn node_creates_numbered_gpus() {
+        let gpus = Gpu::node(4, &DeviceSpec::tesla_k80());
+        assert_eq!(gpus.len(), 4);
+        assert_eq!(gpus[3].id(), 3);
+    }
+
+    #[test]
+    fn alloc_tracks_memory() {
+        let g = gpu();
+        let buf = g.alloc::<i32>(1024).unwrap();
+        assert_eq!(buf.len(), 1024);
+        assert_eq!(g.memory().used(), 4096);
+        drop(buf);
+        assert_eq!(g.memory().used(), 0);
+    }
+
+    #[test]
+    fn alloc_from_copies_host_data() {
+        let g = gpu();
+        let buf = g.alloc_from(&[1i32, 2, 3]).unwrap();
+        assert_eq!(buf.host_view(), &[1, 2, 3]);
+        assert_eq!(buf.gpu_id(), 0);
+    }
+
+    /// A trivial "copy" kernel: each block copies its 128-element chunk.
+    #[test]
+    fn launch_runs_every_block_and_logs_time() {
+        let mut g = gpu();
+        let src: Vec<i32> = (0..1024).collect();
+        let input = g.alloc_from(&src).unwrap();
+        let mut output = g.alloc::<i32>(1024).unwrap();
+
+        let cfg = LaunchConfig::new("copy", (8, 1), (128, 1)).regs(16);
+        let stats = g
+            .launch::<i32, _>(&cfg, |ctx| {
+                let base = ctx.block_idx.0 * 128;
+                let mut tmp = [0i32; 128];
+                ctx.read_global(input.host_view(), base, &mut tmp);
+                ctx.write_global(output.host_view_mut(), base, &tmp);
+            })
+            .unwrap();
+
+        assert_eq!(output.host_view(), src.as_slice());
+        assert_eq!(stats.counters.launches, 1);
+        // 1024 i32 = 4 KiB each way = 32 transactions each way.
+        assert_eq!(stats.counters.gld_transactions, 32);
+        assert_eq!(stats.counters.gst_transactions, 32);
+        assert!(stats.seconds() > 0.0);
+        assert_eq!(g.log().events().len(), 1);
+        assert!((g.elapsed() - stats.seconds()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn blocks_execute_in_row_major_order() {
+        let mut g = gpu();
+        let order = std::cell::RefCell::new(Vec::new());
+        let cfg = LaunchConfig::new("order", (2, 2), (WARP_SIZE, 1)).regs(16);
+        g.launch::<i32, _>(&cfg, |ctx| {
+            order.borrow_mut().push(ctx.block_idx);
+        })
+        .unwrap();
+        assert_eq!(order.into_inner(), vec![(0, 0), (1, 0), (0, 1), (1, 1)]);
+    }
+
+    #[test]
+    fn shared_memory_is_zeroed_per_block() {
+        let mut g = gpu();
+        let cfg = LaunchConfig::new("smem", (3, 1), (WARP_SIZE, 1)).shared_elems(8).regs(16);
+        g.launch::<i32, _>(&cfg, |ctx| {
+            assert_eq!(ctx.sh_read(0), 0, "shared memory must start zeroed for each block");
+            ctx.sh_write(0, 99);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn invalid_launch_is_rejected_without_running() {
+        let mut g = gpu();
+        let cfg = LaunchConfig::new("bad", (0, 0), (128, 1));
+        let ran = std::cell::Cell::new(false);
+        let err = g.launch::<i32, _>(&cfg, |_| ran.set(true));
+        assert!(err.is_err());
+        assert!(!ran.get());
+        assert_eq!(g.log().events().len(), 0);
+    }
+
+    #[test]
+    fn charge_records_external_events() {
+        let mut g = gpu();
+        g.charge("MPI_Gather", EventKind::Collective, 0.5);
+        g.charge("p2p-copy", EventKind::Transfer, 0.25);
+        assert!((g.elapsed() - 0.75).abs() < 1e-12);
+        assert!((g.log().seconds_of_kind(EventKind::Collective) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_time_clears_log_but_not_memory() {
+        let mut g = gpu();
+        let _buf = g.alloc::<i32>(16).unwrap();
+        g.charge("x", EventKind::Barrier, 1.0);
+        g.reset_time();
+        assert_eq!(g.elapsed(), 0.0);
+        assert_eq!(g.memory().used(), 64);
+    }
+
+    /// Two GPUs can run launches on separate host threads.
+    #[test]
+    fn gpus_are_send() {
+        let mut gpus = Gpu::node(2, &DeviceSpec::tesla_k80());
+        crossbeam_utils_scope(&mut gpus);
+
+        fn crossbeam_utils_scope(gpus: &mut [Gpu]) {
+            std::thread::scope(|s| {
+                for g in gpus.iter_mut() {
+                    s.spawn(move || {
+                        let cfg = LaunchConfig::new("noop", (1, 1), (32, 1)).regs(16);
+                        g.launch::<i32, _>(&cfg, |_| {}).unwrap();
+                    });
+                }
+            });
+        }
+        assert!(gpus.iter().all(|g| g.elapsed() > 0.0));
+    }
+}

@@ -1,0 +1,309 @@
+//! SM occupancy calculator.
+//!
+//! Reproduces the occupancy arithmetic behind Table 3 of the paper: given a
+//! block configuration (warps per block, registers per thread, shared memory
+//! per block), how many blocks fit on one SM, and what fraction of the SM's
+//! warp slots are occupied.
+//!
+//! Premise 1 of the paper balances *block parallelism* (resident blocks per
+//! SM) against *warp parallelism* (resident warps per SM). The bold row of
+//! Table 3 — 4 warps/block, ≤64 registers/thread, ≤7168 shared bytes/block —
+//! is the unique configuration maximizing both on CC 3.7, and
+//! [`Occupancy::is_premise1_optimal`] identifies it.
+
+use crate::device::DeviceSpec;
+
+/// Resource usage of one thread block, the inputs of the occupancy
+/// calculation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockResources {
+    /// Number of warps per block (`L / warp_size`).
+    pub warps_per_block: usize,
+    /// Registers used by each thread.
+    pub regs_per_thread: usize,
+    /// Shared memory allocated per block, in bytes.
+    pub shared_bytes_per_block: usize,
+}
+
+impl BlockResources {
+    /// Construct from a thread count instead of a warp count.
+    ///
+    /// `threads` is rounded up to a whole number of warps, matching how the
+    /// hardware allocates warp slots.
+    pub fn from_threads(
+        device: &DeviceSpec,
+        threads: usize,
+        regs_per_thread: usize,
+        shared_bytes_per_block: usize,
+    ) -> Self {
+        BlockResources {
+            warps_per_block: threads.div_ceil(device.warp_size).max(1),
+            regs_per_thread,
+            shared_bytes_per_block,
+        }
+    }
+}
+
+/// Result of the occupancy calculation for one block configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Occupancy {
+    /// Number of blocks that can be resident on one SM simultaneously.
+    pub blocks_per_sm: usize,
+    /// Number of warps resident on one SM (`blocks_per_sm * warps_per_block`).
+    pub warps_per_sm: usize,
+    /// `warps_per_sm / max_warps_per_sm`, in `[0, 1]`.
+    pub warp_occupancy: f64,
+    /// Which resource limited the block count.
+    pub limiter: Limiter,
+}
+
+/// The resource that capped the number of resident blocks per SM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Limiter {
+    /// The architectural maximum number of blocks per SM.
+    MaxBlocks,
+    /// The register file.
+    Registers,
+    /// Shared memory capacity.
+    SharedMemory,
+    /// The architectural maximum number of warps per SM.
+    WarpSlots,
+}
+
+impl Occupancy {
+    /// True when this configuration simultaneously achieves the maximum
+    /// block parallelism *and* 100% warp occupancy — the bold row of
+    /// Table 3 that Premise 1 selects.
+    pub fn is_premise1_optimal(&self, device: &DeviceSpec) -> bool {
+        self.blocks_per_sm == device.max_blocks_per_sm && self.warp_occupancy >= 1.0 - 1e-12
+    }
+}
+
+/// Compute the occupancy of `res` on `device`.
+///
+/// Mirrors the CUDA occupancy rules at the granularity the paper uses:
+/// the resident block count is the minimum over the four limits
+/// (max blocks/SM, register file, shared memory, warp slots).
+///
+/// # Panics
+///
+/// Panics if `warps_per_block` is zero or exceeds the per-block thread limit.
+pub fn occupancy(device: &DeviceSpec, res: &BlockResources) -> Occupancy {
+    assert!(res.warps_per_block > 0, "block must contain at least one warp");
+    assert!(
+        res.warps_per_block * device.warp_size <= device.max_threads_per_block,
+        "block of {} warps exceeds the {}-thread block limit",
+        res.warps_per_block,
+        device.max_threads_per_block
+    );
+
+    let regs_per_block = res.regs_per_thread * res.warps_per_block * device.warp_size;
+    let by_regs = device.registers_per_sm.checked_div(regs_per_block).unwrap_or(usize::MAX);
+    let by_smem =
+        device.shared_mem_per_sm.checked_div(res.shared_bytes_per_block).unwrap_or(usize::MAX);
+    let by_warps = device.max_warps_per_sm / res.warps_per_block;
+    let by_max = device.max_blocks_per_sm;
+
+    let (blocks, limiter) = [
+        (by_max, Limiter::MaxBlocks),
+        (by_regs, Limiter::Registers),
+        (by_smem, Limiter::SharedMemory),
+        (by_warps, Limiter::WarpSlots),
+    ]
+    .into_iter()
+    .min_by_key(|&(b, _)| b)
+    .expect("limit list is non-empty");
+
+    let warps = blocks * res.warps_per_block;
+    Occupancy {
+        blocks_per_sm: blocks,
+        warps_per_sm: warps,
+        warp_occupancy: warps as f64 / device.max_warps_per_sm as f64,
+        limiter,
+    }
+}
+
+/// One row of Table 3, as printed by the reproduction harness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table3Row {
+    /// Warps per block.
+    pub warps_per_block: usize,
+    /// Registers per thread.
+    pub regs_per_thread: usize,
+    /// Shared memory per block in bytes.
+    pub shared_bytes_per_block: usize,
+    /// SM warp occupancy in percent.
+    pub warp_occupancy_pct: f64,
+    /// Number of resident blocks per SM.
+    pub blocks_per_sm: usize,
+}
+
+/// Regenerate Table 3 of the paper ("Performance parameters per SM on Kepler
+/// platforms with compute capability 3.7").
+///
+/// The input columns (warps/block, regs/thread, shared bytes/block) are the
+/// paper's; the output columns (occupancy, blocks/SM) are recomputed by
+/// [`occupancy`], and the unit tests assert they match the published table.
+pub fn table3(device: &DeviceSpec) -> Vec<Table3Row> {
+    const INPUTS: [(usize, usize, usize); 6] = [
+        (1, 256, 7168),
+        (2, 128, 7168),
+        (4, 64, 7168),
+        (8, 64, 14336),
+        (16, 64, 28672),
+        (32, 64, 49152),
+    ];
+    INPUTS
+        .iter()
+        .map(|&(w, r, s)| {
+            let occ = occupancy(
+                device,
+                &BlockResources {
+                    warps_per_block: w,
+                    regs_per_thread: r,
+                    shared_bytes_per_block: s,
+                },
+            );
+            Table3Row {
+                warps_per_block: w,
+                regs_per_thread: r,
+                shared_bytes_per_block: s,
+                warp_occupancy_pct: occ.warp_occupancy * 100.0,
+                blocks_per_sm: occ.blocks_per_sm,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k80() -> DeviceSpec {
+        DeviceSpec::tesla_k80()
+    }
+
+    #[test]
+    fn table3_matches_paper() {
+        // Expected (occupancy %, blocks/SM) per Table 3 of the paper.
+        let expected = [(25.0, 16), (50.0, 16), (100.0, 16), (100.0, 8), (100.0, 4), (100.0, 2)];
+        let rows = table3(&k80());
+        assert_eq!(rows.len(), expected.len());
+        for (row, &(occ, blocks)) in rows.iter().zip(&expected) {
+            assert!(
+                (row.warp_occupancy_pct - occ).abs() < 1e-9,
+                "row {row:?}: expected occupancy {occ}%"
+            );
+            assert_eq!(row.blocks_per_sm, blocks, "row {row:?}");
+        }
+    }
+
+    #[test]
+    fn bold_row_is_premise1_optimal() {
+        let d = k80();
+        let occ = occupancy(
+            &d,
+            &BlockResources {
+                warps_per_block: 4,
+                regs_per_thread: 64,
+                shared_bytes_per_block: 7168,
+            },
+        );
+        assert!(occ.is_premise1_optimal(&d));
+    }
+
+    #[test]
+    fn other_table3_rows_are_not_premise1_optimal() {
+        let d = k80();
+        for &(w, r, s) in &[(1usize, 256usize, 7168usize), (8, 64, 14336), (32, 64, 49152)] {
+            let occ = occupancy(
+                &d,
+                &BlockResources {
+                    warps_per_block: w,
+                    regs_per_thread: r,
+                    shared_bytes_per_block: s,
+                },
+            );
+            assert!(!occ.is_premise1_optimal(&d), "({w},{r},{s}) should not be optimal");
+        }
+    }
+
+    #[test]
+    fn register_limited_configuration() {
+        let d = k80();
+        // 128 regs/thread, 8 warps: 128*8*32 = 32768 regs/block -> 4 blocks.
+        let occ = occupancy(
+            &d,
+            &BlockResources { warps_per_block: 8, regs_per_thread: 128, shared_bytes_per_block: 0 },
+        );
+        assert_eq!(occ.blocks_per_sm, 4);
+        assert_eq!(occ.limiter, Limiter::Registers);
+    }
+
+    #[test]
+    fn shared_memory_limited_configuration() {
+        let d = k80();
+        let occ = occupancy(
+            &d,
+            &BlockResources {
+                warps_per_block: 1,
+                regs_per_thread: 16,
+                shared_bytes_per_block: 40 * 1024,
+            },
+        );
+        assert_eq!(occ.blocks_per_sm, 2);
+        assert_eq!(occ.limiter, Limiter::SharedMemory);
+    }
+
+    #[test]
+    fn warp_slot_limited_configuration() {
+        let d = k80();
+        let occ = occupancy(
+            &d,
+            &BlockResources { warps_per_block: 32, regs_per_thread: 16, shared_bytes_per_block: 0 },
+        );
+        assert_eq!(occ.blocks_per_sm, 2);
+        assert_eq!(occ.limiter, Limiter::WarpSlots);
+        assert!((occ.warp_occupancy - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_shared_memory_block_is_max_block_limited() {
+        let d = k80();
+        let occ = occupancy(
+            &d,
+            &BlockResources { warps_per_block: 1, regs_per_thread: 16, shared_bytes_per_block: 0 },
+        );
+        assert_eq!(occ.blocks_per_sm, d.max_blocks_per_sm);
+        assert_eq!(occ.limiter, Limiter::MaxBlocks);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one warp")]
+    fn zero_warp_block_panics() {
+        occupancy(
+            &k80(),
+            &BlockResources { warps_per_block: 0, regs_per_thread: 32, shared_bytes_per_block: 0 },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_block_panics() {
+        occupancy(
+            &k80(),
+            &BlockResources { warps_per_block: 64, regs_per_thread: 32, shared_bytes_per_block: 0 },
+        );
+    }
+
+    #[test]
+    fn from_threads_rounds_up_to_warps() {
+        let d = k80();
+        let r = BlockResources::from_threads(&d, 33, 32, 0);
+        assert_eq!(r.warps_per_block, 2);
+        let r = BlockResources::from_threads(&d, 1, 32, 0);
+        assert_eq!(r.warps_per_block, 1);
+        let r = BlockResources::from_threads(&d, 128, 32, 0);
+        assert_eq!(r.warps_per_block, 4);
+    }
+}

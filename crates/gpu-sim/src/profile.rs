@@ -1,0 +1,169 @@
+//! Profiling reports: per-kernel aggregation of a GPU's event log.
+//!
+//! The equivalent of an `nvprof` summary for the simulator — used by
+//! examples and by calibration work to see where simulated time and
+//! memory traffic go.
+
+use std::fmt;
+
+use crate::counters::CostCounters;
+use crate::event::{EventKind, EventLog};
+
+/// Aggregated statistics for one kernel label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileRow {
+    /// Kernel (or event) label.
+    pub label: String,
+    /// Event kind.
+    pub kind: EventKind,
+    /// Number of occurrences.
+    pub count: usize,
+    /// Total simulated seconds.
+    pub seconds: f64,
+    /// Summed counters.
+    pub counters: CostCounters,
+}
+
+/// A per-label profile of everything a GPU did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileReport {
+    /// Rows in first-occurrence order.
+    pub rows: Vec<ProfileRow>,
+    /// Total simulated seconds across all events.
+    pub total_seconds: f64,
+}
+
+impl ProfileReport {
+    /// Aggregate an event log by label.
+    pub fn from_log(log: &EventLog) -> Self {
+        let mut rows: Vec<ProfileRow> = Vec::new();
+        for event in log.events() {
+            if let Some(row) =
+                rows.iter_mut().find(|r| r.label == event.label && r.kind == event.kind)
+            {
+                row.count += 1;
+                row.seconds += event.seconds;
+                row.counters += event.counters;
+            } else {
+                rows.push(ProfileRow {
+                    label: event.label.clone(),
+                    kind: event.kind,
+                    count: 1,
+                    seconds: event.seconds,
+                    counters: event.counters,
+                });
+            }
+        }
+        ProfileReport { rows, total_seconds: log.total_seconds() }
+    }
+
+    /// The row for a label, if present.
+    pub fn row(&self, label: &str) -> Option<&ProfileRow> {
+        self.rows.iter().find(|r| r.label == label)
+    }
+
+    /// Effective memory throughput of a row in bytes per simulated second.
+    pub fn memory_throughput(&self, label: &str) -> Option<f64> {
+        self.row(label).map(|r| r.counters.global_bytes() as f64 / r.seconds)
+    }
+}
+
+impl fmt::Display for ProfileReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let width = self.rows.iter().map(|r| r.label.len()).max().unwrap_or(10).max(10);
+        writeln!(
+            f,
+            "{:width$} {:>6} {:>12} {:>7} {:>12} {:>12} {:>10}",
+            "kernel",
+            "calls",
+            "time (ms)",
+            "%",
+            "gld txn",
+            "gst txn",
+            "shuffles",
+            width = width
+        )?;
+        for row in &self.rows {
+            writeln!(
+                f,
+                "{:width$} {:>6} {:>12.3} {:>6.1}% {:>12} {:>12} {:>10}",
+                row.label,
+                row.count,
+                row.seconds * 1e3,
+                if self.total_seconds > 0.0 {
+                    row.seconds / self.total_seconds * 100.0
+                } else {
+                    0.0
+                },
+                row.counters.gld_transactions,
+                row.counters.gst_transactions,
+                row.counters.shuffles,
+                width = width
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceSpec;
+    use crate::gpu::Gpu;
+    use crate::grid::LaunchConfig;
+
+    fn gpu_with_work() -> Gpu {
+        let mut gpu = Gpu::new(0, DeviceSpec::tesla_k80());
+        let data: Vec<i32> = (0..4096).collect();
+        let buf = gpu.alloc_from(&data).unwrap();
+        let cfg = LaunchConfig::new("streamer", (4, 1), (128, 1)).regs(32);
+        for _ in 0..3 {
+            gpu.launch::<i32, _>(&cfg, |ctx| {
+                let mut tile = vec![0i32; 1024];
+                ctx.read_global(buf.host_view(), ctx.block_idx.0 * 1024, &mut tile);
+            })
+            .unwrap();
+        }
+        gpu.charge("sync", EventKind::Barrier, 1e-6);
+        gpu
+    }
+
+    #[test]
+    fn aggregates_repeated_launches() {
+        let gpu = gpu_with_work();
+        let report = ProfileReport::from_log(gpu.log());
+        assert_eq!(report.rows.len(), 2);
+        let row = report.row("streamer").unwrap();
+        assert_eq!(row.count, 3);
+        assert_eq!(row.counters.launches, 3);
+        // 3 launches x 4096 i32 reads = 3 x 128 transactions.
+        assert_eq!(row.counters.gld_transactions, 3 * 128);
+        assert!((report.total_seconds - gpu.elapsed()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn memory_throughput_is_finite_and_positive() {
+        let gpu = gpu_with_work();
+        let report = ProfileReport::from_log(gpu.log());
+        let bw = report.memory_throughput("streamer").unwrap();
+        assert!(bw > 0.0 && bw.is_finite());
+        assert!(bw <= gpu.spec().mem_bandwidth * 1.01, "cannot exceed device bandwidth");
+    }
+
+    #[test]
+    fn display_renders_table() {
+        let gpu = gpu_with_work();
+        let s = ProfileReport::from_log(gpu.log()).to_string();
+        assert!(s.contains("streamer"));
+        assert!(s.contains("sync"));
+        assert!(s.contains("calls"));
+    }
+
+    #[test]
+    fn missing_label_is_none() {
+        let gpu = gpu_with_work();
+        let report = ProfileReport::from_log(gpu.log());
+        assert!(report.row("nope").is_none());
+        assert!(report.memory_throughput("nope").is_none());
+    }
+}

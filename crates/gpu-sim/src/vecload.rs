@@ -1,0 +1,98 @@
+//! Vectorized global-memory access widths.
+//!
+//! §3.1 of the paper: "each thread reads P elements from global memory using
+//! the int4 customized data type, facilitating coalescence and reducing
+//! memory transactions". In transaction terms a fully coalesced warp access
+//! covers the same bytes whether issued as scalar or `int4` loads — the win
+//! is in *instruction count* (one load instruction covers 4 elements). This
+//! module encodes that arithmetic so the ablation bench can show it.
+
+use crate::device::TRANSACTION_BYTES;
+
+/// Width, in elements, of one vectorized memory access per lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessWidth {
+    /// Scalar access: one element per lane per instruction.
+    Scalar,
+    /// `int2`-style access: two elements per lane per instruction.
+    Vec2,
+    /// `int4`-style access: four elements per lane per instruction — the
+    /// paper's choice.
+    Vec4,
+}
+
+impl AccessWidth {
+    /// Elements moved per lane by one instruction of this width.
+    pub fn elems(self) -> usize {
+        match self {
+            AccessWidth::Scalar => 1,
+            AccessWidth::Vec2 => 2,
+            AccessWidth::Vec4 => 4,
+        }
+    }
+
+    /// Number of warp-level load/store *instructions* a warp needs to move
+    /// `elems_per_lane` elements per lane at this width.
+    pub fn instructions_for(self, elems_per_lane: usize) -> u64 {
+        (elems_per_lane.div_ceil(self.elems())) as u64
+    }
+}
+
+/// Number of 128-byte transactions a warp-coalesced access of
+/// `total_elems` elements of `elem_bytes` bytes each generates.
+///
+/// Independent of [`AccessWidth`]: coalescing hardware merges by address
+/// range, so the transaction count depends only on the byte footprint.
+pub fn transactions(total_elems: usize, elem_bytes: usize) -> u64 {
+    ((total_elems * elem_bytes).div_ceil(TRANSACTION_BYTES)) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::warp::WARP_SIZE;
+
+    #[test]
+    fn vec4_quarters_instruction_count() {
+        // P = 8 elements per lane: 8 scalar instructions vs 2 int4 loads
+        // ("if P is equal to 8, then two loads from global memory are
+        // performed by each thread", §3.1).
+        assert_eq!(AccessWidth::Scalar.instructions_for(8), 8);
+        assert_eq!(AccessWidth::Vec2.instructions_for(8), 4);
+        assert_eq!(AccessWidth::Vec4.instructions_for(8), 2);
+    }
+
+    #[test]
+    fn transactions_independent_of_width() {
+        // A warp moving 32 lanes x 4 i32 = 512 bytes = 4 transactions.
+        let t = transactions(WARP_SIZE * 4, 4);
+        assert_eq!(t, 4);
+    }
+
+    #[test]
+    fn partial_transaction_rounds_up() {
+        assert_eq!(transactions(1, 4), 1);
+        assert_eq!(transactions(33, 4), 2);
+        assert_eq!(transactions(0, 4), 0);
+    }
+
+    #[test]
+    fn width_element_counts() {
+        assert_eq!(AccessWidth::Scalar.elems(), 1);
+        assert_eq!(AccessWidth::Vec2.elems(), 2);
+        assert_eq!(AccessWidth::Vec4.elems(), 4);
+    }
+
+    #[test]
+    fn instructions_round_up_for_non_multiple() {
+        assert_eq!(AccessWidth::Vec4.instructions_for(5), 2);
+        assert_eq!(AccessWidth::Vec4.instructions_for(1), 1);
+    }
+
+    #[test]
+    fn wider_elements_need_more_transactions() {
+        // 32 lanes of i64 (8 B) = 256 B = 2 transactions.
+        assert_eq!(transactions(WARP_SIZE, 8), 2);
+        assert_eq!(transactions(WARP_SIZE, 4), 1);
+    }
+}

@@ -1,0 +1,256 @@
+//! Intra-node collective cost models (CUDA-API data movement).
+//!
+//! In the Multi-GPU (single node) proposals, the auxiliary-array exchange is
+//! performed with peer copies: every participating GPU writes its chunk
+//! reductions into the Stage-2 GPU's memory, and reads its offsets back
+//! (Fig. 7). The root GPU's PCIe ingress serialises concurrent senders on
+//! the same network, while senders on *different* networks contend with the
+//! host-staged path; we model the gather/scatter as the sum of per-sender
+//! streaming times plus the largest latency (transfers overlap their setup,
+//! not the root's wire).
+
+use crate::topology::LinkClass;
+use crate::transfer::Fabric;
+
+/// Cost record of a collective operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CollectiveCost {
+    /// Simulated duration in seconds.
+    pub seconds: f64,
+    /// Total payload bytes moved (excluding the root's local part).
+    pub bytes: usize,
+    /// Number of participants (including the root).
+    pub participants: usize,
+}
+
+/// Gather: every GPU in `parts` sends `bytes` to `root`.
+///
+/// `parts` may include the root itself; its contribution is a free local
+/// copy.
+pub fn gather_cost(fabric: &Fabric, root: usize, parts: &[(usize, usize)]) -> CollectiveCost {
+    serialized_cost(fabric, root, parts)
+}
+
+/// Scatter: `root` sends each GPU in `parts` its `bytes`. Symmetric to
+/// [`gather_cost`] on PCIe.
+pub fn scatter_cost(fabric: &Fabric, root: usize, parts: &[(usize, usize)]) -> CollectiveCost {
+    serialized_cost(fabric, root, parts)
+}
+
+/// Barrier across a GPU set: everyone waits for the slowest link's latency.
+pub fn barrier_cost(fabric: &Fabric, root: usize, gpus: &[usize]) -> f64 {
+    gpus.iter()
+        .filter(|&&g| g != root)
+        .map(|&g| {
+            fabric.spec().params(fabric.topology().link_class(root, g)).map_or(0.0, |p| p.latency)
+        })
+        .fold(0.0, f64::max)
+}
+
+/// One participant of a strided collective: a GPU contributing (or
+/// receiving) `segments` separate segments of `bytes_per_segment` each —
+/// one segment per problem row of the auxiliary array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StridedPart {
+    /// Participating GPU (flat index).
+    pub gpu: usize,
+    /// Number of non-contiguous segments.
+    pub segments: usize,
+    /// Bytes per segment.
+    pub bytes_per_segment: usize,
+}
+
+/// Strided gather/scatter cost: each participant exchanges `segments`
+/// non-contiguous segments with `root`.
+///
+/// Over P2P the exchange is free of per-segment overhead — the stage
+/// kernels read/write peer memory directly through UVA, so only the byte
+/// volume counts. Over the host-staged path every segment is an individual
+/// DMA with `host_segment_overhead` setup cost, which dominates when
+/// segments are small and numerous (the Fig. 9 W=8 collapse). Inter-node
+/// parts are packed by MPI into per-rank contiguous blocks and behave like
+/// a contiguous transfer.
+pub fn strided_exchange_cost(
+    fabric: &Fabric,
+    root: usize,
+    parts: &[StridedPart],
+) -> CollectiveCost {
+    let spec = fabric.spec();
+    let mut seconds = 0.0;
+    let mut latency: f64 = 0.0;
+    let mut bytes = 0;
+    let mut participants = 0;
+    for part in parts {
+        participants += 1;
+        let class = fabric.topology().link_class(root, part.gpu);
+        let total = part.segments * part.bytes_per_segment;
+        match class {
+            LinkClass::Local => continue,
+            LinkClass::InterNode => {
+                let p = spec.params(class).expect("non-local link");
+                seconds += total as f64 / p.bandwidth;
+                latency = latency.max(p.latency);
+            }
+            LinkClass::P2P => {
+                let p = spec.params(class).expect("non-local link");
+                let per_segment =
+                    (part.bytes_per_segment as f64 / p.bandwidth).max(spec.p2p_segment_overhead);
+                seconds += part.segments as f64 * per_segment;
+                latency = latency.max(p.latency);
+            }
+            LinkClass::HostStaged => {
+                let p = spec.params(class).expect("non-local link");
+                let per_segment =
+                    (part.bytes_per_segment as f64 / p.bandwidth).max(spec.host_segment_overhead);
+                seconds += part.segments as f64 * per_segment;
+                latency = latency.max(p.latency);
+            }
+        }
+        bytes += total;
+    }
+    CollectiveCost { seconds: seconds + latency, bytes, participants }
+}
+
+fn serialized_cost(fabric: &Fabric, root: usize, parts: &[(usize, usize)]) -> CollectiveCost {
+    let mut stream = 0.0;
+    let mut latency: f64 = 0.0;
+    let mut bytes = 0;
+    for &(gpu, b) in parts {
+        let class = fabric.topology().link_class(root, gpu);
+        if class == LinkClass::Local {
+            continue;
+        }
+        let params = fabric.spec().params(class).expect("non-local link has parameters");
+        stream += b as f64 / params.bandwidth;
+        latency = latency.max(params.latency);
+        bytes += b;
+    }
+    CollectiveCost { seconds: latency + stream, bytes, participants: parts.len() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fabric() -> Fabric {
+        Fabric::tsubame_kfc(1)
+    }
+
+    #[test]
+    fn gather_from_same_network_is_cheap() {
+        let f = fabric();
+        let parts: Vec<(usize, usize)> = (0..4).map(|g| (g, 1 << 20)).collect();
+        let c = gather_cost(&f, 0, &parts);
+        // Root's own MiB is free: 3 MiB over P2P.
+        assert_eq!(c.bytes, 3 << 20);
+        let expected = f.spec().p2p.latency + 3.0 * (1 << 20) as f64 / f.spec().p2p.bandwidth;
+        assert!((c.seconds - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gather_across_networks_pays_host_staging() {
+        let f = fabric();
+        // GPUs 4..8 are on node 0's other PCIe network.
+        let near: Vec<(usize, usize)> = (0..4).map(|g| (g, 1 << 20)).collect();
+        let far: Vec<(usize, usize)> = (4..8).map(|g| (g, 1 << 20)).collect();
+        let near_cost = gather_cost(&f, 0, &near).seconds;
+        let far_cost = gather_cost(&f, 0, &far).seconds;
+        assert!(
+            far_cost > 2.0 * near_cost,
+            "host-staged gather must be much slower ({far_cost} vs {near_cost})"
+        );
+    }
+
+    #[test]
+    fn gather_cost_scales_with_participants() {
+        let f = fabric();
+        let two: Vec<(usize, usize)> = (0..2).map(|g| (g, 1 << 22)).collect();
+        let four: Vec<(usize, usize)> = (0..4).map(|g| (g, 1 << 22)).collect();
+        let c2 = gather_cost(&f, 0, &two);
+        let c4 = gather_cost(&f, 0, &four);
+        assert!(c4.seconds > c2.seconds, "more senders serialise on the root's ingress");
+        assert_eq!(c4.participants, 4);
+    }
+
+    #[test]
+    fn scatter_matches_gather_shape() {
+        let f = fabric();
+        let parts: Vec<(usize, usize)> = (0..4).map(|g| (g, 4096)).collect();
+        assert_eq!(gather_cost(&f, 0, &parts), scatter_cost(&f, 0, &parts));
+    }
+
+    #[test]
+    fn root_only_collective_is_free() {
+        let f = fabric();
+        let c = gather_cost(&f, 0, &[(0, 1 << 20)]);
+        assert_eq!(c.seconds, 0.0);
+        assert_eq!(c.bytes, 0);
+    }
+
+    #[test]
+    fn strided_p2p_pays_transaction_rounds_but_beats_host_staging() {
+        let f = fabric();
+        // 32768 segments of 4 bytes each, all on root's PCIe network.
+        let parts: Vec<StridedPart> =
+            (1..4).map(|g| StridedPart { gpu: g, segments: 32768, bytes_per_segment: 4 }).collect();
+        let c = strided_exchange_cost(&f, 0, &parts);
+        let packed = gather_cost(&f, 0, &[(1, 32768 * 4), (2, 32768 * 4), (3, 32768 * 4)]);
+        assert!(c.seconds > packed.seconds, "tiny strided segments cost PCIe rounds");
+        // But a UVA peer write is still ~20x cheaper per segment than a
+        // host-staged DMA.
+        let host_parts = [StridedPart { gpu: 4, segments: 3 * 32768, bytes_per_segment: 4 }];
+        let host = strided_exchange_cost(&f, 0, &host_parts);
+        assert!(host.seconds > 10.0 * c.seconds);
+    }
+
+    #[test]
+    fn strided_p2p_large_segments_approach_packed_cost() {
+        let f = fabric();
+        let parts = [StridedPart { gpu: 1, segments: 8, bytes_per_segment: 1 << 20 }];
+        let c = strided_exchange_cost(&f, 0, &parts);
+        let packed = gather_cost(&f, 0, &[(1, 8 << 20)]);
+        assert!((c.seconds - packed.seconds).abs() / packed.seconds < 0.01);
+    }
+
+    #[test]
+    fn strided_host_staged_exchange_pays_per_segment() {
+        let f = fabric();
+        // GPU 4 is on the other PCIe network: 32768 tiny segments.
+        let parts = [StridedPart { gpu: 4, segments: 32768, bytes_per_segment: 4 }];
+        let c = strided_exchange_cost(&f, 0, &parts);
+        // Dominated by 32768 x host_segment_overhead.
+        assert!(c.seconds > 32768.0 * f.spec().host_segment_overhead * 0.99);
+        // Packed equivalent would be thousands of times cheaper.
+        let packed = gather_cost(&f, 0, &[(4, 32768 * 4)]);
+        assert!(c.seconds > 100.0 * packed.seconds);
+    }
+
+    #[test]
+    fn strided_host_staged_big_segments_approach_packed_cost() {
+        let f = fabric();
+        // Few large segments: per-segment overhead hides under streaming.
+        let parts = [StridedPart { gpu: 4, segments: 4, bytes_per_segment: 1 << 22 }];
+        let c = strided_exchange_cost(&f, 0, &parts);
+        let packed = gather_cost(&f, 0, &[(4, 4 << 22)]);
+        assert!((c.seconds - packed.seconds).abs() / packed.seconds < 0.05);
+    }
+
+    #[test]
+    fn strided_inter_node_is_packed_by_mpi() {
+        let f = Fabric::tsubame_kfc(2);
+        let parts = [StridedPart { gpu: 8, segments: 10000, bytes_per_segment: 4 }];
+        let c = strided_exchange_cost(&f, 0, &parts);
+        let packed_stream = 40000.0 / f.spec().inter_node.bandwidth;
+        assert!((c.seconds - (f.spec().inter_node.latency + packed_stream)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn barrier_takes_slowest_latency() {
+        let f = fabric();
+        let same_net = barrier_cost(&f, 0, &[0, 1, 2, 3]);
+        assert!((same_net - f.spec().p2p.latency).abs() < 1e-15);
+        let cross_net = barrier_cost(&f, 0, &[0, 1, 4]);
+        assert!((cross_net - f.spec().host_staged.latency).abs() < 1e-15);
+        assert_eq!(barrier_cost(&f, 0, &[0]), 0.0);
+    }
+}

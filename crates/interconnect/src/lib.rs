@@ -1,0 +1,31 @@
+//! # interconnect — the multi-GPU / multi-node fabric simulator
+//!
+//! Models the communication substrate of the paper's evaluation platform
+//! (Figure 2 and Table 1): TSUBAME-KFC nodes with two PCIe networks of four
+//! Tesla K80 GPUs each, connected by InfiniBand FDR.
+//!
+//! * [`topology`] — who is plugged in where, and which [`LinkClass`]
+//!   connects any two GPUs;
+//! * [`link`] — bandwidth/latency of each link class;
+//! * [`transfer`] — functional peer-to-peer copies with cost records;
+//! * [`collectives`] — intra-node gather/scatter/barrier cost models;
+//! * [`mpi`] — CUDA-aware MPI collectives for the Multi-Node proposals;
+//! * [`timeline`] — phase composition into makespans (Fig. 14 breakdowns).
+
+#![warn(missing_docs)]
+
+pub mod collectives;
+pub mod link;
+pub mod mpi;
+pub mod timeline;
+pub mod topology;
+pub mod transfer;
+
+pub use collectives::{
+    barrier_cost, gather_cost, scatter_cost, strided_exchange_cost, CollectiveCost, StridedPart,
+};
+pub use link::{FabricSpec, LinkParams};
+pub use mpi::{MpiComm, MpiCost};
+pub use timeline::{Phase, Timeline};
+pub use topology::{LinkClass, Location, Topology};
+pub use transfer::{Fabric, Transfer};

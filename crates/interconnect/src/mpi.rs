@@ -1,0 +1,228 @@
+//! CUDA-aware MPI simulation for the Multi-Node proposals.
+//!
+//! §4.1: "these values are collected from all GPUs by the master process
+//! with an MPI_Gather instruction. The master process computes the second
+//! stage in its memory and returns the resulting values to the
+//! corresponding GPUs through an MPI_Scatter instruction."
+//!
+//! The cost model follows §5.2's empirical observations: each collective
+//! pays a constant software overhead ("the MPI overhead is almost constant
+//! in spite of the amount of data") plus the wire time of the payload.
+//! CUDA-aware MPI routes same-PCIe-network ranks over P2P automatically
+//! ("if they are on the same PCI-e bus, peer-to-peer transfers are
+//! automatically used by the CUDA-aware MPI library").
+
+use crate::topology::LinkClass;
+use crate::transfer::Fabric;
+
+/// An MPI communicator over a set of GPUs (one rank per GPU, as the paper
+/// runs one MPI process per GPU).
+#[derive(Debug, Clone)]
+pub struct MpiComm {
+    ranks: Vec<usize>,
+    root: usize,
+}
+
+/// Cost record of one MPI collective.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MpiCost {
+    /// Simulated duration in seconds, including the constant overhead.
+    pub seconds: f64,
+    /// Payload bytes moved over the fabric (root's part excluded).
+    pub bytes: usize,
+}
+
+impl MpiComm {
+    /// Build a communicator over `ranks` (flat GPU ids); `root` must be a
+    /// member — it is "GPU 0 … acting as a master process" in the paper.
+    ///
+    /// # Panics
+    /// Panics if `ranks` is empty or `root` is not a member.
+    pub fn new(ranks: Vec<usize>, root: usize) -> Self {
+        assert!(!ranks.is_empty(), "communicator needs at least one rank");
+        assert!(ranks.contains(&root), "root {root} is not a communicator member");
+        MpiComm { ranks, root }
+    }
+
+    /// Communicator size.
+    pub fn size(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// The master rank's GPU.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// Member GPUs.
+    pub fn ranks(&self) -> &[usize] {
+        &self.ranks
+    }
+
+    /// `MPI_Gather`: every rank contributes `bytes_per_rank` to the root.
+    pub fn gather(&self, fabric: &Fabric, bytes_per_rank: usize) -> MpiCost {
+        self.rooted_collective(fabric, bytes_per_rank)
+    }
+
+    /// `MPI_Scatter`: the root distributes `bytes_per_rank` to every rank.
+    pub fn scatter(&self, fabric: &Fabric, bytes_per_rank: usize) -> MpiCost {
+        self.rooted_collective(fabric, bytes_per_rank)
+    }
+
+    /// `MPI_Barrier`: constant overhead plus the slowest member latency
+    /// (blocking collective — "the time of the collective in each MPI
+    /// process also depends on how long the process has waited", §5.2).
+    pub fn barrier(&self, fabric: &Fabric) -> MpiCost {
+        let latency = self
+            .ranks
+            .iter()
+            .filter(|&&r| r != self.root)
+            .map(|&r| {
+                fabric
+                    .spec()
+                    .params(fabric.topology().link_class(self.root, r))
+                    .map_or(0.0, |p| p.latency)
+            })
+            .fold(0.0, f64::max);
+        MpiCost {
+            seconds: fabric.spec().mpi_collective_overhead * self.node_factor(fabric) + latency,
+            bytes: 0,
+        }
+    }
+
+    /// Number of distinct computing nodes spanned by the communicator.
+    pub fn node_span(&self, fabric: &Fabric) -> usize {
+        let mut nodes: Vec<usize> =
+            self.ranks.iter().map(|&r| fabric.topology().locate(r).node).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes.len()
+    }
+
+    /// Software-overhead multiplier of a collective: MPI implementations
+    /// run rooted collectives as a tree over the nodes, so the constant
+    /// cost grows with `1 + log2(nodes)`. This is the mechanism behind the
+    /// paper's M×W observation: "the strategy would be to minimize the
+    /// number of computing nodes as far as possible" (§5.2) — M=2, W=4 is
+    /// 1.48× faster than M=8, W=1 at n=13, converging to 1.03× at n=28 as
+    /// wire time swamps the constant.
+    fn node_factor(&self, fabric: &Fabric) -> f64 {
+        1.0 + (self.node_span(fabric) as f64).log2()
+    }
+
+    fn rooted_collective(&self, fabric: &Fabric, bytes_per_rank: usize) -> MpiCost {
+        let mut stream = 0.0;
+        let mut bytes = 0;
+        for &rank in &self.ranks {
+            let class = fabric.topology().link_class(self.root, rank);
+            if class == LinkClass::Local {
+                continue;
+            }
+            let params = fabric.spec().params(class).expect("non-local link");
+            stream += bytes_per_rank as f64 / params.bandwidth;
+            bytes += bytes_per_rank;
+        }
+        MpiCost {
+            seconds: fabric.spec().mpi_collective_overhead * self.node_factor(fabric) + stream,
+            bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_node_fabric() -> Fabric {
+        Fabric::tsubame_kfc(2)
+    }
+
+    /// One rank per GPU across 2 nodes, 4 GPUs each on one network:
+    /// GPUs 0..4 on node 0 and 8..12 on node 1.
+    fn comm() -> MpiComm {
+        MpiComm::new(vec![0, 1, 2, 3, 8, 9, 10, 11], 0)
+    }
+
+    #[test]
+    fn gather_charges_constant_overhead_plus_wire() {
+        let f = two_node_fabric();
+        let c = comm().gather(&f, 1 << 20);
+        // 7 non-root ranks contribute.
+        assert_eq!(c.bytes, 7 << 20);
+        assert!(c.seconds > f.spec().mpi_collective_overhead);
+        // Zero-byte gather still costs the software overhead, scaled by
+        // the 2-node tree factor.
+        let c0 = comm().gather(&f, 0);
+        assert!((c0.seconds - 2.0 * f.spec().mpi_collective_overhead).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_network_ranks_use_p2p() {
+        let f = two_node_fabric();
+        // All ranks on root's own PCIe network: wire time at P2P bandwidth.
+        let local = MpiComm::new(vec![0, 1, 2, 3], 0).gather(&f, 1 << 20);
+        // Same member count but on the remote node: InfiniBand bandwidth.
+        let remote = MpiComm::new(vec![0, 8, 9, 10], 0).gather(&f, 1 << 20);
+        assert!(remote.seconds > local.seconds, "CUDA-aware MPI exploits P2P locality");
+    }
+
+    #[test]
+    fn scatter_is_symmetric_to_gather() {
+        let f = two_node_fabric();
+        assert_eq!(comm().gather(&f, 4096), comm().scatter(&f, 4096));
+    }
+
+    #[test]
+    fn barrier_is_nearly_constant() {
+        let f = two_node_fabric();
+        let b = comm().barrier(&f);
+        assert!(b.seconds >= f.spec().mpi_collective_overhead);
+        assert_eq!(b.bytes, 0);
+        // A single-rank communicator's barrier is just the overhead
+        // (node factor 1).
+        let solo = MpiComm::new(vec![0], 0).barrier(&f);
+        assert!((solo.seconds - f.spec().mpi_collective_overhead).abs() < 1e-15);
+    }
+
+    #[test]
+    fn mpi_overhead_fraction_shrinks_with_payload() {
+        // The §5.2 observation that drives the M×W trade-off.
+        let f = two_node_fabric();
+        let c_small = comm().gather(&f, 1 << 10);
+        let c_big = comm().gather(&f, 1 << 26);
+        // The constant part (node-scaled software overhead) dominates tiny
+        // payloads and vanishes for huge ones.
+        let constant = 2.0 * f.spec().mpi_collective_overhead;
+        assert!(constant / c_small.seconds > 0.8);
+        assert!(constant / c_big.seconds < 0.01);
+    }
+
+    #[test]
+    fn more_nodes_cost_more_software_overhead() {
+        // §5.2: spreading 8 ranks over more nodes raises the collective
+        // constant — the M×W trade-off's mechanism.
+        let f = Fabric::tsubame_kfc(8);
+        let two_nodes = MpiComm::new(vec![0, 1, 2, 3, 8, 9, 10, 11], 0);
+        let eight_nodes = MpiComm::new((0..8).map(|m| m * 8).collect(), 0);
+        assert_eq!(two_nodes.node_span(&f), 2);
+        assert_eq!(eight_nodes.node_span(&f), 8);
+        let b2 = two_nodes.barrier(&f).seconds;
+        let b8 = eight_nodes.barrier(&f).seconds;
+        assert!(b8 > 1.5 * b2, "8-node barrier must cost much more ({b8} vs {b2})");
+        let g2 = two_nodes.gather(&f, 1024).seconds;
+        let g8 = eight_nodes.gather(&f, 1024).seconds;
+        assert!(g8 > g2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a communicator member")]
+    fn foreign_root_rejected() {
+        MpiComm::new(vec![1, 2], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn empty_comm_rejected() {
+        MpiComm::new(vec![], 0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Phase timelines: composing per-GPU times into a run's makespan.
+//!
+//! The paper's pipelines are phase-synchronous: all GPUs run Stage 1, a
+//! communication phase moves the auxiliary array, one GPU runs Stage 2, and
+//! so on. The makespan of a phase executed in parallel across GPUs is the
+//! maximum of the per-GPU times; phases compose sequentially. Fig. 14's
+//! breakdown is exactly this structure rendered per phase.
+
+/// One named phase of a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase {
+    /// Phase label (e.g. `"stage1"`, `"MPI_Gather"`).
+    pub label: String,
+    /// Phase duration in seconds (already reduced across GPUs).
+    pub seconds: f64,
+}
+
+/// An ordered sequence of phases with a running total.
+#[derive(Debug, Default, Clone)]
+pub struct Timeline {
+    phases: Vec<Phase>,
+}
+
+impl Timeline {
+    /// An empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a phase whose duration is already known.
+    pub fn push(&mut self, label: impl Into<String>, seconds: f64) {
+        self.phases.push(Phase { label: label.into(), seconds });
+    }
+
+    /// Append a phase executed in parallel across GPUs: its duration is the
+    /// maximum of the per-GPU times.
+    pub fn push_parallel(&mut self, label: impl Into<String>, per_gpu: &[f64]) {
+        self.push(label, per_gpu.iter().copied().fold(0.0, f64::max));
+    }
+
+    /// Total makespan: the sum of the sequential phases.
+    pub fn total(&self) -> f64 {
+        self.phases.iter().map(|p| p.seconds).sum()
+    }
+
+    /// The recorded phases in order.
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// Sum of phases whose label starts with `prefix`.
+    pub fn seconds_with_prefix(&self, prefix: &str) -> f64 {
+        self.phases.iter().filter(|p| p.label.starts_with(prefix)).map(|p| p.seconds).sum()
+    }
+
+    /// Merge another timeline's phases onto the end of this one.
+    pub fn extend(&mut self, other: &Timeline) {
+        self.phases.extend(other.phases.iter().cloned());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_sum_sequentially() {
+        let mut t = Timeline::new();
+        t.push("stage1", 1.0);
+        t.push("comm", 0.5);
+        t.push("stage2", 0.25);
+        assert!((t.total() - 1.75).abs() < 1e-12);
+        assert_eq!(t.phases().len(), 3);
+    }
+
+    #[test]
+    fn parallel_phase_takes_the_maximum() {
+        let mut t = Timeline::new();
+        t.push_parallel("stage1", &[1.0, 3.0, 2.0, 0.5]);
+        assert!((t.total() - 3.0).abs() < 1e-12);
+        t.push_parallel("empty", &[]);
+        assert!((t.total() - 3.0).abs() < 1e-12, "empty parallel phase is free");
+    }
+
+    #[test]
+    fn prefix_filter_sums_matching_phases() {
+        let mut t = Timeline::new();
+        t.push("MPI_Gather", 1.0);
+        t.push("MPI_Scatter", 2.0);
+        t.push("stage3", 4.0);
+        assert!((t.seconds_with_prefix("MPI_") - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a = Timeline::new();
+        a.push("x", 1.0);
+        let mut b = Timeline::new();
+        b.push("y", 2.0);
+        a.extend(&b);
+        assert_eq!(a.phases().len(), 2);
+        assert!((a.total() - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,240 @@
+//! Hardware topology: nodes → PCIe networks → GPUs.
+//!
+//! Figure 2 of the paper: a Multi-Node environment is a set of computing
+//! nodes connected by a low-latency bus (InfiniBand), each node containing
+//! one or more PCIe networks, each PCIe network containing one or more
+//! GPUs. GPUs on the same PCIe network communicate peer-to-peer; GPUs on
+//! different networks of the same node must stage through host memory; GPUs
+//! on different nodes go over InfiniBand via MPI.
+//!
+//! GPUs are identified by a flat global index; [`Topology::locate`] maps it
+//! back to `(node, network, slot)`.
+
+/// Physical position of a GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Location {
+    /// Computing-node index (`0 .. M`).
+    pub node: usize,
+    /// PCIe-network index within the node (`0 .. Y`).
+    pub network: usize,
+    /// Slot within the PCIe network (`0 .. V`).
+    pub slot: usize,
+}
+
+/// Relationship between two GPUs, determining the transfer path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkClass {
+    /// Same GPU: no transfer needed.
+    Local,
+    /// Same PCIe network: direct peer-to-peer over PCIe (the CUDA P2P API).
+    P2P,
+    /// Same node, different PCIe networks: staged through host memory
+    /// ("memory transfers are performed through host memory, losing a good
+    /// deal of performance", §4.1.1).
+    HostStaged,
+    /// Different nodes: InfiniBand via (CUDA-aware) MPI.
+    InterNode,
+}
+
+/// A regular machine topology: `nodes` computing nodes, each with
+/// `networks_per_node` PCIe networks of `gpus_per_network` GPUs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    nodes: usize,
+    networks_per_node: usize,
+    gpus_per_network: usize,
+}
+
+impl Topology {
+    /// Build a regular topology.
+    ///
+    /// # Panics
+    /// Panics if any dimension is zero.
+    pub fn regular(nodes: usize, networks_per_node: usize, gpus_per_network: usize) -> Self {
+        assert!(nodes > 0, "need at least one node");
+        assert!(networks_per_node > 0, "need at least one PCIe network per node");
+        assert!(gpus_per_network > 0, "need at least one GPU per PCIe network");
+        Topology { nodes, networks_per_node, gpus_per_network }
+    }
+
+    /// The paper's evaluation platform: TSUBAME-KFC nodes with 2 PCIe
+    /// networks × 4 GPUs each (Table 1: "4x Nvidia Tesla K80 (8 GPUs),
+    /// 2 PCI-e networks"), `m` nodes.
+    pub fn tsubame_kfc(m: usize) -> Self {
+        Topology::regular(m, 2, 4)
+    }
+
+    /// A single-GPU "topology" for the Scan-SP proposal.
+    pub fn single_gpu() -> Self {
+        Topology::regular(1, 1, 1)
+    }
+
+    /// Number of computing nodes (`M`).
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// PCIe networks per node (the hardware bound on `Y`).
+    pub fn networks_per_node(&self) -> usize {
+        self.networks_per_node
+    }
+
+    /// GPUs per PCIe network (the hardware bound on `V`).
+    pub fn gpus_per_network(&self) -> usize {
+        self.gpus_per_network
+    }
+
+    /// GPUs per node (the hardware bound on `W`).
+    pub fn gpus_per_node(&self) -> usize {
+        self.networks_per_node * self.gpus_per_network
+    }
+
+    /// Total GPUs in the system.
+    pub fn total_gpus(&self) -> usize {
+        self.nodes * self.gpus_per_node()
+    }
+
+    /// Map a flat GPU index to its physical location.
+    ///
+    /// # Panics
+    /// Panics if `gpu` is out of range.
+    pub fn locate(&self, gpu: usize) -> Location {
+        assert!(gpu < self.total_gpus(), "GPU {gpu} out of range ({} total)", self.total_gpus());
+        let per_node = self.gpus_per_node();
+        let node = gpu / per_node;
+        let in_node = gpu % per_node;
+        Location {
+            node,
+            network: in_node / self.gpus_per_network,
+            slot: in_node % self.gpus_per_network,
+        }
+    }
+
+    /// Flat GPU index of a physical location.
+    pub fn gpu_at(&self, node: usize, network: usize, slot: usize) -> usize {
+        assert!(
+            node < self.nodes && network < self.networks_per_node && slot < self.gpus_per_network,
+            "location out of range"
+        );
+        node * self.gpus_per_node() + network * self.gpus_per_network + slot
+    }
+
+    /// All GPU indices in one PCIe network.
+    pub fn gpus_in_network(&self, node: usize, network: usize) -> Vec<usize> {
+        (0..self.gpus_per_network).map(|s| self.gpu_at(node, network, s)).collect()
+    }
+
+    /// All GPU indices in one node.
+    pub fn gpus_in_node(&self, node: usize) -> Vec<usize> {
+        (0..self.gpus_per_node()).map(|i| node * self.gpus_per_node() + i).collect()
+    }
+
+    /// Classify the link between two GPUs.
+    pub fn link_class(&self, a: usize, b: usize) -> LinkClass {
+        if a == b {
+            return LinkClass::Local;
+        }
+        let la = self.locate(a);
+        let lb = self.locate(b);
+        if la.node != lb.node {
+            LinkClass::InterNode
+        } else if la.network != lb.network {
+            LinkClass::HostStaged
+        } else {
+            LinkClass::P2P
+        }
+    }
+
+    /// Check that a `(W, V, Y)` selection fits this hardware: `W = Y · V`,
+    /// `Y` within the node's networks, `V` within each network's GPUs.
+    pub fn supports(&self, w: usize, v: usize, y: usize) -> bool {
+        w == y * v && y <= self.networks_per_node && v <= self.gpus_per_network && w >= 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tsubame_dimensions_match_table1() {
+        let t = Topology::tsubame_kfc(2);
+        assert_eq!(t.gpus_per_node(), 8);
+        assert_eq!(t.networks_per_node(), 2);
+        assert_eq!(t.gpus_per_network(), 4);
+        assert_eq!(t.total_gpus(), 16);
+    }
+
+    #[test]
+    fn locate_and_gpu_at_are_inverses() {
+        let t = Topology::tsubame_kfc(3);
+        for gpu in 0..t.total_gpus() {
+            let loc = t.locate(gpu);
+            assert_eq!(t.gpu_at(loc.node, loc.network, loc.slot), gpu);
+        }
+    }
+
+    #[test]
+    fn figure2_link_classification() {
+        // Figure 2: GPUs 0-3 on node 0 (two networks of two), GPU 0 & 4 on
+        // different nodes. Model the figure's 2x2 node.
+        let t = Topology::regular(2, 2, 2);
+        assert_eq!(t.link_class(0, 0), LinkClass::Local);
+        assert_eq!(t.link_class(0, 1), LinkClass::P2P, "same PCIe network");
+        assert_eq!(t.link_class(0, 2), LinkClass::HostStaged, "same node, other network");
+        assert_eq!(t.link_class(0, 3), LinkClass::HostStaged);
+        assert_eq!(t.link_class(0, 4), LinkClass::InterNode, "node 0 to node 1");
+        assert_eq!(t.link_class(3, 7), LinkClass::InterNode);
+    }
+
+    #[test]
+    fn link_class_is_symmetric() {
+        let t = Topology::tsubame_kfc(2);
+        for a in 0..t.total_gpus() {
+            for b in 0..t.total_gpus() {
+                assert_eq!(t.link_class(a, b), t.link_class(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn network_and_node_membership() {
+        let t = Topology::tsubame_kfc(1);
+        assert_eq!(t.gpus_in_network(0, 0), vec![0, 1, 2, 3]);
+        assert_eq!(t.gpus_in_network(0, 1), vec![4, 5, 6, 7]);
+        assert_eq!(t.gpus_in_node(0), vec![0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn supports_paper_configurations() {
+        let t = Topology::tsubame_kfc(2);
+        // §5: "W can be configured as 1 ≤ W ≤ 8, as well as V ≤ 4 and Y ≤ 2".
+        assert!(t.supports(1, 1, 1));
+        assert!(t.supports(2, 2, 1));
+        assert!(t.supports(4, 4, 1));
+        assert!(t.supports(8, 4, 2));
+        assert!(t.supports(4, 2, 2), "the Scan-MP-PC W=4, V=2 test");
+        assert!(!t.supports(8, 8, 1), "a single network only has 4 GPUs");
+        assert!(!t.supports(6, 2, 2), "W must equal Y*V");
+        assert!(!t.supports(8, 2, 4), "only 2 networks per node");
+    }
+
+    #[test]
+    fn single_gpu_topology() {
+        let t = Topology::single_gpu();
+        assert_eq!(t.total_gpus(), 1);
+        assert_eq!(t.link_class(0, 0), LinkClass::Local);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn locate_rejects_bad_gpu() {
+        Topology::tsubame_kfc(1).locate(8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_dimension_rejected() {
+        Topology::regular(1, 0, 4);
+    }
+}

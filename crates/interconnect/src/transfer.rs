@@ -1,0 +1,180 @@
+//! Point-to-point transfers: functional data movement plus cost accounting.
+//!
+//! The [`Fabric`] combines a [`Topology`] with a [`FabricSpec`] and performs
+//! actual buffer-to-buffer copies ("data are copied between these devices
+//! asynchronously along the shortest PCI-e path", §2), returning a
+//! [`Transfer`] record with the simulated time so the caller can charge the
+//! GPUs' timelines.
+
+use gpu_sim::{DeviceBuffer, DeviceCopy};
+
+use crate::link::FabricSpec;
+use crate::topology::{LinkClass, Topology};
+
+/// Record of one completed transfer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Transfer {
+    /// Source GPU (flat index).
+    pub from: usize,
+    /// Destination GPU (flat index).
+    pub to: usize,
+    /// Payload size in bytes.
+    pub bytes: usize,
+    /// Path the transfer took.
+    pub class: LinkClass,
+    /// Simulated duration in seconds.
+    pub seconds: f64,
+}
+
+/// The interconnect fabric: topology + link performance.
+#[derive(Debug, Clone)]
+pub struct Fabric {
+    topo: Topology,
+    spec: FabricSpec,
+}
+
+impl Fabric {
+    /// Build a fabric over `topo` with link parameters `spec`.
+    pub fn new(topo: Topology, spec: FabricSpec) -> Self {
+        Fabric { topo, spec }
+    }
+
+    /// The paper's platform: `m` TSUBAME-KFC nodes.
+    pub fn tsubame_kfc(m: usize) -> Self {
+        Fabric::new(Topology::tsubame_kfc(m), FabricSpec::tsubame_kfc())
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The link parameters.
+    pub fn spec(&self) -> &FabricSpec {
+        &self.spec
+    }
+
+    /// Time for a hypothetical transfer of `bytes` between two GPUs.
+    pub fn transfer_time(&self, from: usize, to: usize, bytes: usize) -> f64 {
+        self.spec.transfer_time(self.topo.link_class(from, to), bytes)
+    }
+
+    /// Copy `src[src_range]` into `dst[dst_offset..]`, charging the link the
+    /// buffers' owning GPUs are connected by.
+    ///
+    /// # Panics
+    /// Panics on out-of-range copies (a bad `cudaMemcpyPeer`).
+    pub fn copy<T: DeviceCopy>(
+        &self,
+        src: &DeviceBuffer<T>,
+        src_range: std::ops::Range<usize>,
+        dst: &mut DeviceBuffer<T>,
+        dst_offset: usize,
+    ) -> Transfer {
+        assert!(
+            src_range.end <= src.len(),
+            "source range {src_range:?} beyond buffer of {} elements",
+            src.len()
+        );
+        let len = src_range.len();
+        assert!(
+            dst_offset + len <= dst.len(),
+            "destination range [{dst_offset}, {}) beyond buffer of {} elements",
+            dst_offset + len,
+            dst.len()
+        );
+        let (from, to) = (src.gpu_id(), dst.gpu_id());
+        let bytes = len * std::mem::size_of::<T>();
+        let class = self.topo.link_class(from, to);
+        let seconds = self.spec.transfer_time(class, bytes);
+
+        let data: Vec<T> = src.host_view()[src_range].to_vec();
+        dst.host_view_mut()[dst_offset..dst_offset + len].copy_from_slice(&data);
+
+        Transfer { from, to, bytes, class, seconds }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{DeviceSpec, Gpu};
+
+    fn fabric() -> Fabric {
+        Fabric::tsubame_kfc(2)
+    }
+
+    fn gpus(n: usize) -> Vec<Gpu> {
+        Gpu::node(n, &DeviceSpec::tesla_k80())
+    }
+
+    #[test]
+    fn copy_moves_data_and_charges_p2p() {
+        let f = fabric();
+        let g = gpus(2);
+        let src = g[0].alloc_from(&[1i32, 2, 3, 4]).unwrap();
+        let mut dst = g[1].alloc::<i32>(8).unwrap();
+        let t = f.copy(&src, 1..3, &mut dst, 4);
+        assert_eq!(dst.host_view(), &[0, 0, 0, 0, 2, 3, 0, 0]);
+        assert_eq!(t.class, LinkClass::P2P, "GPUs 0 and 1 share a PCIe network");
+        assert_eq!(t.bytes, 8);
+        assert!(t.seconds > 0.0);
+    }
+
+    #[test]
+    fn cross_network_copy_is_host_staged() {
+        let f = fabric();
+        let all = Gpu::node(8, &DeviceSpec::tesla_k80());
+        let src = all[0].alloc_from(&[7i32; 16]).unwrap();
+        // GPU 4 lives on node 0's second PCIe network.
+        let mut dst = all[4].alloc::<i32>(16).unwrap();
+        let t = f.copy(&src, 0..16, &mut dst, 0);
+        assert_eq!(t.class, LinkClass::HostStaged);
+        assert!(
+            t.seconds > f.transfer_time(0, 1, 64),
+            "host staging must cost more than P2P for the same payload"
+        );
+    }
+
+    #[test]
+    fn cross_node_copy_is_inter_node() {
+        let f = fabric();
+        // Flat ids: node 1 starts at GPU 8.
+        let g0 = Gpu::new(0, DeviceSpec::tesla_k80());
+        let g8 = Gpu::new(8, DeviceSpec::tesla_k80());
+        let src = g0.alloc_from(&[1i32; 4]).unwrap();
+        let mut dst = g8.alloc::<i32>(4).unwrap();
+        let t = f.copy(&src, 0..4, &mut dst, 0);
+        assert_eq!(t.class, LinkClass::InterNode);
+    }
+
+    #[test]
+    fn local_copy_is_free() {
+        let f = fabric();
+        let g = Gpu::new(3, DeviceSpec::tesla_k80());
+        let src = g.alloc_from(&[9i32; 4]).unwrap();
+        let mut dst = g.alloc::<i32>(4).unwrap();
+        let t = f.copy(&src, 0..4, &mut dst, 0);
+        assert_eq!(t.class, LinkClass::Local);
+        assert_eq!(t.seconds, 0.0);
+        assert_eq!(dst.host_view(), &[9; 4]);
+    }
+
+    #[test]
+    fn transfer_time_scales_with_bytes() {
+        let f = fabric();
+        let small = f.transfer_time(0, 1, 1 << 10);
+        let big = f.transfer_time(0, 1, 1 << 26);
+        assert!(big > small * 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond buffer")]
+    fn oversized_copy_panics() {
+        let f = fabric();
+        let g = gpus(2);
+        let src = g[0].alloc_from(&[1i32; 4]).unwrap();
+        let mut dst = g[1].alloc::<i32>(2).unwrap();
+        f.copy(&src, 0..4, &mut dst, 0);
+    }
+}

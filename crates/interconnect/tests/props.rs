@@ -1,0 +1,123 @@
+//! Property-based tests of the fabric model's invariants.
+
+use interconnect::{
+    gather_cost, strided_exchange_cost, Fabric, LinkClass, MpiComm, StridedPart, Topology,
+};
+use proptest::prelude::*;
+
+fn topologies() -> impl Strategy<Value = Topology> {
+    (1usize..=4, 1usize..=3, 1usize..=4).prop_map(|(m, y, v)| Topology::regular(m, y, v))
+}
+
+proptest! {
+    /// locate/gpu_at are inverses over every regular topology.
+    #[test]
+    fn locate_roundtrip(topo in topologies()) {
+        for gpu in 0..topo.total_gpus() {
+            let loc = topo.locate(gpu);
+            prop_assert_eq!(topo.gpu_at(loc.node, loc.network, loc.slot), gpu);
+            prop_assert!(loc.node < topo.nodes());
+            prop_assert!(loc.network < topo.networks_per_node());
+            prop_assert!(loc.slot < topo.gpus_per_network());
+        }
+    }
+
+    /// Link classification is symmetric and consistent with locations.
+    #[test]
+    fn link_class_symmetric_and_consistent(topo in topologies()) {
+        for a in 0..topo.total_gpus() {
+            for b in 0..topo.total_gpus() {
+                let class = topo.link_class(a, b);
+                prop_assert_eq!(class, topo.link_class(b, a));
+                let (la, lb) = (topo.locate(a), topo.locate(b));
+                let expected = if a == b {
+                    LinkClass::Local
+                } else if la.node != lb.node {
+                    LinkClass::InterNode
+                } else if la.network != lb.network {
+                    LinkClass::HostStaged
+                } else {
+                    LinkClass::P2P
+                };
+                prop_assert_eq!(class, expected);
+            }
+        }
+    }
+
+    /// Transfer time is monotone in payload and respects the class
+    /// ordering P2P ≤ HostStaged for equal payloads.
+    #[test]
+    fn transfer_time_monotone(bytes in 0usize..(1 << 26), extra in 0usize..(1 << 20)) {
+        let f = Fabric::tsubame_kfc(1);
+        let t1 = f.transfer_time(0, 1, bytes);
+        let t2 = f.transfer_time(0, 1, bytes + extra);
+        prop_assert!(t2 >= t1);
+        let host = f.transfer_time(0, 4, bytes);
+        prop_assert!(host >= t1, "host staging never beats P2P");
+    }
+
+    /// Gather cost grows with every added participant.
+    #[test]
+    fn gather_cost_monotone_in_participants(
+        n_parts in 1usize..=7,
+        bytes in 1usize..(1 << 22),
+    ) {
+        let f = Fabric::tsubame_kfc(1);
+        let parts: Vec<(usize, usize)> = (1..=n_parts).map(|g| (g, bytes)).collect();
+        let cost = gather_cost(&f, 0, &parts);
+        if n_parts > 1 {
+            let fewer = gather_cost(&f, 0, &parts[..n_parts - 1]);
+            prop_assert!(cost.seconds >= fewer.seconds);
+        }
+        prop_assert_eq!(cost.bytes, n_parts * bytes);
+    }
+
+    /// A strided exchange never costs less than the packed transfer of the
+    /// same bytes, and converges to it as segments grow.
+    #[test]
+    fn strided_at_least_packed(
+        segments in 1usize..10_000,
+        seg_bytes in 1usize..4096,
+        gpu in prop::sample::select(vec![1usize, 4]),
+    ) {
+        let f = Fabric::tsubame_kfc(1);
+        let strided = strided_exchange_cost(
+            &f,
+            0,
+            &[StridedPart { gpu, segments, bytes_per_segment: seg_bytes }],
+        );
+        let packed = gather_cost(&f, 0, &[(gpu, segments * seg_bytes)]);
+        prop_assert!(strided.seconds >= packed.seconds - 1e-15,
+            "strided {} < packed {}", strided.seconds, packed.seconds);
+    }
+
+    /// MPI collective cost is monotone in payload and node span.
+    #[test]
+    fn mpi_cost_monotone(bytes in 0usize..(1 << 24), extra in 0usize..(1 << 16)) {
+        let f = Fabric::tsubame_kfc(4);
+        let comm2 = MpiComm::new(vec![0, 8], 0);
+        let comm4 = MpiComm::new(vec![0, 8, 16, 24], 0);
+        prop_assert!(comm2.gather(&f, bytes + extra).seconds >= comm2.gather(&f, bytes).seconds);
+        prop_assert!(comm4.gather(&f, bytes).seconds >= comm2.gather(&f, bytes).seconds);
+        prop_assert!(comm4.barrier(&f).seconds >= comm2.barrier(&f).seconds);
+    }
+
+    /// Functional copies move exactly the requested range.
+    #[test]
+    fn copy_moves_exact_range(
+        len in 1usize..2000,
+        offset_frac in 0.0f64..1.0,
+    ) {
+        use gpu_sim::{DeviceSpec, Gpu};
+        let f = Fabric::tsubame_kfc(1);
+        let g = Gpu::node(2, &DeviceSpec::tesla_k80());
+        let data: Vec<i32> = (0..len as i32).collect();
+        let src = g[0].alloc_from(&data).unwrap();
+        let mut dst = g[1].alloc::<i32>(len * 2).unwrap();
+        let dst_off = ((len as f64) * offset_frac) as usize;
+        let t = f.copy(&src, 0..len, &mut dst, dst_off);
+        prop_assert_eq!(&dst.host_view()[dst_off..dst_off + len], &data[..]);
+        prop_assert_eq!(t.bytes, len * 4);
+        prop_assert!(dst.host_view()[..dst_off].iter().all(|&v| v == 0));
+    }
+}

@@ -1,0 +1,354 @@
+//! Scan operators and scannable element types.
+//!
+//! The scan primitive is defined over any associative binary operator with
+//! an identity (§1 of the paper uses addition over integers as the default;
+//! the library, like CUDPP/CUB/Thrust, accepts any monoid).
+//!
+//! Integer operators use wrapping arithmetic: a real CUDA kernel's `int`
+//! addition wraps silently, and the reproduction must match that behaviour
+//! rather than panic on overflow in debug builds.
+
+use gpu_sim::DeviceCopy;
+
+/// Element types the scan skeletons operate on.
+///
+/// Blanket-implemented; the bound exists so kernels can state one name.
+pub trait Scannable: DeviceCopy {}
+impl<T: DeviceCopy> Scannable for T {}
+
+/// An associative binary operator with identity — the monoid a scan runs
+/// over.
+///
+/// Implementations must be associative; commutativity is *not* required
+/// (the skeletons only ever combine in left-to-right order).
+pub trait ScanOp<T>: Copy + Send + Sync + 'static {
+    /// The operator's identity element (`0` for addition, `-∞` for max…).
+    fn identity(&self) -> T;
+    /// Combine two values, left-to-right.
+    fn combine(&self, a: T, b: T) -> T;
+    /// For invertible operators, `a ∘ b⁻¹`. Used by the paper's exclusive
+    /// trick — "the initial value is subtracted from the scanned value"
+    /// (§3.1) — which avoids one extra shuffle step. `None` for
+    /// non-invertible operators like max.
+    fn uncombine(&self, _a: T, _b: T) -> Option<T> {
+        None
+    }
+}
+
+/// Numeric primitives the built-in operators cover.
+///
+/// `wadd`/`wmul` wrap for integers and are plain arithmetic for floats.
+pub trait Numeric: DeviceCopy + PartialOrd {
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Smallest representable value (identity for max).
+    fn min_value() -> Self;
+    /// Largest representable value (identity for min).
+    fn max_value() -> Self;
+    /// Wrapping addition.
+    fn wadd(self, rhs: Self) -> Self;
+    /// Wrapping subtraction.
+    fn wsub(self, rhs: Self) -> Self;
+    /// Wrapping multiplication.
+    fn wmul(self, rhs: Self) -> Self;
+}
+
+macro_rules! impl_numeric_int {
+    ($($t:ty),*) => {$(
+        impl Numeric for $t {
+            fn zero() -> Self { 0 }
+            fn one() -> Self { 1 }
+            fn min_value() -> Self { <$t>::MIN }
+            fn max_value() -> Self { <$t>::MAX }
+            fn wadd(self, rhs: Self) -> Self { self.wrapping_add(rhs) }
+            fn wsub(self, rhs: Self) -> Self { self.wrapping_sub(rhs) }
+            fn wmul(self, rhs: Self) -> Self { self.wrapping_mul(rhs) }
+        }
+    )*};
+}
+impl_numeric_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize);
+
+macro_rules! impl_numeric_float {
+    ($($t:ty),*) => {$(
+        impl Numeric for $t {
+            fn zero() -> Self { 0.0 }
+            fn one() -> Self { 1.0 }
+            fn min_value() -> Self { <$t>::NEG_INFINITY }
+            fn max_value() -> Self { <$t>::INFINITY }
+            fn wadd(self, rhs: Self) -> Self { self + rhs }
+            fn wsub(self, rhs: Self) -> Self { self - rhs }
+            fn wmul(self, rhs: Self) -> Self { self * rhs }
+        }
+    )*};
+}
+impl_numeric_float!(f32, f64);
+
+/// Addition — the paper's default operator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Add;
+
+impl<T: Numeric> ScanOp<T> for Add {
+    fn identity(&self) -> T {
+        T::zero()
+    }
+    fn combine(&self, a: T, b: T) -> T {
+        a.wadd(b)
+    }
+    fn uncombine(&self, a: T, b: T) -> Option<T> {
+        Some(a.wsub(b))
+    }
+}
+
+/// Maximum.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Max;
+
+impl<T: Numeric> ScanOp<T> for Max {
+    fn identity(&self) -> T {
+        T::min_value()
+    }
+    fn combine(&self, a: T, b: T) -> T {
+        if a < b {
+            b
+        } else {
+            a
+        }
+    }
+}
+
+/// Minimum.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Min;
+
+impl<T: Numeric> ScanOp<T> for Min {
+    fn identity(&self) -> T {
+        T::max_value()
+    }
+    fn combine(&self, a: T, b: T) -> T {
+        if b < a {
+            b
+        } else {
+            a
+        }
+    }
+}
+
+/// Product (wrapping for integers).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Mul;
+
+impl<T: Numeric> ScanOp<T> for Mul {
+    fn identity(&self) -> T {
+        T::one()
+    }
+    fn combine(&self, a: T, b: T) -> T {
+        a.wmul(b)
+    }
+}
+
+/// Integer primitives supporting the bitwise operators.
+pub trait BitPrimitive:
+    DeviceCopy
+    + std::ops::BitAnd<Output = Self>
+    + std::ops::BitOr<Output = Self>
+    + std::ops::BitXor<Output = Self>
+    + std::ops::Not<Output = Self>
+{
+    /// The all-zeros value.
+    fn zero() -> Self;
+}
+
+macro_rules! impl_bit_primitive {
+    ($($t:ty),*) => {$(
+        impl BitPrimitive for $t {
+            fn zero() -> Self { 0 }
+        }
+    )*};
+}
+impl_bit_primitive!(i8, i16, i32, i64, u8, u16, u32, u64, usize);
+
+/// Bitwise OR — running "any bit seen so far".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BitOr;
+
+impl<T: BitPrimitive> ScanOp<T> for BitOr {
+    fn identity(&self) -> T {
+        T::zero()
+    }
+    fn combine(&self, a: T, b: T) -> T {
+        a | b
+    }
+}
+
+/// Bitwise AND — running "bits present everywhere so far".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BitAnd;
+
+impl<T: BitPrimitive> ScanOp<T> for BitAnd {
+    fn identity(&self) -> T {
+        !T::zero()
+    }
+    fn combine(&self, a: T, b: T) -> T {
+        a & b
+    }
+}
+
+/// Bitwise XOR — running parity. Self-inverse, so the exclusive-scan trick
+/// applies (`uncombine = combine`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BitXor;
+
+impl<T: BitPrimitive> ScanOp<T> for BitXor {
+    fn identity(&self) -> T {
+        T::zero()
+    }
+    fn combine(&self, a: T, b: T) -> T {
+        a ^ b
+    }
+    fn uncombine(&self, a: T, b: T) -> Option<T> {
+        Some(a ^ b)
+    }
+}
+
+/// CPU reference inclusive scan, the ground truth every kernel is verified
+/// against.
+pub fn reference_inclusive<T: Scannable, O: ScanOp<T>>(op: O, data: &[T]) -> Vec<T> {
+    let mut acc = op.identity();
+    data.iter()
+        .map(|&x| {
+            acc = op.combine(acc, x);
+            acc
+        })
+        .collect()
+}
+
+/// CPU reference exclusive scan (`out[0] = identity`).
+pub fn reference_exclusive<T: Scannable, O: ScanOp<T>>(op: O, data: &[T]) -> Vec<T> {
+    let mut acc = op.identity();
+    data.iter()
+        .map(|&x| {
+            let out = acc;
+            acc = op.combine(acc, x);
+            out
+        })
+        .collect()
+}
+
+/// CPU reference reduction.
+pub fn reference_reduce<T: Scannable, O: ScanOp<T>>(op: O, data: &[T]) -> T {
+    data.iter().fold(op.identity(), |acc, &x| op.combine(acc, x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_scans_paper_figure1() {
+        // Figure 1 of the paper: inclusive scan of [3,1,7,0,4,1,6,3].
+        let data = [3, 1, 7, 0, 4, 1, 6, 3];
+        let out = reference_inclusive(Add, &data);
+        assert_eq!(out, vec![3, 4, 11, 11, 15, 16, 22, 25]);
+    }
+
+    #[test]
+    fn exclusive_shifts_inclusive() {
+        let data = [3, 1, 7, 0];
+        assert_eq!(reference_exclusive(Add, &data), vec![0, 3, 4, 11]);
+    }
+
+    #[test]
+    fn exclusive_of_empty_is_empty() {
+        assert_eq!(reference_exclusive(Add, &[] as &[i32]), Vec::<i32>::new());
+        assert_eq!(reference_inclusive(Add, &[] as &[i32]), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn max_scan_is_running_maximum() {
+        let data = [2, 9, 1, 9, 12, 3];
+        assert_eq!(reference_inclusive(Max, &data), vec![2, 9, 9, 9, 12, 12]);
+    }
+
+    #[test]
+    fn min_scan_is_running_minimum() {
+        let data = [5i64, 3, 8, 2, 9];
+        assert_eq!(reference_inclusive(Min, &data), vec![5, 3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn mul_scan_products() {
+        let data = [1u64, 2, 3, 4];
+        assert_eq!(reference_inclusive(Mul, &data), vec![1, 2, 6, 24]);
+    }
+
+    #[test]
+    fn add_wraps_instead_of_panicking() {
+        let data = [i32::MAX, 1];
+        let out = reference_inclusive(Add, &data);
+        assert_eq!(out[1], i32::MIN, "integer scan wraps like the CUDA kernel would");
+    }
+
+    #[test]
+    fn add_is_invertible_max_is_not() {
+        assert_eq!(ScanOp::<i32>::uncombine(&Add, 10, 4), Some(6));
+        assert_eq!(ScanOp::<i32>::uncombine(&Max, 10, 4), None);
+    }
+
+    #[test]
+    fn reduce_matches_scan_last() {
+        let data: Vec<i32> = (1..=100).collect();
+        let total = reference_reduce(Add, &data);
+        let scanned = reference_inclusive(Add, &data);
+        assert_eq!(total, *scanned.last().unwrap());
+        assert_eq!(total, 5050);
+    }
+
+    #[test]
+    fn float_operators_use_infinities() {
+        assert_eq!(ScanOp::<f64>::identity(&Max), f64::NEG_INFINITY);
+        assert_eq!(ScanOp::<f64>::identity(&Min), f64::INFINITY);
+        let out = reference_inclusive(Max, &[1.5f64, -2.0, 3.0]);
+        assert_eq!(out, vec![1.5, 1.5, 3.0]);
+    }
+
+    #[test]
+    fn bitwise_scans_match_reference() {
+        let data: [u32; 6] = [0b0001, 0b0110, 0b0100, 0b1000, 0b0011, 0b0101];
+        assert_eq!(
+            reference_inclusive(BitOr, &data),
+            vec![0b0001, 0b0111, 0b0111, 0b1111, 0b1111, 0b1111]
+        );
+        assert_eq!(
+            reference_inclusive(BitXor, &data),
+            vec![0b0001, 0b0111, 0b0011, 0b1011, 0b1000, 0b1101]
+        );
+        let masks: [u32; 3] = [0b1110, 0b0111, 0b0110];
+        assert_eq!(reference_inclusive(BitAnd, &masks), vec![0b1110, 0b0110, 0b0110]);
+    }
+
+    #[test]
+    fn xor_is_self_inverse() {
+        assert_eq!(ScanOp::<u64>::uncombine(&BitXor, 0b1010, 0b0110), Some(0b1100));
+        assert_eq!(ScanOp::<u32>::uncombine(&BitOr, 1, 1), None);
+    }
+
+    #[test]
+    fn identities_are_neutral() {
+        fn check<O: ScanOp<i32>>(op: O, vals: &[i32]) {
+            for &v in vals {
+                assert_eq!(op.combine(op.identity(), v), v);
+                assert_eq!(op.combine(v, op.identity()), v);
+            }
+        }
+        let vals = [-5, 0, 1, 42, i32::MAX, i32::MIN];
+        check(Add, &vals);
+        check(Max, &vals);
+        check(Min, &vals);
+        check(Mul, &[-5, 0, 1, 42]);
+        check(BitOr, &vals);
+        check(BitAnd, &vals);
+        check(BitXor, &vals);
+    }
+}

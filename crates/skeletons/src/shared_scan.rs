@@ -1,0 +1,117 @@
+//! Shared-memory warp scan — the pre-shuffle alternative.
+//!
+//! Before shuffle instructions, warp scans exchanged partials through shared
+//! memory (the CUDPP / Sengupta-et-al. style). The paper's kernels avoid
+//! this ("thanks to use shuffle instructions, S ≤ 32", §3.1); this module
+//! implements the older pattern both for the baseline libraries and for the
+//! ablation bench that quantifies the shuffle win.
+//!
+//! Cost profile: each of the `log2(32)` steps performs one shared-memory
+//! store and one load per warp, instead of one shuffle — roughly double the
+//! traffic on a slower path, and it requires `S = P · L` shared elements
+//! instead of one element per warp.
+
+use gpu_sim::{BlockCtx, DeviceCopy, LaneArray, WARP_SIZE};
+
+use crate::op::ScanOp;
+
+/// Inclusive warp scan exchanging partials through shared memory.
+///
+/// Uses `shared[base .. base + 32]` as scratch; the caller must reserve it.
+/// Costs `2 · log2(32)` shared operations and `log2(32)` ALU ops.
+pub fn warp_scan_inclusive_shared<T: DeviceCopy, O: ScanOp<T>>(
+    ctx: &mut BlockCtx<'_, T>,
+    op: O,
+    vals: &LaneArray<T>,
+    base: usize,
+) -> LaneArray<T> {
+    let mut v = *vals;
+    for t in 0..WARP_SIZE.trailing_zeros() {
+        let delta = 1usize << t;
+        // Publish, then read neighbour: one store + one load per step.
+        ctx.sh_write_warp(base, &v);
+        let published = ctx.sh_read_warp(base);
+        for i in delta..WARP_SIZE {
+            v[i] = op.combine(published[i - delta], v[i]);
+        }
+        ctx.alu(1);
+    }
+    v
+}
+
+/// Exclusive variant: shifts through shared memory (one extra store/load
+/// pair — the "extra communication step" the paper's register trick saves).
+pub fn warp_scan_exclusive_shared<T: DeviceCopy, O: ScanOp<T>>(
+    ctx: &mut BlockCtx<'_, T>,
+    op: O,
+    vals: &LaneArray<T>,
+    base: usize,
+) -> LaneArray<T> {
+    let inclusive = warp_scan_inclusive_shared(ctx, op, vals, base);
+    ctx.sh_write_warp(base, &inclusive);
+    let published = ctx.sh_read_warp(base);
+    let mut out: LaneArray<T> = [op.identity(); WARP_SIZE];
+    out[1..].copy_from_slice(&published[..WARP_SIZE - 1]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{reference_exclusive, reference_inclusive, Add, Max};
+    use crate::warp_scan::warp_scan_inclusive;
+    use gpu_sim::{CostCounters, DeviceSpec, Gpu, LaunchConfig};
+
+    fn in_kernel<R>(f: impl FnMut(&mut BlockCtx<'_, i32>) -> R) -> (R, CostCounters) {
+        let mut gpu = Gpu::new(0, DeviceSpec::tesla_k80());
+        let mut f = f;
+        let mut result = None;
+        let cfg = LaunchConfig::new("test", (1, 1), (32, 1)).shared_elems(64).regs(32);
+        let stats = gpu.launch::<i32, _>(&cfg, |ctx| result = Some(f(ctx))).unwrap();
+        (result.unwrap(), stats.counters)
+    }
+
+    fn lanes(f: impl Fn(usize) -> i32) -> LaneArray<i32> {
+        std::array::from_fn(f)
+    }
+
+    #[test]
+    fn shared_inclusive_matches_reference() {
+        let input = lanes(|i| (i as i32 * 11) % 7 - 3);
+        let (out, _) = in_kernel(|ctx| warp_scan_inclusive_shared(ctx, Add, &input, 0));
+        assert_eq!(&out[..], &reference_inclusive(Add, &input)[..]);
+    }
+
+    #[test]
+    fn shared_exclusive_matches_reference() {
+        let input = lanes(|i| i as i32 - 16);
+        let (out, _) = in_kernel(|ctx| warp_scan_exclusive_shared(ctx, Max, &input, 0));
+        assert_eq!(&out[..], &reference_exclusive(Max, &input)[..]);
+    }
+
+    #[test]
+    fn shared_variant_agrees_with_shuffle_variant() {
+        let input = lanes(|i| ((i as i32).wrapping_mul(2654435761u32 as i32)) % 1000);
+        let (a, _) = in_kernel(|ctx| warp_scan_inclusive_shared(ctx, Add, &input, 0));
+        let (b, _) = in_kernel(|ctx| warp_scan_inclusive(ctx, Add, &input));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shuffle_variant_does_no_shared_traffic_shared_variant_does() {
+        let input = lanes(|i| i as i32);
+        let (_, c_shuffle) = in_kernel(|ctx| warp_scan_inclusive(ctx, Add, &input));
+        let (_, c_shared) = in_kernel(|ctx| warp_scan_inclusive_shared(ctx, Add, &input, 0));
+        assert_eq!(c_shuffle.shared_ops(), 0);
+        assert_eq!(c_shuffle.shuffles, 5);
+        assert_eq!(c_shared.shuffles, 0);
+        assert_eq!(c_shared.shared_ops(), 10, "one store + one load per LF step");
+    }
+
+    #[test]
+    fn nonzero_base_uses_offset_scratch() {
+        let input = lanes(|i| 1 + i as i32);
+        let (out, _) = in_kernel(|ctx| warp_scan_inclusive_shared(ctx, Add, &input, 32));
+        assert_eq!(&out[..], &reference_inclusive(Add, &input)[..]);
+    }
+}

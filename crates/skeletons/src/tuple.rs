@@ -1,0 +1,221 @@
+//! The `(s, p, l, K)` performance tuple.
+//!
+//! BPLG skeletons are "templates, enabling the generation, at compile time,
+//! of tuned kernels according to the more suitable (s,p,l,K) tuple for the
+//! specific GPU architecture" (§3.1). In this reproduction the tuple is a
+//! validated runtime value passed to the skeleton kernels; the premises in
+//! `scan-core` derive it.
+//!
+//! All quantities are logarithms base 2, as in Table 2 of the paper:
+//! `S = 2^s` shared-memory elements per block, `P = 2^p` register elements
+//! per thread, `L = 2^l` threads per block, and `K = 2^k` cascade iterations
+//! per block.
+
+use std::fmt;
+
+/// Maximum `s` when shuffle instructions carry intra-warp traffic: shared
+/// memory then only holds one partial sum per warp, and a block has at most
+/// 32 warps — "thanks to use shuffle instructions, S ≤ 32 (s ≤ 5)" (§3.1).
+pub const MAX_S_WITH_SHUFFLES: u32 = 5;
+
+/// Validated `(s, p, l, K)` tuple (log₂ values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SplkTuple {
+    s: u32,
+    p: u32,
+    l: u32,
+    k: u32,
+}
+
+/// Errors from tuple validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TupleError {
+    /// `S > P·L`: more shared elements than the block holds in registers.
+    SharedExceedsBlockElements {
+        /// Offending `s`.
+        s: u32,
+        /// `p + l`, the log of the block's register elements.
+        p_plus_l: u32,
+    },
+    /// Block exceeds 1024 threads (`l > 10`).
+    BlockTooLarge(u32),
+    /// `p` so large a thread cannot hold `P` elements in registers (> 2^6
+    /// for 32-bit elements with a 255-register budget).
+    TooManyRegisterElements(u32),
+}
+
+impl fmt::Display for TupleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TupleError::SharedExceedsBlockElements { s, p_plus_l } => {
+                write!(f, "s={s} exceeds p+l={p_plus_l} (S must be ≤ P·L)")
+            }
+            TupleError::BlockTooLarge(l) => write!(f, "l={l} exceeds 2^10 = 1024 threads/block"),
+            TupleError::TooManyRegisterElements(p) => {
+                write!(f, "p={p} exceeds the per-thread register budget (p ≤ 6)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TupleError {}
+
+impl SplkTuple {
+    /// Build and validate a tuple from log₂ values.
+    ///
+    /// Enforces Table 2's constraint `S ≤ P·L` plus the hardware bounds
+    /// `l ≤ 10` and `p ≤ 6` (integers at 64 registers/thread, Premise 2).
+    pub fn new(s: u32, p: u32, l: u32, k: u32) -> Result<Self, TupleError> {
+        if l > 10 {
+            return Err(TupleError::BlockTooLarge(l));
+        }
+        if p > 6 {
+            return Err(TupleError::TooManyRegisterElements(p));
+        }
+        if s > p + l {
+            return Err(TupleError::SharedExceedsBlockElements { s, p_plus_l: p + l });
+        }
+        Ok(SplkTuple { s, p, l, k })
+    }
+
+    /// The paper's premise-derived tuple for Kepler CC 3.7:
+    /// `s = 5` (one shared element per warp), `p = 3` (8 register elements
+    /// per thread), `l = 7` (128 threads / 4 warps), with the given `k`.
+    pub fn kepler_premises(k: u32) -> Self {
+        SplkTuple::new(5, 3, 7, k).expect("paper tuple is valid by construction")
+    }
+
+    /// log₂ of shared-memory elements per block.
+    pub fn s(&self) -> u32 {
+        self.s
+    }
+    /// log₂ of register elements per thread.
+    pub fn p(&self) -> u32 {
+        self.p
+    }
+    /// log₂ of threads per block.
+    pub fn l(&self) -> u32 {
+        self.l
+    }
+    /// log₂ of cascade iterations per block.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// `S = 2^s`, shared elements per block.
+    pub fn shared_elems(&self) -> usize {
+        1 << self.s
+    }
+    /// `P = 2^p`, register elements per thread.
+    pub fn elems_per_thread(&self) -> usize {
+        1 << self.p
+    }
+    /// `L = 2^l`, threads per block.
+    pub fn threads_per_block(&self) -> usize {
+        1 << self.l
+    }
+    /// `K = 2^k`, cascade iterations per block.
+    pub fn iterations(&self) -> usize {
+        1 << self.k
+    }
+
+    /// Elements processed by one cascade iteration: `P · L`
+    /// (with `L = Lx`, i.e. all threads on one problem).
+    pub fn elems_per_iteration(&self) -> usize {
+        self.elems_per_thread() * self.threads_per_block()
+    }
+
+    /// The chunk size `K · P · Lx` (Table 2) — elements processed by one
+    /// block over all its cascade iterations.
+    pub fn chunk_size(&self) -> usize {
+        self.iterations() * self.elems_per_iteration()
+    }
+
+    /// True when intra-warp traffic fits in shuffles (`s ≤ 5`), the mode
+    /// the paper's kernels run in.
+    pub fn uses_shuffles(&self) -> bool {
+        self.s <= MAX_S_WITH_SHUFFLES
+    }
+
+    /// Replace `k`, keeping `(s, p, l)` — the premise workflow: `(s, p, l)`
+    /// fixed by Premises 1–2, `K` swept per Premise 3.
+    pub fn with_k(&self, k: u32) -> Self {
+        SplkTuple { k, ..*self }
+    }
+}
+
+impl fmt::Display for SplkTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(s={}, p={}, l={}, K=2^{})", self.s, self.p, self.l, self.k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_tuple_values() {
+        let t = SplkTuple::kepler_premises(2);
+        assert_eq!(t.shared_elems(), 32);
+        assert_eq!(t.elems_per_thread(), 8);
+        assert_eq!(t.threads_per_block(), 128);
+        assert_eq!(t.iterations(), 4);
+        assert_eq!(t.elems_per_iteration(), 1024);
+        assert_eq!(t.chunk_size(), 4096);
+        assert!(t.uses_shuffles());
+    }
+
+    #[test]
+    fn shared_bounded_by_register_elements() {
+        // s=8 with p=0, l=7: S=256 > P·L=128 — invalid per Table 2.
+        let err = SplkTuple::new(8, 0, 7, 0).unwrap_err();
+        assert_eq!(err, TupleError::SharedExceedsBlockElements { s: 8, p_plus_l: 7 });
+        // s = p + l exactly is allowed.
+        assert!(SplkTuple::new(7, 0, 7, 0).is_ok());
+    }
+
+    #[test]
+    fn block_size_limit() {
+        assert!(SplkTuple::new(5, 3, 10, 0).is_ok());
+        assert_eq!(SplkTuple::new(5, 3, 11, 0).unwrap_err(), TupleError::BlockTooLarge(11));
+    }
+
+    #[test]
+    fn register_element_limit() {
+        assert!(SplkTuple::new(5, 6, 7, 0).is_ok());
+        assert_eq!(SplkTuple::new(5, 7, 7, 0).unwrap_err(), TupleError::TooManyRegisterElements(7));
+    }
+
+    #[test]
+    fn with_k_preserves_spl() {
+        let t = SplkTuple::kepler_premises(1);
+        let t2 = t.with_k(5);
+        assert_eq!(t2.s(), t.s());
+        assert_eq!(t2.p(), t.p());
+        assert_eq!(t2.l(), t.l());
+        assert_eq!(t2.iterations(), 32);
+    }
+
+    #[test]
+    fn chunk_size_scales_with_k() {
+        let t = SplkTuple::kepler_premises(0);
+        assert_eq!(t.chunk_size(), 1024);
+        assert_eq!(t.with_k(3).chunk_size(), 8192);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = SplkTuple::kepler_premises(2).to_string();
+        assert!(s.contains("s=5"));
+        assert!(s.contains("K=2^2"));
+        let e = TupleError::BlockTooLarge(12).to_string();
+        assert!(e.contains("1024"));
+    }
+
+    #[test]
+    fn shared_memory_beyond_shuffle_bound_detected() {
+        let t = SplkTuple::new(6, 3, 7, 0).unwrap();
+        assert!(!t.uses_shuffles());
+    }
+}

@@ -1,0 +1,29 @@
+//! The paper's "future work", implemented: automatic empirical search of
+//! the cascade factor K over the premise-trimmed space (§3.2).
+//!
+//! ```sh
+//! cargo run --release --example autotune_k
+//! ```
+
+use multigpu_scan::prelude::*;
+use multigpu_scan::scan::autotune::autotune_scan_sp;
+
+fn main() {
+    let device = DeviceSpec::tesla_k80();
+    for (n, g) in [(20u32, 2u32), (16, 6), (13, 9)] {
+        let problem = ProblemParams::new(n, g);
+        let input: Vec<i32> =
+            (0..problem.total_elems()).map(|i| ((i * 11) % 13) as i32 - 6).collect();
+        let (best, tune) = autotune_scan_sp(Add, &device, problem, &input).expect("tunable");
+        println!("N = 2^{n}, G = 2^{g}:");
+        for (k, secs) in &tune.samples {
+            let marker = if *k == tune.best_k { "  <-- best" } else { "" };
+            println!("  K = {:>4}: {:>9.3} ms{marker}", 1u32 << k, secs * 1e3);
+        }
+        println!(
+            "  winner: K = {} at {:.0} Melem/s\n",
+            1u32 << tune.best_k,
+            best.report.throughput() / 1e6
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! The Figure 12 scenario in miniature: our batched proposal vs. the five
+//! competing libraries on the same workload.
+//!
+//! ```sh
+//! cargo run --release --example library_shootout
+//! ```
+
+use multigpu_scan::prelude::*;
+use multigpu_scan::scan::verify::verify_batch;
+
+fn main() {
+    // 256 problems of 8192 elements (n=13, the paper's most extreme batch
+    // point, scaled down).
+    let problem = ProblemParams::new(13, 8);
+    let input: Vec<i32> = (0..problem.total_elems()).map(|i| ((i * 3) % 17) as i32 - 8).collect();
+    let device = DeviceSpec::tesla_k80();
+
+    // Our proposal: one batched invocation on a full node with MP-PC.
+    let fabric = Fabric::tsubame_kfc(1);
+    let cfg = NodeConfig::new(8, 4, 2, 1).unwrap();
+    let base = premises::derive_tuple(&device, 4, 0);
+    let k = premises::default_k(&device, &problem, &base, cfg.v()).unwrap();
+    let ours = scan_mppc(Add, base.with_k(k), &device, &fabric, cfg, problem, &input).unwrap();
+    verify_batch(Add, problem, &input, &ours.data).unwrap();
+
+    // The competition, each with its best batch strategy.
+    let libs: Vec<Box<dyn ScanLibrary<i32>>> = vec![
+        Box::new(Cudpp::new(Add)),     // native multiScan
+        Box::new(Thrust::new(Add)),    // G invocations
+        Box::new(ModernGpu::new(Add)), // G invocations
+        Box::new(Cub::new(Add)),       // G invocations
+        Box::new(LightScan::new(Add)), // G invocations
+    ];
+
+    println!("{:<12} {:>12} {:>12} {:>10}", "library", "time (ms)", "Melem/s", "vs ours");
+    println!(
+        "{:<12} {:>12.3} {:>12.0} {:>10}",
+        "Ours",
+        ours.report.seconds() * 1e3,
+        ours.report.throughput() / 1e6,
+        "1.00x"
+    );
+    for lib in &libs {
+        let out = lib.batch_scan(&device, problem, &input).expect("library run failed");
+        verify_batch(Add, problem, &input, &out.data).expect("library result correct");
+        println!(
+            "{:<12} {:>12.3} {:>12.0} {:>9.1}x",
+            out.report.label,
+            out.report.seconds() * 1e3,
+            out.report.throughput() / 1e6,
+            out.report.seconds() / ours.report.seconds()
+        );
+    }
+}

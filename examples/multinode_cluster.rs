@@ -1,0 +1,57 @@
+//! Multi-node execution (§4.1 / §5.2): the same batch scattered over two
+//! TSUBAME-KFC nodes with MPI collectives, plus the M×W trade-off.
+//!
+//! ```sh
+//! cargo run --release --example multinode_cluster
+//! ```
+
+use multigpu_scan::prelude::*;
+use multigpu_scan::scan::verify::verify_batch;
+use multigpu_scan::scan::Breakdown;
+
+fn main() {
+    let problem = ProblemParams::new(18, 5); // 32 problems of 262 144
+    let input: Vec<i32> = (0..problem.total_elems()).map(|i| ((i * 13) % 29) as i32 - 14).collect();
+    let device = DeviceSpec::tesla_k80();
+    let base = premises::derive_tuple(&device, 4, 0);
+
+    println!("All M x W combinations with 8 GPUs total (cf. §5.2):\n");
+    let mut results = Vec::new();
+    for (m, w, v, y) in [(1usize, 8usize, 4usize, 2usize), (2, 4, 4, 1), (4, 2, 2, 1), (8, 1, 1, 1)]
+    {
+        let fabric = Fabric::tsubame_kfc(m);
+        let cfg = NodeConfig::new(w, v, y, m).expect("valid config");
+        let parts = m * w;
+        let Some(k) = premises::default_k(&device, &problem, &base, parts) else {
+            println!("M={m}, W={w}: infeasible (problem too small for {parts} GPUs)");
+            continue;
+        };
+        let out = if m == 1 {
+            scan_mps(Add, base.with_k(k), &device, &fabric, cfg, problem, &input)
+        } else {
+            scan_mps_multinode(Add, base.with_k(k), &device, &fabric, cfg, problem, &input)
+        }
+        .expect("run failed");
+        verify_batch(Add, problem, &input, &out.data).expect("correct");
+        println!(
+            "M={m}, W={w}: {:>9.3} ms  ({:>7.0} Melem/s)",
+            out.report.seconds() * 1e3,
+            out.report.throughput() / 1e6
+        );
+        results.push((m, w, out));
+    }
+
+    // The paper's observation: minimise nodes, maximise same-network GPUs.
+    if let Some((_, _, best)) = results
+        .iter()
+        .min_by(|a, b| a.2.report.seconds().partial_cmp(&b.2.report.seconds()).unwrap())
+    {
+        println!("\nBest: {}", best.report.label);
+    }
+
+    // Fig. 14-style breakdown for the M=2, W=4 configuration.
+    if let Some((_, _, out)) = results.iter().find(|(m, w, _)| *m == 2 && *w == 4) {
+        println!("\nPhase breakdown of M=2, W=4 (cf. Fig. 14):");
+        print!("{}", Breakdown::from_timeline(&out.report.timeline));
+    }
+}

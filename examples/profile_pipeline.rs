@@ -1,0 +1,54 @@
+//! Per-kernel profiling of the three-stage pipeline — the simulator's
+//! equivalent of an `nvprof` summary, showing where time and memory
+//! traffic go and how close each kernel runs to the device's bandwidth.
+//!
+//! ```sh
+//! cargo run --release --example profile_pipeline
+//! ```
+
+use multigpu_scan::prelude::*;
+use multigpu_scan::scan::{plan::ExecutionPlan, stage1, stage2, stage3};
+use multigpu_scan::sim::{Gpu, ProfileReport};
+
+fn main() {
+    let problem = ProblemParams::new(20, 3); // 8 problems of 1M elements
+    let device = DeviceSpec::tesla_k80();
+    let base = premises::derive_tuple(&device, 4, 0);
+    let k = premises::default_k(&device, &problem, &base, 1).unwrap();
+    let plan = ExecutionPlan::new(problem, base.with_k(k), 1).unwrap();
+
+    let input: Vec<i32> = (0..problem.total_elems()).map(|i| (i % 7) as i32).collect();
+
+    // Drive the three stages by hand on one GPU so the log shows each
+    // kernel separately.
+    let mut gpu = Gpu::new(0, device);
+    let dinput = gpu.alloc_from(&input).unwrap();
+    let mut aux = gpu.alloc::<i32>(plan.aux_global_len()).unwrap();
+    let mut output = gpu.alloc::<i32>(input.len()).unwrap();
+
+    stage1::run_stage1(&mut gpu, &plan, Add, &dinput, &mut aux).unwrap();
+    stage2::run_stage2(&mut gpu, &plan, Add, &mut aux).unwrap();
+    stage3::run_stage3(&mut gpu, &plan, Add, &dinput, &aux, &mut output).unwrap();
+
+    multigpu_scan::scan::verify::verify_batch(Add, problem, &input, &output.copy_to_host())
+        .expect("pipeline correct");
+
+    let report = ProfileReport::from_log(gpu.log());
+    println!(
+        "pipeline over {} elements with {} (chunk = {}):\n",
+        problem.total_elems(),
+        plan.tuple,
+        plan.chunk
+    );
+    print!("{report}");
+    println!();
+    for stage in ["stage1:chunk-reduce", "stage2:intermediate-scan", "stage3:scan-add"] {
+        let bw = report.memory_throughput(stage).unwrap();
+        println!("{stage:28} {:6.1} GB/s effective", bw / 1e9);
+    }
+    println!(
+        "\ndevice peak: {:.1} GB/s — stages 1/3 stream near peak; stage 2 is a\n\
+         tiny latency-bound kernel, exactly the trade-off Premise 3 manages.",
+        gpu.spec().mem_bandwidth / 1e9
+    );
+}

@@ -1,0 +1,38 @@
+//! Quickstart: batch prefix sum on one simulated Tesla K80.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use multigpu_scan::prelude::*;
+use multigpu_scan::scan::verify::verify_batch;
+
+fn main() {
+    // 64 problems of 65 536 elements, scanned in ONE library invocation —
+    // the batch capability none of the competing libraries (except CUDPP's
+    // multiScan) offers.
+    let problem = ProblemParams::new(16, 6);
+    let input: Vec<i32> = (0..problem.total_elems()).map(|i| (i % 10) as i32).collect();
+
+    let device = DeviceSpec::tesla_k80();
+
+    // Premises 1-2 fix (s, p, l); Premise 3 bounds the cascade factor K.
+    let base = premises::derive_tuple(&device, std::mem::size_of::<i32>(), 0);
+    let k = premises::default_k(&device, &problem, &base, 1).expect("problem large enough");
+    let tuple = base.with_k(k);
+    println!("premise tuple: {tuple}  (chunk = {} elements)", tuple.chunk_size());
+
+    let out = scan_sp(Add, tuple, &device, problem, &input).expect("scan failed");
+
+    verify_batch(Add, problem, &input, &out.data).expect("results match the CPU reference");
+
+    println!(
+        "scanned {} elements in {:.3} ms simulated",
+        out.report.elements,
+        out.report.seconds() * 1e3
+    );
+    println!("throughput: {:.1} Melem/s", out.report.throughput() / 1e6);
+    for phase in out.report.timeline.phases() {
+        println!("  {:28} {:>9.3} ms", phase.label, phase.seconds * 1e3);
+    }
+}

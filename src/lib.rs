@@ -1,0 +1,37 @@
+//! # multigpu-scan
+//!
+//! A Rust reproduction of *"Efficient Solving of Scan Primitive on
+//! Multi-GPU Systems"* (Diéguez, Amor, Doallo, Nukada, Matsuoka —
+//! IPPS 2018): a tuned, batched, multi-GPU prefix sum, together with every
+//! substrate it needs — a functional GPU simulator, a PCIe/InfiniBand
+//! fabric model, BPLG-style kernel skeletons, and the five competing
+//! libraries of the paper's evaluation.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`sim`] — the GPU simulator (`gpu-sim`);
+//! * [`fabric`] — the interconnect model (`interconnect`);
+//! * [`kernels`] — scan skeletons (`skeletons`);
+//! * [`scan`] — the paper's proposals (`scan-core`);
+//! * [`competitors`] — CUDPP/Thrust/ModernGPU/CUB/LightScan (`baselines`).
+//!
+//! See `examples/quickstart.rs` for a three-line batch scan, and the
+//! `figures` binary in `crates/bench` for the full evaluation.
+
+pub use baselines as competitors;
+pub use gpu_sim as sim;
+pub use interconnect as fabric;
+pub use scan_core as scan;
+pub use skeletons as kernels;
+
+/// The most common entry points, re-exported flat.
+pub mod prelude {
+    pub use baselines::{Cub, Cudpp, LightScan, ModernGpu, ScanLibrary, Thrust};
+    pub use gpu_sim::DeviceSpec;
+    pub use interconnect::{Fabric, Topology};
+    pub use scan_core::{
+        premises, scan_case1, scan_mppc, scan_mps, scan_mps_multinode, scan_sp, NodeConfig,
+        ProblemParams,
+    };
+    pub use skeletons::{Add, Max, Min, Mul, ScanOp, SplkTuple};
+}

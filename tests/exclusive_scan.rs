@@ -1,0 +1,105 @@
+//! Integration tests for the exclusive-scan variants.
+
+use multigpu_scan::prelude::*;
+use multigpu_scan::scan::verify::{verify_batch_kind, Mismatch};
+use multigpu_scan::scan::{scan_sp_exclusive, ScanKind};
+use scan_core::mps::scan_mps_exclusive;
+
+fn pseudo(n: usize, seed: i64) -> Vec<i32> {
+    (0..n).map(|i| ((i as i64 * 16807 + seed) % 401) as i32 - 200).collect()
+}
+
+fn device() -> DeviceSpec {
+    DeviceSpec::tesla_k80()
+}
+
+fn tuple_for(problem: &ProblemParams, parts: usize) -> SplkTuple {
+    let base = premises::derive_tuple(&device(), 4, 0);
+    base.with_k(premises::default_k(&device(), problem, &base, parts).expect("feasible"))
+}
+
+fn check_exclusive(problem: ProblemParams, input: &[i32], output: &[i32]) -> Result<(), Mismatch> {
+    verify_batch_kind(Add, problem, input, output, ScanKind::Exclusive)
+}
+
+#[test]
+fn exclusive_sp_matches_reference() {
+    for (n, g) in [(10u32, 0u32), (12, 2), (14, 1), (13, 4)] {
+        let problem = ProblemParams::new(n, g);
+        let input = pseudo(problem.total_elems(), n as i64);
+        let out =
+            scan_sp_exclusive(Add, tuple_for(&problem, 1), &device(), problem, &input).unwrap();
+        check_exclusive(problem, &input, &out.data).unwrap_or_else(|m| panic!("n={n} g={g}: {m}"));
+        assert!(out.report.label.contains("exclusive"));
+    }
+}
+
+#[test]
+fn exclusive_starts_each_problem_at_identity() {
+    let problem = ProblemParams::new(12, 3);
+    let input = pseudo(problem.total_elems(), 5);
+    let out = scan_sp_exclusive(Add, tuple_for(&problem, 1), &device(), problem, &input).unwrap();
+    let n = problem.problem_size();
+    for g in 0..problem.batch() {
+        assert_eq!(out.data[g * n], 0, "problem {g} must start at the identity");
+    }
+}
+
+#[test]
+fn exclusive_mps_matches_reference() {
+    let fabric = Fabric::tsubame_kfc(1);
+    let problem = ProblemParams::new(14, 2);
+    let input = pseudo(problem.total_elems(), 9);
+    for (w, v, y) in [(2usize, 2usize, 1usize), (4, 4, 1), (8, 4, 2)] {
+        let cfg = NodeConfig::new(w, v, y, 1).unwrap();
+        let out = scan_mps_exclusive(
+            Add,
+            tuple_for(&problem, w),
+            &device(),
+            &fabric,
+            cfg,
+            problem,
+            &input,
+        )
+        .unwrap();
+        check_exclusive(problem, &input, &out.data).unwrap_or_else(|m| panic!("W={w}: {m}"));
+    }
+}
+
+#[test]
+fn exclusive_is_shifted_inclusive_for_add() {
+    let problem = ProblemParams::new(13, 1);
+    let input = pseudo(problem.total_elems(), 21);
+    let t = tuple_for(&problem, 1);
+    let inc = scan_sp(Add, t, &device(), problem, &input).unwrap();
+    let exc = scan_sp_exclusive(Add, t, &device(), problem, &input).unwrap();
+    let n = problem.problem_size();
+    for g in 0..problem.batch() {
+        for i in 1..n {
+            assert_eq!(exc.data[g * n + i], inc.data[g * n + i - 1]);
+        }
+    }
+}
+
+#[test]
+fn exclusive_works_with_non_invertible_max() {
+    let problem = ProblemParams::new(12, 1);
+    let input = pseudo(problem.total_elems(), 33);
+    let out = scan_sp_exclusive(Max, tuple_for(&problem, 1), &device(), problem, &input).unwrap();
+    verify_batch_kind(Max, problem, &input, &out.data, ScanKind::Exclusive).unwrap();
+    let n = problem.problem_size();
+    assert_eq!(out.data[0], i32::MIN, "max identity seeds the exclusive scan");
+    assert_eq!(out.data[n], i32::MIN);
+}
+
+#[test]
+fn exclusive_costs_match_inclusive_traffic() {
+    // The exclusive form must not add memory passes.
+    let problem = ProblemParams::new(16, 0);
+    let input = pseudo(problem.total_elems(), 3);
+    let t = tuple_for(&problem, 1);
+    let inc = scan_sp(Add, t, &device(), problem, &input).unwrap();
+    let exc = scan_sp_exclusive(Add, t, &device(), problem, &input).unwrap();
+    let ratio = exc.report.seconds() / inc.report.seconds();
+    assert!((0.9..1.1).contains(&ratio), "exclusive within 10% of inclusive, got {ratio}");
+}

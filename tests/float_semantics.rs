@@ -1,0 +1,91 @@
+//! Floating-point scan semantics.
+//!
+//! The GPU pipeline combines in tree order (per-lane serial scans, then
+//! shuffle trees, then cascade carries), which is *not* the sequential
+//! left-to-right order of the CPU reference. For integers (wrapping
+//! arithmetic) the two orders agree exactly; for floats they agree only up
+//! to rounding — the same caveat every real GPU scan library documents.
+//! These tests pin down both facts.
+
+use multigpu_scan::prelude::*;
+
+fn device() -> DeviceSpec {
+    DeviceSpec::tesla_k80()
+}
+
+fn tuple_for(problem: &ProblemParams) -> SplkTuple {
+    let base = premises::derive_tuple(&device(), 4, 0);
+    base.with_k(premises::default_k(&device(), problem, &base, 1).expect("feasible"))
+}
+
+#[test]
+fn f64_scan_matches_reference_within_rounding() {
+    let problem = ProblemParams::new(13, 2);
+    let input: Vec<f64> = (0..problem.total_elems())
+        .map(|i| (((i as i64).wrapping_mul(48271) % 1000) as f64) * 0.001 - 0.5)
+        .collect();
+    let out = scan_sp(Add, tuple_for(&problem), &device(), problem, &input).unwrap();
+    let n = problem.problem_size();
+    for g in 0..problem.batch() {
+        let expected = multigpu_scan::kernels::reference_inclusive(Add, &input[g * n..(g + 1) * n]);
+        for (i, (&got, &want)) in out.data[g * n..(g + 1) * n].iter().zip(&expected).enumerate() {
+            let tol = 1e-9 * (i as f64 + 1.0).max(1.0);
+            assert!(
+                (got - want).abs() <= tol.max(want.abs() * 1e-12),
+                "problem {g} element {i}: {got} vs {want}"
+            );
+        }
+    }
+}
+
+#[test]
+fn f64_max_scan_is_exact() {
+    // Max is order-insensitive, so float max scans are bit-exact.
+    let problem = ProblemParams::new(12, 1);
+    let input: Vec<f64> =
+        (0..problem.total_elems()).map(|i| ((i * 2654435761) % 10007) as f64 - 5000.0).collect();
+    let out = scan_sp(Max, tuple_for(&problem), &device(), problem, &input).unwrap();
+    let n = problem.problem_size();
+    for g in 0..problem.batch() {
+        let expected = multigpu_scan::kernels::reference_inclusive(Max, &input[g * n..(g + 1) * n]);
+        assert_eq!(&out.data[g * n..(g + 1) * n], &expected[..]);
+    }
+}
+
+#[test]
+fn f32_scan_total_is_stable_across_k() {
+    // Different K values reorder the combines differently; the totals must
+    // still agree within f32 rounding.
+    let problem = ProblemParams::single(14);
+    let input: Vec<f32> =
+        (0..problem.total_elems()).map(|i| ((i % 997) as f32) * 1e-3).collect();
+    let base = premises::derive_tuple(&device(), 4, 0);
+    let space = premises::k_search_space(&device(), &problem, &base, 1);
+    assert!(space.len() >= 2);
+    let totals: Vec<f32> = space
+        .iter()
+        .map(|&k| {
+            *scan_sp(Add, base.with_k(k), &device(), problem, &input)
+                .unwrap()
+                .data
+                .last()
+                .unwrap()
+        })
+        .collect();
+    let reference: f64 = input.iter().map(|&v| v as f64).sum();
+    for &t in &totals {
+        let rel = ((t as f64) - reference).abs() / reference.abs();
+        assert!(rel < 1e-4, "total {t} vs reference {reference}");
+    }
+}
+
+#[test]
+fn integer_scans_are_exact_regardless_of_order() {
+    // The wrapping-integer contract: tree order == sequential order, bit
+    // for bit, even at overflow.
+    let problem = ProblemParams::new(13, 1);
+    let input: Vec<i32> =
+        (0..problem.total_elems()).map(|i| (i as i32).wrapping_mul(0x7FFF_FFC3)).collect();
+    let out = scan_sp(Add, tuple_for(&problem), &device(), problem, &input).unwrap();
+    multigpu_scan::scan::verify::verify_batch(Add, problem, &input, &out.data).unwrap();
+}
