@@ -81,7 +81,7 @@ pub(crate) fn report_from_gpu(name: &'static str, problem: ProblemParams, gpu: &
         tl.push("host:setup", host);
     }
     tl.push("kernels", gpu.log().seconds_of_kind(EventKind::Kernel));
-    RunReport { label: name.into(), elements: problem.total_elems(), timeline: tl }
+    RunReport::from_timeline(name, problem.total_elems(), tl)
 }
 
 /// Charge the in-kernel compute costs of scanning a `len`-element tile the

@@ -311,13 +311,18 @@ impl Harness {
     }
 
     /// Figure 14: per-phase breakdown of the M=2, W=4 multi-node run for
-    /// each `n`.
+    /// each `n`, derived from the run's execution-graph node records.
     pub fn fig14(&self) -> Vec<(u32, Breakdown)> {
         self.ns()
             .into_iter()
             .filter_map(|n| {
-                self.run_multinode(n, 4, 4, 1, 2)
-                    .map(|out| (n, Breakdown::from_timeline(&out.report.timeline)))
+                self.run_multinode(n, 4, 4, 1, 2).map(|out| {
+                    let b = match &out.report.graph {
+                        Some(graph) => Breakdown::from_graph(graph),
+                        None => Breakdown::from_timeline(&out.report.timeline),
+                    };
+                    (n, b)
+                })
             })
             .collect()
     }

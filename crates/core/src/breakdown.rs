@@ -1,11 +1,13 @@
 //! Phase breakdown reporting (Figure 14 of the paper).
 //!
 //! Aggregates a [`Timeline`] by phase label and renders the table the
-//! harness prints: time per phase, percentage of the makespan.
+//! harness prints: time per phase, percentage of the makespan. Runs that
+//! were scheduled through the execution graph can be broken down straight
+//! from their node records with [`Breakdown::from_graph`].
 
 use std::fmt;
 
-use interconnect::Timeline;
+use interconnect::{ExecGraph, Timeline};
 
 /// One aggregated breakdown row.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,6 +49,17 @@ impl Breakdown {
             row.percent = if total > 0.0 { row.seconds / total * 100.0 } else { 0.0 };
         }
         Breakdown { rows, total }
+    }
+
+    /// Aggregate an execution graph's node records by phase label.
+    ///
+    /// Each phase instance contributes the maximum of its nodes' durations
+    /// (the phase-synchronous reduction of [`ExecGraph::timeline`]), so for
+    /// barrier-shaped graphs this reproduces the old timeline-based
+    /// breakdown exactly; pipelined graphs report per-phase *work* whose
+    /// sum may exceed the scheduled makespan.
+    pub fn from_graph(graph: &ExecGraph) -> Self {
+        Self::from_timeline(&graph.timeline())
     }
 
     /// Seconds attributed to rows whose label starts with `prefix`.

@@ -10,12 +10,12 @@
 //! full single-GPU pipeline on its share, with no communication at all.
 
 use gpu_sim::DeviceSpec;
-use interconnect::{Fabric, Timeline};
+use interconnect::{ExecGraph, Fabric};
 use skeletons::{ScanOp, Scannable, SplkTuple};
 
 use crate::error::{ScanError, ScanResult};
-use crate::multi_gpu::run_pipeline_group;
-use crate::params::{NodeConfig, ProblemParams};
+use crate::exec::{build_pipeline_graph, PipelinePolicy, PipelineRun};
+use crate::params::{NodeConfig, ProblemParams, ScanKind};
 use crate::report::{RunReport, ScanOutput};
 
 /// Batch inclusive scan with one-problem-set-per-GPU distribution.
@@ -51,31 +51,43 @@ pub fn scan_case1<T: Scannable, O: ScanOp<T>>(
     let n = problem.problem_size();
 
     let mut data = vec![T::default(); problem.total_elems()];
-    let mut timelines = Vec::with_capacity(gpus.len());
+    // GPUs run concurrently on disjoint shares with no communication: each
+    // builds its own subgraph, and the merged graph's schedule overlaps
+    // them (with identical shares, the makespan equals the phase-wise
+    // maximum the old model reported).
+    let mut merged: Option<ExecGraph> = None;
+    let policy = PipelinePolicy::default();
     for (i, &gid) in gpus.iter().enumerate() {
         let start = i * per_gpu * n;
         let end = start + per_gpu * n;
-        let (sub_out, tl) =
-            run_pipeline_group(op, tuple, device, fabric, &[gid], sub_problem, &input[start..end])?;
-        data[start..end].copy_from_slice(&sub_out);
-        timelines.push(tl);
+        let graph = build_pipeline_graph(
+            op,
+            tuple,
+            device,
+            fabric,
+            &[gid],
+            sub_problem,
+            &input[start..end],
+            ScanKind::Inclusive,
+            &policy,
+            &mut data[start..end],
+        )?;
+        match merged.as_mut() {
+            None => merged = Some(graph),
+            Some(g) => {
+                g.merge(graph);
+            }
+        }
     }
-
-    // GPUs run concurrently with identical shares: phase-wise maximum.
-    let mut timeline = Timeline::new();
-    for i in 0..timelines[0].phases().len() {
-        let label = timelines[0].phases()[i].label.clone();
-        let secs = timelines.iter().map(|t| t.phases()[i].seconds).fold(0.0, f64::max);
-        timeline.push(label, secs);
-    }
+    let graph = merged.expect("at least one GPU");
 
     Ok(ScanOutput {
         data,
-        report: RunReport {
-            label: format!("Scan-Case1 {} GPUs", gpus.len()),
-            elements: problem.total_elems(),
-            timeline,
-        },
+        report: RunReport::from_run(
+            format!("Scan-Case1 {} GPUs", gpus.len()),
+            problem.total_elems(),
+            PipelineRun::from_graph(graph),
+        ),
     })
 }
 

@@ -1,0 +1,333 @@
+//! The stream/event execution runtime: pipelines as graph builders.
+//!
+//! Every proposal's run is assembled as an [`ExecGraph`] — kernels on
+//! per-GPU streams, aux-array exchanges on the links they occupy, MPI
+//! collectives and barriers — and the reported makespan is the graph's
+//! critical path. A [`PipelinePolicy`] decides how the batch is issued:
+//!
+//! * **barrier-synchronous** (the default, and the paper's published
+//!   model): every phase waits for the previous phase everywhere, which
+//!   reduces the schedule to exactly the phase-sum of the old
+//!   [`Timeline`] model — bit-for-bit;
+//! * **pipelined** ([`PipelinePolicy::pipelined`]): the batch is split
+//!   into sub-batches whose only ordering comes from data dependencies
+//!   and hardware resources, so the aux exchange of one sub-batch may
+//!   overlap Stage-1 compute of the next. This is a capability *beyond*
+//!   the paper's model and is off by default (see DESIGN.md §2).
+
+use gpu_sim::{DeviceSpec, EventKind};
+use interconnect::{ExecGraph, Fabric, NodeId, Resource, Timeline};
+use skeletons::{ScanOp, Scannable, SplkTuple};
+
+use crate::error::{ScanError, ScanResult};
+use crate::multi_gpu::{
+    assemble_output, build_workers, gather_aux, parallel_phase, scatter_offsets, Worker,
+};
+use crate::params::{ProblemParams, ScanKind};
+use crate::plan::ExecutionPlan;
+use crate::stage1::run_stage1;
+use crate::stage2::run_stage2;
+use crate::stage3::run_stage3_kind;
+
+/// How a pipeline run issues its batch onto the execution graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelinePolicy {
+    /// Number of sub-batches the problem batch is split into (clamped to
+    /// the largest power of two not exceeding the batch). `1` reproduces
+    /// the paper's single-pass pipeline.
+    pub batches: usize,
+    /// With `false`, consecutive phase instances are barrier-synchronised
+    /// (each waits for every node of the previous instance). With `true`,
+    /// sub-batches are ordered only by data dependencies and resource
+    /// occupancy, letting communication overlap the next sub-batch's
+    /// compute.
+    pub overlap: bool,
+}
+
+impl Default for PipelinePolicy {
+    fn default() -> Self {
+        PipelinePolicy { batches: 1, overlap: false }
+    }
+}
+
+impl PipelinePolicy {
+    /// The paper's phase-synchronous model: one pass, full barriers.
+    pub fn barrier_synchronous() -> Self {
+        Self::default()
+    }
+
+    /// Split into `batches` sub-batches with overlap enabled.
+    pub fn pipelined(batches: usize) -> Self {
+        PipelinePolicy { batches, overlap: true }
+    }
+
+    /// Split into `batches` sub-batches but keep full phase barriers — the
+    /// apples-to-apples baseline for [`PipelinePolicy::pipelined`] (same
+    /// node set, same launches, only the dependency structure differs).
+    pub fn batched_barrier(batches: usize) -> Self {
+        PipelinePolicy { batches, overlap: false }
+    }
+}
+
+/// Result of running a pipeline through the graph runtime.
+#[derive(Debug, Clone)]
+pub struct PipelineRun {
+    /// The execution graph that was built.
+    pub graph: ExecGraph,
+    /// Phase-synchronous view of the graph (per phase instance, the
+    /// maximum of its nodes' durations).
+    pub timeline: Timeline,
+    /// Critical-path makespan from the scheduler. Equals
+    /// `timeline.total()` bit-for-bit when the graph is
+    /// barrier-synchronous.
+    pub makespan: f64,
+}
+
+impl PipelineRun {
+    /// Schedule `graph` and package the derived views.
+    pub fn from_graph(graph: ExecGraph) -> Self {
+        let timeline = graph.timeline();
+        let makespan = graph.schedule().makespan;
+        PipelineRun { graph, timeline, makespan }
+    }
+}
+
+/// Largest power of two ≤ `requested`, clamped to `[1, batch]` (`batch` is
+/// itself a power of two, so the result always divides it).
+fn effective_batches(requested: usize, batch: usize) -> usize {
+    let b = requested.clamp(1, batch);
+    let mut p = 1;
+    while p * 2 <= b {
+        p *= 2;
+    }
+    p
+}
+
+/// The link resources the aux-array exchange occupies: the union of the
+/// routes between the group root and every worker.
+pub(crate) fn collective_links<T: Scannable>(
+    fabric: &Fabric,
+    workers: &[Worker<T>],
+) -> Vec<Resource> {
+    let root = workers[0].global_id;
+    let mut links = Vec::new();
+    for w in workers {
+        for r in fabric.links_between(root, w.global_id) {
+            if !links.contains(&r) {
+                links.push(r);
+            }
+        }
+    }
+    links
+}
+
+/// Run the three-stage pipeline over one GPU group, appending its
+/// operations to a fresh [`ExecGraph`] and writing the scanned batch into
+/// `out` (which must hold `problem.total_elems()` elements).
+///
+/// Each sub-batch contributes five phase instances —
+/// `stage1:chunk-reduce`, `comm:gather-aux`, `stage2:intermediate-scan`,
+/// `comm:scatter-offsets`, `stage3:scan-add` — with kernels on each GPU's
+/// stream 0 and the exchanges on the links they traverse.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn build_pipeline_graph<T: Scannable, O: ScanOp<T>>(
+    op: O,
+    tuple: SplkTuple,
+    device: &DeviceSpec,
+    fabric: &Fabric,
+    gpu_ids: &[usize],
+    problem: ProblemParams,
+    input: &[T],
+    kind: ScanKind,
+    policy: &PipelinePolicy,
+    out: &mut [T],
+) -> ScanResult<ExecGraph> {
+    if input.len() != problem.total_elems() {
+        return Err(ScanError::InvalidInput(format!(
+            "input holds {} elements but G·N = {}",
+            input.len(),
+            problem.total_elems()
+        )));
+    }
+    let batches = effective_batches(policy.batches, problem.batch());
+    let sub_batch = problem.batch() / batches;
+    let sub_problem = ProblemParams::new(problem.n(), sub_batch.trailing_zeros());
+    let n = problem.problem_size();
+
+    let mut graph = ExecGraph::new();
+    // In barrier mode, every node of a phase instance depends on all nodes
+    // of the previous instance (within and across sub-batches); in overlap
+    // mode only the structural deps below remain.
+    let mut prev_phase: Vec<NodeId> = Vec::new();
+
+    for b in 0..batches {
+        let lo = b * sub_batch * n;
+        let hi = lo + sub_batch * n;
+        let plan = ExecutionPlan::new(sub_problem, tuple, gpu_ids.len())?;
+        let mut workers = build_workers(device, &plan, gpu_ids, &input[lo..hi])?;
+        let stream = |w: &Worker<T>| Resource::Stream { gpu: w.global_id, stream: 0 };
+        let links = collective_links(fabric, &workers);
+
+        // Stage 1: chunk reductions, one kernel per GPU stream. The only
+        // cross-batch ordering in overlap mode is each stream's in-order
+        // execution.
+        let t1 = parallel_phase(&mut workers, |w| {
+            run_stage1(&mut w.gpu, &plan, op, &w.input, &mut w.aux)
+        })?;
+        let p = graph.phase("stage1:chunk-reduce");
+        let barrier_deps = if policy.overlap { Vec::new() } else { prev_phase.clone() };
+        let s1: Vec<NodeId> = workers
+            .iter()
+            .zip(&t1)
+            .map(|(w, &secs)| {
+                graph.add(
+                    p,
+                    "stage1:chunk-reduce",
+                    EventKind::Kernel,
+                    secs,
+                    &barrier_deps,
+                    &[stream(w)],
+                )
+            })
+            .collect();
+
+        // Aux gather: needs every GPU's chunk reductions; occupies the
+        // union of links to the root.
+        let mut root_aux = workers[0].gpu.alloc::<T>(plan.aux_global_len())?;
+        let gather = gather_aux(fabric, &workers, &mut root_aux, &plan);
+        workers[0].gpu.charge("comm:gather-aux", EventKind::Transfer, gather.seconds);
+        let p = graph.phase("comm:gather-aux");
+        let g_id =
+            graph.add(p, "comm:gather-aux", EventKind::Transfer, gather.seconds, &s1, &links);
+
+        // Stage 2 on the group root's stream.
+        let before = workers[0].gpu.elapsed();
+        run_stage2(&mut workers[0].gpu, &plan, op, &mut root_aux)?;
+        let p = graph.phase("stage2:intermediate-scan");
+        let s2 = graph.add(
+            p,
+            "stage2:intermediate-scan",
+            EventKind::Kernel,
+            workers[0].gpu.elapsed() - before,
+            &[g_id],
+            &[stream(&workers[0])],
+        );
+
+        // Offsets scatter, back over the same links.
+        let scatter = scatter_offsets(fabric, &mut workers, &root_aux, &plan);
+        workers[0].gpu.charge("comm:scatter-offsets", EventKind::Transfer, scatter.seconds);
+        let p = graph.phase("comm:scatter-offsets");
+        let sc = graph.add(
+            p,
+            "comm:scatter-offsets",
+            EventKind::Transfer,
+            scatter.seconds,
+            &[s2],
+            &links,
+        );
+
+        // Stage 3: scan + add offsets, one kernel per GPU stream.
+        let t3 = parallel_phase(&mut workers, |w| {
+            run_stage3_kind(&mut w.gpu, &plan, op, &w.input, &w.offsets, &mut w.output, kind)
+        })?;
+        let p = graph.phase("stage3:scan-add");
+        let s3: Vec<NodeId> = workers
+            .iter()
+            .zip(&t3)
+            .map(|(w, &secs)| {
+                graph.add(p, "stage3:scan-add", EventKind::Kernel, secs, &[sc], &[stream(w)])
+            })
+            .collect();
+        prev_phase = s3;
+
+        out[lo..hi].copy_from_slice(&assemble_output(&plan, &workers));
+    }
+    Ok(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skeletons::{reference_inclusive, Add};
+
+    fn pseudo(n: usize) -> Vec<i32> {
+        (0..n).map(|i| ((i as i64 * 22695477 + 1) % 139) as i32 - 69).collect()
+    }
+
+    #[test]
+    fn effective_batches_is_a_dividing_power_of_two() {
+        assert_eq!(effective_batches(1, 8), 1);
+        assert_eq!(effective_batches(3, 8), 2);
+        assert_eq!(effective_batches(4, 8), 4);
+        assert_eq!(effective_batches(100, 8), 8);
+        assert_eq!(effective_batches(0, 8), 1);
+        assert_eq!(effective_batches(4, 1), 1);
+    }
+
+    #[test]
+    fn pipelined_run_scans_correctly() {
+        // Functional correctness is policy-independent: 8 problems in 4
+        // sub-batches must scan exactly like one pass.
+        let problem = ProblemParams::new(12, 3);
+        let input = pseudo(problem.total_elems());
+        let fabric = Fabric::tsubame_kfc(1);
+        let mut out = vec![0i32; problem.total_elems()];
+        let graph = build_pipeline_graph(
+            Add,
+            SplkTuple::kepler_premises(0),
+            &gpu_sim::DeviceSpec::tesla_k80(),
+            &fabric,
+            &[0, 1],
+            problem,
+            &input,
+            ScanKind::Inclusive,
+            &PipelinePolicy::pipelined(4),
+            &mut out,
+        )
+        .unwrap();
+        let n = problem.problem_size();
+        for g in 0..problem.batch() {
+            let expected = reference_inclusive(Add, &input[g * n..(g + 1) * n]);
+            assert_eq!(&out[g * n..(g + 1) * n], &expected[..], "problem {g}");
+        }
+        // 4 sub-batches x 5 phase instances.
+        assert_eq!(graph.phase_labels().len(), 20);
+        // Overlap must not lose time: the schedule is at most the
+        // barrier-synchronous sum, and the phase view preserves it.
+        let run = PipelineRun::from_graph(graph);
+        assert!(run.makespan <= run.timeline.total());
+        assert!(run.makespan > 0.0);
+    }
+
+    #[test]
+    fn overlap_beats_batched_barrier() {
+        let problem = ProblemParams::new(12, 3);
+        let input = pseudo(problem.total_elems());
+        let fabric = Fabric::tsubame_kfc(1);
+        let device = gpu_sim::DeviceSpec::tesla_k80();
+        let tuple = SplkTuple::kepler_premises(0);
+        let run_with = |policy: &PipelinePolicy| {
+            let mut out = vec![0i32; problem.total_elems()];
+            let graph = build_pipeline_graph(
+                Add,
+                tuple,
+                &device,
+                &fabric,
+                &[0, 1],
+                problem,
+                &input,
+                ScanKind::Inclusive,
+                policy,
+                &mut out,
+            )
+            .unwrap();
+            PipelineRun::from_graph(graph).makespan
+        };
+        let barrier = run_with(&PipelinePolicy::batched_barrier(4));
+        let overlapped = run_with(&PipelinePolicy::pipelined(4));
+        assert!(
+            overlapped < barrier,
+            "pipelining must hide communication ({overlapped} vs {barrier})"
+        );
+    }
+}

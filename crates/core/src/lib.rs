@@ -48,6 +48,7 @@ pub mod autotune;
 pub mod breakdown;
 pub mod case1;
 pub mod error;
+pub mod exec;
 pub mod mppc;
 pub mod mps;
 pub mod multi_gpu;
@@ -67,8 +68,9 @@ pub use autotune::{autotune_k, autotune_scan_sp, TuneResult};
 pub use breakdown::{Breakdown, BreakdownRow};
 pub use case1::scan_case1;
 pub use error::{ScanError, ScanResult};
-pub use mppc::scan_mppc;
-pub use mps::{scan_mps, scan_mps_exclusive};
+pub use exec::{PipelinePolicy, PipelineRun};
+pub use mppc::{scan_mppc, scan_mppc_with};
+pub use mps::{scan_mps, scan_mps_exclusive, scan_mps_with};
 pub use multinode::scan_mps_multinode;
 pub use params::{NodeConfig, ProblemParams, ScanKind};
 pub use plan::ExecutionPlan;

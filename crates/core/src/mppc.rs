@@ -15,19 +15,21 @@
 //! number of PCI-e \[networks\] being used has to be reduced".
 
 use gpu_sim::DeviceSpec;
-use interconnect::{Fabric, Timeline};
+use interconnect::{ExecGraph, Fabric};
 use skeletons::{ScanOp, Scannable, SplkTuple};
 
 use crate::error::{ScanError, ScanResult};
-use crate::multi_gpu::run_pipeline_group;
-use crate::params::{NodeConfig, ProblemParams};
+use crate::exec::{build_pipeline_graph, PipelinePolicy, PipelineRun};
+use crate::params::{NodeConfig, ProblemParams, ScanKind};
 use crate::report::{RunReport, ScanOutput};
 
 /// Batch inclusive scan with the Prioritized Communications approach.
 ///
 /// Uses `M · Y` independent network groups of `V` GPUs each; groups run
-/// concurrently with no inter-group communication, so the simulated
-/// makespan of each phase is the maximum across groups.
+/// concurrently with no inter-group communication. Each group builds its
+/// own execution subgraph on a scoped host thread; the subgraphs are merged
+/// into one graph whose schedule gives the run's makespan (groups never
+/// share a stream or link, so they overlap fully).
 pub fn scan_mppc<T: Scannable, O: ScanOp<T>>(
     op: O,
     tuple: SplkTuple,
@@ -36,6 +38,22 @@ pub fn scan_mppc<T: Scannable, O: ScanOp<T>>(
     cfg: NodeConfig,
     problem: ProblemParams,
     input: &[T],
+) -> ScanResult<ScanOutput<T>> {
+    scan_mppc_with(op, tuple, device, fabric, cfg, problem, input, &Default::default())
+}
+
+/// Scan-MP-PC with an explicit [`PipelinePolicy`] applied inside every
+/// network group.
+#[allow(clippy::too_many_arguments)]
+pub fn scan_mppc_with<T: Scannable, O: ScanOp<T>>(
+    op: O,
+    tuple: SplkTuple,
+    device: &DeviceSpec,
+    fabric: &Fabric,
+    cfg: NodeConfig,
+    problem: ProblemParams,
+    input: &[T],
+    policy: &PipelinePolicy,
 ) -> ScanResult<ScanOutput<T>> {
     cfg.validate_against(fabric.topology())?;
     if input.len() != problem.total_elems() {
@@ -55,52 +73,67 @@ pub fn scan_mppc<T: Scannable, O: ScanOp<T>>(
     let n = problem.problem_size();
 
     let mut data = vec![T::default(); problem.total_elems()];
-    let mut group_timelines: Vec<Timeline> = Vec::with_capacity(groups);
 
-    for group in 0..groups {
-        // Groups are assigned round-robin over (node, network).
-        let node = group / cfg.y();
-        let network = group % cfg.y();
-        let gpu_ids: Vec<usize> =
-            (0..cfg.v()).map(|slot| fabric.topology().gpu_at(node, network, slot)).collect();
-        let start = group * problems_per_group * n;
-        let end = start + problems_per_group * n;
-        let (sub_out, tl) = run_pipeline_group(
-            op,
-            tuple,
-            device,
-            fabric,
-            &gpu_ids,
-            sub_problem,
-            &input[start..end],
-        )?;
-        data[start..end].copy_from_slice(&sub_out);
-        group_timelines.push(tl);
+    // Groups are independent — run each builder on its own scoped host
+    // thread, writing directly into its disjoint slice of the output.
+    let group_graphs: Vec<ScanResult<ExecGraph>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = data
+            .chunks_mut(problems_per_group * n)
+            .enumerate()
+            .map(|(group, out_chunk)| {
+                // Groups are assigned round-robin over (node, network).
+                let node = group / cfg.y();
+                let network = group % cfg.y();
+                let gpu_ids: Vec<usize> = (0..cfg.v())
+                    .map(|slot| fabric.topology().gpu_at(node, network, slot))
+                    .collect();
+                let start = group * problems_per_group * n;
+                let group_input = &input[start..start + problems_per_group * n];
+                scope.spawn(move || {
+                    build_pipeline_graph(
+                        op,
+                        tuple,
+                        device,
+                        fabric,
+                        &gpu_ids,
+                        sub_problem,
+                        group_input,
+                        ScanKind::Inclusive,
+                        policy,
+                        out_chunk,
+                    )
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("group thread panicked")).collect()
+    });
+
+    let mut merged: Option<ExecGraph> = None;
+    for graph in group_graphs {
+        let graph = graph?;
+        match merged.as_mut() {
+            None => merged = Some(graph),
+            Some(g) => {
+                g.merge(graph);
+            }
+        }
     }
+    let graph = merged.expect("at least one group");
 
-    // Groups run concurrently and are symmetric: the run's timeline is the
-    // phase-wise maximum across groups.
-    let mut timeline = Timeline::new();
-    let phase_count = group_timelines[0].phases().len();
-    for i in 0..phase_count {
-        let label = group_timelines[0].phases()[i].label.clone();
-        let secs = group_timelines.iter().map(|t| t.phases()[i].seconds).fold(0.0, f64::max);
-        timeline.push(label, secs);
-    }
-
+    let plural = if groups == 1 { "group" } else { "groups" };
     Ok(ScanOutput {
         data,
-        report: RunReport {
-            label: format!(
-                "Scan-MP-PC W={} V={} Y={} M={} ({groups} groups)",
+        report: RunReport::from_run(
+            format!(
+                "Scan-MP-PC W={} V={} Y={} M={} ({groups} {plural})",
                 cfg.w(),
                 cfg.v(),
                 cfg.y(),
                 cfg.m()
             ),
-            elements: problem.total_elems(),
-            timeline,
-        },
+            problem.total_elems(),
+            PipelineRun::from_graph(graph),
+        ),
     })
 }
 
@@ -186,7 +219,8 @@ mod tests {
             scan_mppc(Add, SplkTuple::kepler_premises(0), &k80(), &fabric, cfg, problem, &input)
                 .unwrap();
         verify_batch(&out.data, &input, problem);
-        assert!(out.report.label.contains("(1 groups)"));
+        assert!(out.report.label.contains("(1 group)"), "label: {}", out.report.label);
+        assert!(!out.report.label.contains("(1 groups)"), "label: {}", out.report.label);
     }
 
     #[test]

@@ -15,7 +15,8 @@ use interconnect::Fabric;
 use skeletons::{ScanOp, Scannable, SplkTuple};
 
 use crate::error::{ScanError, ScanResult};
-use crate::multi_gpu::run_pipeline_group_kind;
+use crate::exec::PipelinePolicy;
+use crate::multi_gpu::run_pipeline_group_policy;
 use crate::params::{NodeConfig, ProblemParams, ScanKind};
 use crate::report::{RunReport, ScanOutput};
 
@@ -63,6 +64,41 @@ pub fn scan_mps_kind<T: Scannable, O: ScanOp<T>>(
     input: &[T],
     kind: ScanKind,
 ) -> ScanResult<ScanOutput<T>> {
+    scan_mps_with_kind(op, tuple, device, fabric, cfg, problem, input, kind, &Default::default())
+}
+
+/// Scan-MPS with an explicit [`PipelinePolicy`] (inclusive semantics).
+///
+/// A pipelined policy splits the batch into sub-batches and lets the
+/// auxiliary-array exchange of one sub-batch overlap Stage-1 compute of the
+/// next; the default barrier-synchronous policy reproduces the paper's model
+/// exactly.
+#[allow(clippy::too_many_arguments)]
+pub fn scan_mps_with<T: Scannable, O: ScanOp<T>>(
+    op: O,
+    tuple: SplkTuple,
+    device: &DeviceSpec,
+    fabric: &Fabric,
+    cfg: NodeConfig,
+    problem: ProblemParams,
+    input: &[T],
+    policy: &PipelinePolicy,
+) -> ScanResult<ScanOutput<T>> {
+    scan_mps_with_kind(op, tuple, device, fabric, cfg, problem, input, ScanKind::Inclusive, policy)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn scan_mps_with_kind<T: Scannable, O: ScanOp<T>>(
+    op: O,
+    tuple: SplkTuple,
+    device: &DeviceSpec,
+    fabric: &Fabric,
+    cfg: NodeConfig,
+    problem: ProblemParams,
+    input: &[T],
+    kind: ScanKind,
+    policy: &PipelinePolicy,
+) -> ScanResult<ScanOutput<T>> {
     if cfg.m() != 1 {
         return Err(ScanError::InvalidConfig(
             "scan_mps is the single-node proposal; use scan_mps_multinode for M > 1".into(),
@@ -70,15 +106,16 @@ pub fn scan_mps_kind<T: Scannable, O: ScanOp<T>>(
     }
     cfg.validate_against(fabric.topology())?;
     let gpu_ids = cfg.selected_gpus(fabric.topology());
-    let (data, timeline) =
-        run_pipeline_group_kind(op, tuple, device, fabric, &gpu_ids, problem, input, kind)?;
+    let (data, run) = run_pipeline_group_policy(
+        op, tuple, device, fabric, &gpu_ids, problem, input, kind, policy,
+    )?;
     Ok(ScanOutput {
         data,
-        report: RunReport {
-            label: format!("Scan-MPS W={} V={} Y={}", cfg.w(), cfg.v(), cfg.y()),
-            elements: problem.total_elems(),
-            timeline,
-        },
+        report: RunReport::from_run(
+            format!("Scan-MPS W={} V={} Y={}", cfg.w(), cfg.v(), cfg.y()),
+            problem.total_elems(),
+            run,
+        ),
     })
 }
 

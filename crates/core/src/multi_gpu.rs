@@ -7,16 +7,14 @@
 //! maximum of the per-GPU times, matching the paper's phase-synchronous
 //! execution.
 
-use gpu_sim::{DeviceSpec, EventKind, Gpu, KernelStats, SimResult};
-use interconnect::{strided_exchange_cost, CollectiveCost, Fabric, StridedPart, Timeline};
+use gpu_sim::{DeviceSpec, Gpu, KernelStats, SimResult};
+use interconnect::{strided_exchange_cost, CollectiveCost, Fabric, StridedPart};
 use skeletons::{ScanOp, Scannable, SplkTuple};
 
 use crate::error::{ScanError, ScanResult};
+use crate::exec::{build_pipeline_graph, PipelinePolicy, PipelineRun};
 use crate::params::{ProblemParams, ScanKind};
 use crate::plan::ExecutionPlan;
-use crate::stage1::run_stage1;
-use crate::stage2::run_stage2;
-use crate::stage3::run_stage3_kind;
 
 /// One participating GPU and its buffers.
 #[derive(Debug)]
@@ -196,7 +194,10 @@ pub fn assemble_output<T: Scannable>(plan: &ExecutionPlan, workers: &[Worker<T>]
 /// performance than splitting it", §4.1), offsets scatter, Stage 3 in
 /// parallel.
 ///
-/// Returns the scanned batch (problem-major) and the phase timeline.
+/// The run is assembled as an execution graph (see [`crate::exec`]) whose
+/// kernels sit on per-GPU streams and whose exchanges occupy the links they
+/// traverse. Returns the scanned batch (problem-major) and the scheduled
+/// [`PipelineRun`] (graph, derived timeline, makespan).
 pub fn run_pipeline_group<T: Scannable, O: ScanOp<T>>(
     op: O,
     tuple: SplkTuple,
@@ -205,7 +206,7 @@ pub fn run_pipeline_group<T: Scannable, O: ScanOp<T>>(
     gpu_ids: &[usize],
     problem: ProblemParams,
     input: &[T],
-) -> ScanResult<(Vec<T>, Timeline)> {
+) -> ScanResult<(Vec<T>, PipelineRun)> {
     run_pipeline_group_kind(op, tuple, device, fabric, gpu_ids, problem, input, ScanKind::Inclusive)
 }
 
@@ -220,34 +221,39 @@ pub fn run_pipeline_group_kind<T: Scannable, O: ScanOp<T>>(
     problem: ProblemParams,
     input: &[T],
     kind: ScanKind,
-) -> ScanResult<(Vec<T>, Timeline)> {
-    let plan = ExecutionPlan::new(problem, tuple, gpu_ids.len())?;
-    let mut workers = build_workers(device, &plan, gpu_ids, input)?;
-    let mut tl = Timeline::new();
+) -> ScanResult<(Vec<T>, PipelineRun)> {
+    run_pipeline_group_policy(
+        op,
+        tuple,
+        device,
+        fabric,
+        gpu_ids,
+        problem,
+        input,
+        kind,
+        &PipelinePolicy::barrier_synchronous(),
+    )
+}
 
-    let t1 =
-        parallel_phase(&mut workers, |w| run_stage1(&mut w.gpu, &plan, op, &w.input, &mut w.aux))?;
-    tl.push_parallel("stage1:chunk-reduce", &t1);
-
-    let mut root_aux = workers[0].gpu.alloc::<T>(plan.aux_global_len())?;
-    let gather = gather_aux(fabric, &workers, &mut root_aux, &plan);
-    tl.push("comm:gather-aux", gather.seconds);
-    workers[0].gpu.charge("comm:gather-aux", EventKind::Transfer, gather.seconds);
-
-    let before = workers[0].gpu.elapsed();
-    run_stage2(&mut workers[0].gpu, &plan, op, &mut root_aux)?;
-    tl.push("stage2:intermediate-scan", workers[0].gpu.elapsed() - before);
-
-    let scatter = scatter_offsets(fabric, &mut workers, &root_aux, &plan);
-    tl.push("comm:scatter-offsets", scatter.seconds);
-    workers[0].gpu.charge("comm:scatter-offsets", EventKind::Transfer, scatter.seconds);
-
-    let t3 = parallel_phase(&mut workers, |w| {
-        run_stage3_kind(&mut w.gpu, &plan, op, &w.input, &w.offsets, &mut w.output, kind)
-    })?;
-    tl.push_parallel("stage3:scan-add", &t3);
-
-    Ok((assemble_output(&plan, &workers), tl))
+/// [`run_pipeline_group_kind`] with an explicit issue policy (sub-batch
+/// count and communication/compute overlap).
+#[allow(clippy::too_many_arguments)]
+pub fn run_pipeline_group_policy<T: Scannable, O: ScanOp<T>>(
+    op: O,
+    tuple: SplkTuple,
+    device: &DeviceSpec,
+    fabric: &Fabric,
+    gpu_ids: &[usize],
+    problem: ProblemParams,
+    input: &[T],
+    kind: ScanKind,
+    policy: &PipelinePolicy,
+) -> ScanResult<(Vec<T>, PipelineRun)> {
+    let mut out = vec![T::default(); problem.total_elems()];
+    let graph = build_pipeline_graph(
+        op, tuple, device, fabric, gpu_ids, problem, input, kind, policy, &mut out,
+    )?;
+    Ok((out, PipelineRun::from_graph(graph)))
 }
 
 #[cfg(test)]
@@ -321,7 +327,7 @@ mod tests {
         let problem = ProblemParams::new(13, 2);
         let input = pseudo(4 << 13);
         let fabric = Fabric::tsubame_kfc(1);
-        let (out, tl) = run_pipeline_group(
+        let (out, run) = run_pipeline_group(
             Add,
             SplkTuple::kepler_premises(0),
             &k80(),
@@ -336,8 +342,13 @@ mod tests {
             let expected = reference_inclusive(Add, &input[s..s + (1 << 13)]);
             assert_eq!(&out[s..s + (1 << 13)], &expected[..], "problem {g}");
         }
-        assert_eq!(tl.phases().len(), 5, "three stages and two comm phases");
-        assert!(tl.total() > 0.0);
+        assert_eq!(run.timeline.phases().len(), 5, "three stages and two comm phases");
+        assert!(run.makespan > 0.0);
+        assert_eq!(
+            run.makespan.to_bits(),
+            run.timeline.total().to_bits(),
+            "barrier-synchronous schedule must equal the phase sum exactly"
+        );
     }
 
     #[test]
@@ -345,7 +356,7 @@ mod tests {
         let problem = ProblemParams::new(12, 3);
         let input = pseudo(8 << 12);
         let fabric = Fabric::tsubame_kfc(1);
-        let (out, tl) = run_pipeline_group(
+        let (out, run) = run_pipeline_group(
             Add,
             SplkTuple::kepler_premises(1),
             &k80(),
@@ -361,7 +372,7 @@ mod tests {
             assert_eq!(&out[s..s + (1 << 12)], &expected[..]);
         }
         // Single-GPU comm phases are free.
-        assert_eq!(tl.seconds_with_prefix("comm:"), 0.0);
+        assert_eq!(run.timeline.seconds_with_prefix("comm:"), 0.0);
     }
 
     #[test]
@@ -393,14 +404,14 @@ mod tests {
         let fabric = Fabric::tsubame_kfc(1);
         let tuple = SplkTuple::kepler_premises(0);
         // Same-network four GPUs vs four GPUs split across two networks.
-        let (_, tl_p2p) =
+        let (_, run_p2p) =
             run_pipeline_group(Add, tuple, &k80(), &fabric, &[0, 1, 2, 3], problem, &input)
                 .unwrap();
-        let (_, tl_host) =
+        let (_, run_host) =
             run_pipeline_group(Add, tuple, &k80(), &fabric, &[0, 1, 4, 5], problem, &input)
                 .unwrap();
-        let comm_p2p = tl_p2p.seconds_with_prefix("comm:");
-        let comm_host = tl_host.seconds_with_prefix("comm:");
+        let comm_p2p = run_p2p.timeline.seconds_with_prefix("comm:");
+        let comm_host = run_host.timeline.seconds_with_prefix("comm:");
         assert!(
             comm_host > 2.0 * comm_p2p,
             "cross-network aux exchange must be much slower ({comm_host} vs {comm_p2p})"

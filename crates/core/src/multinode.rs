@@ -12,12 +12,13 @@
 //! the [`interconnect::MpiComm`] cost model honours.
 
 use gpu_sim::{DeviceSpec, EventKind};
-use interconnect::{Fabric, MpiComm, Timeline};
+use interconnect::{ExecGraph, Fabric, MpiComm, NodeId, Resource};
 use skeletons::{ScanOp, Scannable, SplkTuple};
 
 use crate::error::{ScanError, ScanResult};
+use crate::exec::{collective_links, PipelineRun};
 use crate::multi_gpu::{
-    assemble_output, build_workers, parallel_phase, scatter_offsets_functional,
+    assemble_output, build_workers, parallel_phase, scatter_offsets_functional, Worker,
 };
 use crate::params::{NodeConfig, ProblemParams};
 use crate::plan::ExecutionPlan;
@@ -49,50 +50,78 @@ pub fn scan_mps_multinode<T: Scannable, O: ScanOp<T>>(
 
     let plan = ExecutionPlan::new(problem, tuple, gpu_ids.len())?;
     let mut workers = build_workers(device, &plan, &gpu_ids, input)?;
-    let mut tl = Timeline::new();
+    let mut graph = ExecGraph::new();
     let elem_bytes = std::mem::size_of::<T>();
+    let stream = |w: &Worker<T>| Resource::Stream { gpu: w.global_id, stream: 0 };
+    let links = collective_links(fabric, &workers);
 
     // "After synchronizing all MPI processes, the first stage is executed."
     let barrier = comm.barrier(fabric);
-    tl.push("MPI_Barrier", barrier.seconds);
+    let p = graph.phase("MPI_Barrier");
+    let b0 = graph.add(p, "MPI_Barrier", EventKind::Collective, barrier.seconds, &[], &[]);
 
     let t1 =
         parallel_phase(&mut workers, |w| run_stage1(&mut w.gpu, &plan, op, &w.input, &mut w.aux))?;
-    tl.push_parallel("stage1:chunk-reduce", &t1);
+    let p = graph.phase("stage1:chunk-reduce");
+    let s1: Vec<NodeId> = workers
+        .iter()
+        .zip(&t1)
+        .map(|(w, &secs)| {
+            graph.add(p, "stage1:chunk-reduce", EventKind::Kernel, secs, &[b0], &[stream(w)])
+        })
+        .collect();
 
     // MPI_Gather: every rank's local aux (G · Bx¹ elements) to the master.
     let mut root_aux = workers[0].gpu.alloc::<T>(plan.aux_global_len())?;
     gather_functional(&workers, &mut root_aux, &plan);
     let gather = comm.gather(fabric, plan.aux_local_len() * elem_bytes);
-    tl.push("MPI_Gather", gather.seconds);
     workers[0].gpu.charge("MPI_Gather", EventKind::Collective, gather.seconds);
+    let p = graph.phase("MPI_Gather");
+    let g_id = graph.add(p, "MPI_Gather", EventKind::Collective, gather.seconds, &s1, &links);
 
     let before = workers[0].gpu.elapsed();
     run_stage2(&mut workers[0].gpu, &plan, op, &mut root_aux)?;
-    tl.push("stage2:intermediate-scan", workers[0].gpu.elapsed() - before);
+    let p = graph.phase("stage2:intermediate-scan");
+    let s2 = graph.add(
+        p,
+        "stage2:intermediate-scan",
+        EventKind::Kernel,
+        workers[0].gpu.elapsed() - before,
+        &[g_id],
+        &[stream(&workers[0])],
+    );
 
     // MPI_Scatter: each rank's slice of the scanned offsets back.
     scatter_offsets_functional(&mut workers, &root_aux, &plan);
     let scatter = comm.scatter(fabric, plan.aux_local_len() * elem_bytes);
-    tl.push("MPI_Scatter", scatter.seconds);
     workers[0].gpu.charge("MPI_Scatter", EventKind::Collective, scatter.seconds);
+    let p = graph.phase("MPI_Scatter");
+    let sc = graph.add(p, "MPI_Scatter", EventKind::Collective, scatter.seconds, &[s2], &links);
 
     let t3 = parallel_phase(&mut workers, |w| {
         run_stage3(&mut w.gpu, &plan, op, &w.input, &w.offsets, &mut w.output)
     })?;
-    tl.push_parallel("stage3:scan-add", &t3);
+    let p = graph.phase("stage3:scan-add");
+    let s3: Vec<NodeId> = workers
+        .iter()
+        .zip(&t3)
+        .map(|(w, &secs)| {
+            graph.add(p, "stage3:scan-add", EventKind::Kernel, secs, &[sc], &[stream(w)])
+        })
+        .collect();
 
     // Final synchronisation before the result is collected from the GPUs.
     let barrier = comm.barrier(fabric);
-    tl.push("MPI_Barrier", barrier.seconds);
+    let p = graph.phase("MPI_Barrier");
+    graph.add(p, "MPI_Barrier", EventKind::Collective, barrier.seconds, &s3, &[]);
 
     Ok(ScanOutput {
         data: assemble_output(&plan, &workers),
-        report: RunReport {
-            label: format!("Scan-MPS multi-node M={} W={}", cfg.m(), cfg.w()),
-            elements: problem.total_elems(),
-            timeline: tl,
-        },
+        report: RunReport::from_run(
+            format!("Scan-MPS multi-node M={} W={}", cfg.m(), cfg.w()),
+            problem.total_elems(),
+            PipelineRun::from_graph(graph),
+        ),
     })
 }
 

@@ -259,8 +259,7 @@ pub fn premise4_recommend(
     let aux_bytes = problem.problem_size() / 1024 * 4; // ~one reduction per KiB chunk
     let spec = fabric.spec();
     let host_cost = spec.host_staged.transfer_time(aux_bytes);
-    let mpi_cost =
-        spec.inter_node.transfer_time(aux_bytes) + spec.mpi_collective_overhead;
+    let mpi_cost = spec.inter_node.transfer_time(aux_bytes) + spec.mpi_collective_overhead;
     if m_max > 1 && mpi_cost < host_cost {
         let config =
             NodeConfig::new(v_max * y_max, v_max, y_max, m_max).expect("hardware-shaped config");
@@ -455,10 +454,7 @@ mod premise4_tests {
 
     #[test]
     fn single_network_machine_uses_mps() {
-        let fabric = Fabric::new(
-            interconnect::Topology::regular(1, 1, 4),
-            Default::default(),
-        );
+        let fabric = Fabric::new(interconnect::Topology::regular(1, 1, 4), Default::default());
         let rec = premise4_recommend(&fabric, &ProblemParams::single(22));
         assert_eq!(rec.proposal, RecommendedProposal::ScanMps);
         assert_eq!(rec.config.w(), 4);
@@ -467,8 +463,7 @@ mod premise4_tests {
 
     #[test]
     fn single_gpu_machine_uses_sp() {
-        let fabric =
-            Fabric::new(interconnect::Topology::single_gpu(), Default::default());
+        let fabric = Fabric::new(interconnect::Topology::single_gpu(), Default::default());
         let rec = premise4_recommend(&fabric, &ProblemParams::new(16, 4));
         assert_eq!(rec.proposal, RecommendedProposal::ScanSp);
         assert_eq!(rec.config.total_gpus(), 1);

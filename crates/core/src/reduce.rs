@@ -80,11 +80,7 @@ pub fn reduce_sp<T: Scannable, O: ScanOp<T>>(
 
     Ok(ReduceOutput {
         totals,
-        report: RunReport {
-            label: "Reduce-SP".into(),
-            elements: problem.total_elems(),
-            timeline: tl,
-        },
+        report: RunReport::from_timeline("Reduce-SP", problem.total_elems(), tl),
     })
 }
 

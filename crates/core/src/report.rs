@@ -1,6 +1,8 @@
 //! Run reports: what a pipeline invocation returns besides the data.
 
-use interconnect::Timeline;
+use interconnect::{ExecGraph, Timeline};
+
+use crate::exec::PipelineRun;
 
 /// Timing report of one batch-scan invocation.
 #[derive(Debug, Clone)]
@@ -9,14 +11,42 @@ pub struct RunReport {
     pub label: String,
     /// Total elements processed (`G · N`).
     pub elements: usize,
-    /// Phase timeline (simulated seconds).
+    /// Phase timeline (simulated seconds), derived from the execution
+    /// graph when one was built.
     pub timeline: Timeline,
+    /// Scheduled makespan (critical path through the execution graph).
+    ///
+    /// For barrier-synchronous plans this is bit-identical to
+    /// [`Timeline::total`]; with pipelining enabled it can be strictly
+    /// smaller.
+    pub makespan: f64,
+    /// The execution graph the run was scheduled from, when the proposal
+    /// builds one (the reduce and baseline paths only record a timeline).
+    pub graph: Option<ExecGraph>,
 }
 
 impl RunReport {
-    /// Total simulated duration (the makespan).
+    /// Report for a run that only recorded a phase timeline (no execution
+    /// graph): the makespan is the phase sum.
+    pub fn from_timeline(label: impl Into<String>, elements: usize, timeline: Timeline) -> Self {
+        let makespan = timeline.total();
+        RunReport { label: label.into(), elements, timeline, makespan, graph: None }
+    }
+
+    /// Report for a run scheduled through an execution graph.
+    pub fn from_run(label: impl Into<String>, elements: usize, run: PipelineRun) -> Self {
+        RunReport {
+            label: label.into(),
+            elements,
+            timeline: run.timeline,
+            makespan: run.makespan,
+            graph: Some(run.graph),
+        }
+    }
+
+    /// Total simulated duration: the scheduled makespan.
     pub fn seconds(&self) -> f64 {
-        self.timeline.total()
+        self.makespan
     }
 
     /// Throughput in elements per simulated second — the paper's
@@ -50,9 +80,10 @@ mod tests {
         let mut tl = Timeline::new();
         tl.push("stage1", 0.5);
         tl.push("stage3", 0.5);
-        let r = RunReport { label: "test".into(), elements: 1_000_000, timeline: tl };
+        let r = RunReport::from_timeline("test", 1_000_000, tl);
         assert!((r.seconds() - 1.0).abs() < 1e-12);
         assert!((r.throughput() - 1.0e6).abs() < 1e-6);
         assert!((r.throughput_gbs(4) - 0.004).abs() < 1e-12);
+        assert!(r.graph.is_none());
     }
 }

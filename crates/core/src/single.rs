@@ -50,19 +50,13 @@ pub fn scan_sp_kind<T: Scannable, O: ScanOp<T>>(
     kind: ScanKind,
 ) -> ScanResult<ScanOutput<T>> {
     let fabric = Fabric::new(interconnect::Topology::single_gpu(), Default::default());
-    let (data, timeline) =
+    let (data, run) =
         run_pipeline_group_kind(op, tuple, device, &fabric, &[0], problem, input, kind)?;
-    Ok(ScanOutput {
-        data,
-        report: RunReport {
-            label: match kind {
-                ScanKind::Inclusive => "Scan-SP".into(),
-                ScanKind::Exclusive => "Scan-SP (exclusive)".into(),
-            },
-            elements: problem.total_elems(),
-            timeline,
-        },
-    })
+    let label = match kind {
+        ScanKind::Inclusive => "Scan-SP",
+        ScanKind::Exclusive => "Scan-SP (exclusive)",
+    };
+    Ok(ScanOutput { data, report: RunReport::from_run(label, problem.total_elems(), run) })
 }
 
 #[cfg(test)]

@@ -1,10 +1,23 @@
 //! Event log: a per-GPU record of everything that consumed simulated time.
 //!
+//! Events are recorded on numbered *streams*, the simulated analogue of CUDA
+//! streams: each stream is an in-order queue, so an event's start time is the
+//! end of the previous event on the same stream, and different streams of one
+//! GPU may overlap in simulated time. Every event therefore carries a
+//! `(start, seconds)` pair; the execution-graph scheduler in the
+//! `interconnect` crate consumes these records when it derives makespans,
+//! and [`crate::profile::ProfileReport`] reads them to report per-label
+//! time windows.
+//!
 //! The breakdown figure of the paper (Fig. 14) decomposes execution into the
 //! three kernels, MPI collectives and barriers; the event log is where those
 //! rows come from.
 
 use crate::counters::CostCounters;
+
+/// The default stream used by [`crate::gpu::Gpu::launch`] and
+/// [`crate::gpu::Gpu::charge`] (CUDA's "stream 0").
+pub const DEFAULT_STREAM: usize = 0;
 
 /// Category of a timed event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -30,17 +43,52 @@ pub struct Event {
     pub label: String,
     /// Category.
     pub kind: EventKind,
+    /// Stream the event was recorded on. Events on the same stream execute
+    /// in order; events on different streams may overlap.
+    pub stream: usize,
+    /// Simulated start time in seconds, assigned by [`EventLog::push`] from
+    /// the stream's cursor (the end of the previous event on that stream).
+    pub start: f64,
     /// Simulated duration in seconds.
     pub seconds: f64,
     /// Hardware counters charged by the event (zero for non-kernel events).
     pub counters: CostCounters,
 }
 
-/// Ordered log of events with a running total.
+impl Event {
+    /// A new event on the default stream; `start` is assigned when the
+    /// event is pushed onto an [`EventLog`].
+    pub fn new(label: impl Into<String>, kind: EventKind, seconds: f64) -> Self {
+        Event {
+            label: label.into(),
+            kind,
+            stream: DEFAULT_STREAM,
+            start: 0.0,
+            seconds,
+            counters: CostCounters::default(),
+        }
+    }
+
+    /// Move the event onto stream `stream` (builder style).
+    pub fn on_stream(mut self, stream: usize) -> Self {
+        self.stream = stream;
+        self
+    }
+
+    /// Simulated end time (`start + seconds`).
+    pub fn end(&self) -> f64 {
+        self.start + self.seconds
+    }
+}
+
+/// Ordered log of events with a running total and per-stream cursors.
 #[derive(Debug, Default, Clone)]
 pub struct EventLog {
     events: Vec<Event>,
     total: f64,
+    /// `stream_ends[s]` is the simulated end time of the last event recorded
+    /// on stream `s` (0.0 for untouched streams).
+    stream_ends: Vec<f64>,
 }
 
 impl EventLog {
@@ -49,8 +97,15 @@ impl EventLog {
         Self::default()
     }
 
-    /// Append an event and advance the running total.
-    pub fn push(&mut self, event: Event) {
+    /// Append an event: its `start` is set to the current cursor of its
+    /// stream, the cursor advances to the event's end, and the running
+    /// total advances by its duration.
+    pub fn push(&mut self, mut event: Event) {
+        if event.stream >= self.stream_ends.len() {
+            self.stream_ends.resize(event.stream + 1, 0.0);
+        }
+        event.start = self.stream_ends[event.stream];
+        self.stream_ends[event.stream] = event.end();
         self.total += event.seconds;
         self.events.push(event);
     }
@@ -60,9 +115,21 @@ impl EventLog {
         &self.events
     }
 
-    /// Sum of all event durations.
+    /// Sum of all event durations (stream overlap is *not* discounted; for
+    /// overlap-aware makespans use the execution-graph scheduler).
     pub fn total_seconds(&self) -> f64 {
         self.total
+    }
+
+    /// Current cursor of `stream`: the end time of the last event recorded
+    /// on it, like `cudaEventRecord` + `cudaEventElapsedTime` from zero.
+    pub fn stream_time(&self, stream: usize) -> f64 {
+        self.stream_ends.get(stream).copied().unwrap_or(0.0)
+    }
+
+    /// End time of the latest-finishing event across all streams.
+    pub fn horizon(&self) -> f64 {
+        self.stream_ends.iter().fold(0.0, |a, &b| a.max(b))
     }
 
     /// Sum of durations of events whose label starts with `prefix`.
@@ -84,10 +151,11 @@ impl EventLog {
         c
     }
 
-    /// Remove all events and reset the total.
+    /// Remove all events, reset the total and rewind every stream cursor.
     pub fn clear(&mut self) {
         self.events.clear();
         self.total = 0.0;
+        self.stream_ends.clear();
     }
 }
 
@@ -96,7 +164,7 @@ mod tests {
     use super::*;
 
     fn ev(label: &str, kind: EventKind, secs: f64) -> Event {
-        Event { label: label.into(), kind, seconds: secs, counters: CostCounters::default() }
+        Event::new(label, kind, secs)
     }
 
     #[test]
@@ -123,12 +191,50 @@ mod tests {
     }
 
     #[test]
+    fn same_stream_events_are_serial() {
+        let mut log = EventLog::new();
+        log.push(ev("a", EventKind::Kernel, 1.0));
+        log.push(ev("b", EventKind::Kernel, 0.5));
+        let events = log.events();
+        assert_eq!(events[0].start, 0.0);
+        assert_eq!(events[0].end(), 1.0);
+        assert_eq!(events[1].start, 1.0, "stream 0 is in-order");
+        assert_eq!(events[1].end(), 1.5);
+        assert_eq!(log.stream_time(0), 1.5);
+    }
+
+    #[test]
+    fn different_streams_overlap() {
+        let mut log = EventLog::new();
+        log.push(ev("a", EventKind::Kernel, 1.0));
+        log.push(ev("b", EventKind::Kernel, 0.5).on_stream(1));
+        let events = log.events();
+        assert_eq!(events[1].start, 0.0, "stream 1 starts fresh");
+        assert_eq!(log.stream_time(0), 1.0);
+        assert_eq!(log.stream_time(1), 0.5);
+        assert_eq!(log.horizon(), 1.0);
+        // The running total still sums durations; overlap is the graph
+        // scheduler's business.
+        assert!((log.total_seconds() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn untouched_stream_reads_zero() {
+        let log = EventLog::new();
+        assert_eq!(log.stream_time(7), 0.0);
+        assert_eq!(log.horizon(), 0.0);
+    }
+
+    #[test]
     fn clear_resets_everything() {
         let mut log = EventLog::new();
         log.push(ev("a", EventKind::Kernel, 1.0));
+        log.push(ev("b", EventKind::Kernel, 1.0).on_stream(2));
         log.clear();
         assert_eq!(log.events().len(), 0);
         assert_eq!(log.total_seconds(), 0.0);
+        assert_eq!(log.stream_time(0), 0.0);
+        assert_eq!(log.stream_time(2), 0.0);
     }
 
     #[test]

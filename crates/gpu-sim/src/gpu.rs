@@ -5,7 +5,7 @@ use crate::block::BlockCtx;
 use crate::counters::CostCounters;
 use crate::device::DeviceSpec;
 use crate::error::SimResult;
-use crate::event::{Event, EventKind, EventLog};
+use crate::event::{Event, EventKind, EventLog, DEFAULT_STREAM};
 use crate::grid::LaunchConfig;
 use crate::memory::{DeviceBuffer, DeviceCopy, MemoryTracker};
 use crate::occupancy::{occupancy, Occupancy};
@@ -88,9 +88,19 @@ impl Gpu {
         &self.log
     }
 
-    /// Total simulated time elapsed on this GPU.
+    /// Total simulated time elapsed on this GPU, as the sum of all event
+    /// durations. Work issued on concurrent streams is *not* discounted
+    /// here; stream-aware makespans come from the execution-graph
+    /// scheduler in the `interconnect` crate.
     pub fn elapsed(&self) -> f64 {
         self.log.total_seconds()
+    }
+
+    /// Current simulated time of `stream` — the end of the last event
+    /// recorded on it (the analogue of recording a CUDA event on the
+    /// stream and reading it back).
+    pub fn stream_time(&self, stream: usize) -> f64 {
+        self.log.stream_time(stream)
     }
 
     /// Clear the event log (e.g. between benchmark repetitions). Memory
@@ -110,13 +120,29 @@ impl Gpu {
         DeviceBuffer::new(self.id, self.tracker.clone(), data.to_vec())
     }
 
-    /// Launch a kernel: run `kernel` once per block of `cfg`'s grid,
-    /// validate the configuration, account costs and record the event.
+    /// Launch a kernel on the default stream. See [`Gpu::launch_on`].
+    pub fn launch<T, F>(&mut self, cfg: &LaunchConfig, kernel: F) -> SimResult<KernelStats>
+    where
+        T: DeviceCopy,
+        F: FnMut(&mut BlockCtx<'_, T>),
+    {
+        self.launch_on(DEFAULT_STREAM, cfg, kernel)
+    }
+
+    /// Launch a kernel on `stream`: run `kernel` once per block of `cfg`'s
+    /// grid, validate the configuration, account costs and record the event
+    /// on the stream (its start time is the end of the stream's previous
+    /// event; distinct streams may overlap in simulated time).
     ///
     /// The closure receives a fresh [`BlockCtx`] per block; shared memory is
     /// zero-initialised for each block (deterministic simulation; real CUDA
     /// leaves it undefined, so kernels must not rely on this).
-    pub fn launch<T, F>(&mut self, cfg: &LaunchConfig, mut kernel: F) -> SimResult<KernelStats>
+    pub fn launch_on<T, F>(
+        &mut self,
+        stream: usize,
+        cfg: &LaunchConfig,
+        mut kernel: F,
+    ) -> SimResult<KernelStats>
     where
         T: DeviceCopy,
         F: FnMut(&mut BlockCtx<'_, T>),
@@ -143,25 +169,29 @@ impl Gpu {
         }
 
         let time = self.timing.kernel_time(&self.spec, cfg, &occ, &counters);
-        self.log.push(Event {
-            label: cfg.label.clone(),
-            kind: EventKind::Kernel,
-            seconds: time.total(),
-            counters,
-        });
+        let mut event = Event::new(cfg.label.clone(), EventKind::Kernel, time.total());
+        event.stream = stream;
+        event.counters = counters;
+        self.log.push(event);
         Ok(KernelStats { label: cfg.label.clone(), counters, occupancy: occ, time })
     }
 
-    /// Charge externally-computed time to this GPU's timeline (memory
+    /// Charge externally-computed time to this GPU's default stream (memory
     /// transfers and collectives are timed by the interconnect crate and
     /// recorded here).
     pub fn charge(&mut self, label: impl Into<String>, kind: EventKind, seconds: f64) {
-        self.log.push(Event {
-            label: label.into(),
-            kind,
-            seconds,
-            counters: CostCounters::default(),
-        });
+        self.charge_on(DEFAULT_STREAM, label, kind, seconds);
+    }
+
+    /// Charge externally-computed time to a specific stream.
+    pub fn charge_on(
+        &mut self,
+        stream: usize,
+        label: impl Into<String>,
+        kind: EventKind,
+        seconds: f64,
+    ) {
+        self.log.push(Event::new(label, kind, seconds).on_stream(stream));
     }
 }
 
@@ -268,6 +298,20 @@ mod tests {
         g.charge("p2p-copy", EventKind::Transfer, 0.25);
         assert!((g.elapsed() - 0.75).abs() < 1e-12);
         assert!((g.log().seconds_of_kind(EventKind::Collective) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn streams_advance_independently() {
+        let mut g = gpu();
+        let cfg = LaunchConfig::new("k", (1, 1), (WARP_SIZE, 1)).regs(16);
+        let s0 = g.launch_on::<i32, _>(0, &cfg, |_| {}).unwrap().seconds();
+        let s1 = g.launch_on::<i32, _>(1, &cfg, |_| {}).unwrap().seconds();
+        g.charge_on(1, "h2d", EventKind::Transfer, 0.25);
+        assert!((g.stream_time(0) - s0).abs() < 1e-15);
+        assert!((g.stream_time(1) - (s1 + 0.25)).abs() < 1e-15);
+        let events = g.log().events();
+        assert_eq!(events[1].start, 0.0, "stream 1 overlaps stream 0");
+        assert!((events[2].start - s1).abs() < 1e-15, "stream 1 is in-order");
     }
 
     #[test]

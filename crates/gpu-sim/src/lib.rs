@@ -59,7 +59,7 @@ pub use block::BlockCtx;
 pub use counters::CostCounters;
 pub use device::{DeviceSpec, TRANSACTION_BYTES};
 pub use error::{SimError, SimResult};
-pub use event::{Event, EventKind, EventLog};
+pub use event::{Event, EventKind, EventLog, DEFAULT_STREAM};
 pub use gpu::{Gpu, KernelStats};
 pub use grid::LaunchConfig;
 pub use memory::{DeviceBuffer, DeviceCopy, MemoryTracker};

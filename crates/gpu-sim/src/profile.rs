@@ -20,8 +20,23 @@ pub struct ProfileRow {
     pub count: usize,
     /// Total simulated seconds.
     pub seconds: f64,
+    /// Earliest recorded start among the label's events (stream-relative
+    /// sim time).
+    pub first_start: f64,
+    /// Latest recorded end among the label's events.
+    pub last_end: f64,
     /// Summed counters.
     pub counters: CostCounters,
+}
+
+impl ProfileRow {
+    /// Width of the window the label's events were live in
+    /// (`last_end - first_start`); equals `seconds` for a label whose
+    /// events ran back-to-back on one stream, larger when other work was
+    /// interleaved on the stream between occurrences.
+    pub fn window(&self) -> f64 {
+        self.last_end - self.first_start
+    }
 }
 
 /// A per-label profile of everything a GPU did.
@@ -43,6 +58,8 @@ impl ProfileReport {
             {
                 row.count += 1;
                 row.seconds += event.seconds;
+                row.first_start = row.first_start.min(event.start);
+                row.last_end = row.last_end.max(event.end());
                 row.counters += event.counters;
             } else {
                 rows.push(ProfileRow {
@@ -50,6 +67,8 @@ impl ProfileReport {
                     kind: event.kind,
                     count: 1,
                     seconds: event.seconds,
+                    first_start: event.start,
+                    last_end: event.end(),
                     counters: event.counters,
                 });
             }
@@ -157,6 +176,19 @@ mod tests {
         assert!(s.contains("streamer"));
         assert!(s.contains("sync"));
         assert!(s.contains("calls"));
+    }
+
+    #[test]
+    fn rows_track_event_windows() {
+        let gpu = gpu_with_work();
+        let report = ProfileReport::from_log(gpu.log());
+        let row = report.row("streamer").unwrap();
+        assert_eq!(row.first_start, 0.0, "first launch starts the stream");
+        // Three back-to-back launches on one stream: the window covers
+        // exactly their summed duration.
+        assert!((row.window() - row.seconds).abs() < 1e-15);
+        let sync = report.row("sync").unwrap();
+        assert!(sync.first_start >= row.last_end, "stream 0 is in-order");
     }
 
     #[test]

@@ -1,0 +1,549 @@
+//! Execution graphs: DAG scheduling of simulated operations.
+//!
+//! Every simulated operation — a kernel launch, a P2P / host-staged /
+//! InfiniBand transfer, an MPI collective, a barrier — is an [`ExecNode`]
+//! with explicit dependencies, and the makespan of a run is the **critical
+//! path** of the graph, not a sum of phases. This is the simulator's
+//! analogue of CUDA streams + events (or CUDA graphs): a node may start as
+//! soon as all its dependencies have finished *and* every exclusive
+//! [`Resource`] it needs (a GPU stream, a PCIe network, the host bridge, an
+//! InfiniBand link) is free.
+//!
+//! Two transfers that share a link therefore serialise even when the graph
+//! itself would allow them to overlap, while independent work on disjoint
+//! resources proceeds concurrently.
+//!
+//! ## Phases and the derived [`Timeline`]
+//!
+//! Nodes are grouped into *phase instances* (registered with
+//! [`ExecGraph::phase`]). The phase view exists for reporting — Fig. 14's
+//! per-phase breakdown — and for compatibility: [`ExecGraph::timeline`]
+//! reduces each phase instance to the maximum of its nodes' durations,
+//! exactly the `push`/`push_parallel` composition the phase-synchronous
+//! model used. For a graph whose phases form a barrier-synchronised chain
+//! (every node of phase *k+1* depends on all nodes of phase *k*), the
+//! scheduler's makespan is **bit-identical** to `Timeline::total()`: with
+//! a common start time `t`, IEEE-754 addition is monotone, so
+//! `max_g(t + d_g) == t + max_g(d_g)`, and the chain accumulates the phase
+//! maxima in the same order as the timeline's sum.
+
+use std::collections::HashMap;
+
+use gpu_sim::EventKind;
+
+use crate::timeline::Timeline;
+use crate::topology::{LinkClass, Topology};
+
+/// Identifier of a node within an [`ExecGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// Position of the node in [`ExecGraph::nodes`].
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// An exclusive hardware resource a node occupies while it runs.
+///
+/// The scheduler serialises nodes that claim the same resource; nodes on
+/// disjoint resources may overlap (subject to their dependencies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Resource {
+    /// One in-order stream of a GPU (compute or copy queue).
+    Stream {
+        /// Flat GPU index.
+        gpu: usize,
+        /// Stream number on that GPU.
+        stream: usize,
+    },
+    /// The shared wire of one PCIe network: all P2P traffic among the
+    /// network's GPUs, and the network's leg of host-staged or inter-node
+    /// paths, contend here.
+    PcieNetwork {
+        /// Node the network belongs to.
+        node: usize,
+        /// PCIe-network index within the node.
+        network: usize,
+    },
+    /// The host-memory bridge of a node: staged copies between the node's
+    /// PCIe networks serialise on it.
+    HostBridge {
+        /// Node index.
+        node: usize,
+    },
+    /// The InfiniBand link between a pair of nodes (stored with the lower
+    /// node first; use [`Resource::ib`]).
+    IbLink {
+        /// Lower node index.
+        a: usize,
+        /// Higher node index.
+        b: usize,
+    },
+}
+
+impl Resource {
+    /// The InfiniBand link between nodes `a` and `b` (order-insensitive).
+    pub fn ib(a: usize, b: usize) -> Self {
+        Resource::IbLink { a: a.min(b), b: a.max(b) }
+    }
+
+    /// The links a transfer between two GPUs occupies, from the topology's
+    /// [`LinkClass`]: nothing for a local copy, the shared PCIe network for
+    /// P2P, both networks plus the host bridge for a staged copy, and both
+    /// networks plus the InfiniBand link across nodes.
+    pub fn route(topo: &Topology, from: usize, to: usize) -> Vec<Resource> {
+        let (src, dst) = (topo.locate(from), topo.locate(to));
+        match topo.link_class(from, to) {
+            LinkClass::Local => vec![],
+            LinkClass::P2P => {
+                vec![Resource::PcieNetwork { node: src.node, network: src.network }]
+            }
+            LinkClass::HostStaged => vec![
+                Resource::PcieNetwork { node: src.node, network: src.network },
+                Resource::HostBridge { node: src.node },
+                Resource::PcieNetwork { node: dst.node, network: dst.network },
+            ],
+            LinkClass::InterNode => vec![
+                Resource::PcieNetwork { node: src.node, network: src.network },
+                Resource::ib(src.node, dst.node),
+                Resource::PcieNetwork { node: dst.node, network: dst.network },
+            ],
+        }
+    }
+}
+
+/// One simulated operation in the graph.
+#[derive(Debug, Clone)]
+pub struct ExecNode {
+    /// Label, e.g. `"stage1:chunk-reduce"` or `"MPI_Gather"`.
+    pub label: String,
+    /// Operation category (shared with the GPU event log).
+    pub kind: EventKind,
+    /// Simulated duration in seconds.
+    pub seconds: f64,
+    /// Nodes that must finish before this one starts.
+    pub deps: Vec<NodeId>,
+    /// Exclusive resources occupied for the node's whole duration.
+    pub resources: Vec<Resource>,
+    /// Phase instance the node belongs to (index into the graph's phases).
+    pub phase: usize,
+}
+
+/// A DAG of simulated operations plus its phase-instance labels.
+#[derive(Debug, Clone, Default)]
+pub struct ExecGraph {
+    nodes: Vec<ExecNode>,
+    phase_labels: Vec<String>,
+}
+
+impl ExecGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register the next phase instance and return its index. Phase
+    /// instances order the derived [`ExecGraph::timeline`]; they impose no
+    /// scheduling constraint by themselves.
+    pub fn phase(&mut self, label: impl Into<String>) -> usize {
+        self.phase_labels.push(label.into());
+        self.phase_labels.len() - 1
+    }
+
+    /// Add a node. Dependencies must refer to already-added nodes, which
+    /// makes the graph acyclic by construction.
+    ///
+    /// # Panics
+    /// Panics if a dependency or the phase index is out of range, or the
+    /// duration is negative or non-finite.
+    pub fn add(
+        &mut self,
+        phase: usize,
+        label: impl Into<String>,
+        kind: EventKind,
+        seconds: f64,
+        deps: &[NodeId],
+        resources: &[Resource],
+    ) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        assert!(phase < self.phase_labels.len(), "phase {phase} not registered");
+        assert!(seconds >= 0.0 && seconds.is_finite(), "bad duration {seconds}");
+        for d in deps {
+            assert!(d.0 < id.0, "dependency {} of node {} not yet added", d.0, id.0);
+        }
+        self.nodes.push(ExecNode {
+            label: label.into(),
+            kind,
+            seconds,
+            deps: deps.to_vec(),
+            resources: resources.to_vec(),
+            phase,
+        });
+        id
+    }
+
+    /// The nodes in insertion order (`NodeId::index` indexes this slice).
+    pub fn nodes(&self) -> &[ExecNode] {
+        &self.nodes
+    }
+
+    /// Labels of the registered phase instances, in order.
+    pub fn phase_labels(&self) -> &[String] {
+        &self.phase_labels
+    }
+
+    /// Absorb `other`, remapping its node ids and matching its phase
+    /// instances to this graph's **by index** (extending with any extra
+    /// phases). Used to combine per-group subgraphs of an MP-PC run, whose
+    /// phase sequences are identical; mismatched labels panic.
+    ///
+    /// Returns the new ids of `other`'s nodes, in `other`'s order.
+    pub fn merge(&mut self, other: ExecGraph) -> Vec<NodeId> {
+        for (i, label) in other.phase_labels.iter().enumerate() {
+            if i < self.phase_labels.len() {
+                assert_eq!(&self.phase_labels[i], label, "merged graphs must agree on phase {i}");
+            } else {
+                self.phase_labels.push(label.clone());
+            }
+        }
+        let offset = self.nodes.len();
+        let mut ids = Vec::with_capacity(other.nodes.len());
+        for mut node in other.nodes {
+            for d in &mut node.deps {
+                d.0 += offset;
+            }
+            ids.push(NodeId(self.nodes.len()));
+            self.nodes.push(node);
+        }
+        ids
+    }
+
+    /// Reduce the graph to the phase-synchronous [`Timeline`] view: one
+    /// phase per registered instance, whose duration is the maximum of its
+    /// nodes' durations (0 for an instance with no nodes — the same "an
+    /// empty parallel phase is free" rule as [`Timeline::push_parallel`]).
+    pub fn timeline(&self) -> Timeline {
+        let mut tl = Timeline::new();
+        for (p, label) in self.phase_labels.iter().enumerate() {
+            let seconds =
+                self.nodes.iter().filter(|n| n.phase == p).map(|n| n.seconds).fold(0.0, f64::max);
+            tl.push(label.clone(), seconds);
+        }
+        tl
+    }
+
+    /// Schedule the graph with deterministic list scheduling.
+    ///
+    /// Each node's earliest start is the maximum of its dependencies' finish
+    /// times and the availability of every resource it claims; among ready
+    /// nodes the scheduler always places the one with the earliest start
+    /// (ties broken by insertion order), then marks its resources busy until
+    /// its finish. The result is deterministic for a given graph.
+    pub fn schedule(&self) -> Schedule {
+        let n = self.nodes.len();
+        let mut start = vec![0.0f64; n];
+        let mut finish = vec![0.0f64; n];
+        // Earliest start imposed by dependencies, folded in as each
+        // dependency is placed (0.0 before any).
+        let mut dep_ready = vec![0.0f64; n];
+        let mut pred: Vec<Option<NodeId>> = vec![None; n];
+        let mut deps_left: Vec<usize> = self.nodes.iter().map(|d| d.deps.len()).collect();
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, node) in self.nodes.iter().enumerate() {
+            for d in &node.deps {
+                succs[d.0].push(i);
+            }
+        }
+        let mut avail: HashMap<Resource, f64> = HashMap::new();
+        let mut holder: HashMap<Resource, NodeId> = HashMap::new();
+        let mut ready: Vec<usize> = (0..n).filter(|&i| deps_left[i] == 0).collect();
+        let mut placed = vec![false; n];
+
+        for _ in 0..n {
+            // Earliest-start-first among ready nodes, insertion order on ties.
+            let mut best: Option<(f64, usize, usize)> = None; // (est, node, ready slot)
+            for (slot, &i) in ready.iter().enumerate() {
+                let mut est = dep_ready[i];
+                for r in &self.nodes[i].resources {
+                    est = est.max(avail.get(r).copied().unwrap_or(0.0));
+                }
+                match best {
+                    Some((b, bi, _)) if (est, i) >= (b, bi) => {}
+                    _ => best = Some((est, i, slot)),
+                }
+            }
+            let (est, i, slot) = best.expect("graph has a cycle or dangling dependency");
+            ready.swap_remove(slot);
+            placed[i] = true;
+
+            // Record which dependency or resource holder determined the
+            // start (for critical-path reporting).
+            start[i] = est;
+            finish[i] = est + self.nodes[i].seconds;
+            if est > 0.0 {
+                pred[i] =
+                    self.nodes[i].deps.iter().copied().find(|d| finish[d.0] == est).or_else(|| {
+                        self.nodes[i]
+                            .resources
+                            .iter()
+                            .find(|r| avail.get(r).copied().unwrap_or(0.0) == est)
+                            .and_then(|r| holder.get(r).copied())
+                    });
+            }
+            for r in &self.nodes[i].resources {
+                avail.insert(*r, finish[i]);
+                holder.insert(*r, NodeId(i));
+            }
+            for &s in &succs[i] {
+                dep_ready[s] = dep_ready[s].max(finish[i]);
+                deps_left[s] -= 1;
+                if deps_left[s] == 0 {
+                    ready.push(s);
+                }
+            }
+        }
+        assert!(placed.iter().all(|&p| p), "graph has a cycle or dangling dependency");
+
+        let makespan = finish.iter().copied().fold(0.0, f64::max);
+        Schedule { start, finish, pred, makespan }
+    }
+
+    /// Critical-path makespan: [`ExecGraph::schedule`]'s total.
+    pub fn makespan(&self) -> f64 {
+        self.schedule().makespan
+    }
+}
+
+/// Result of scheduling an [`ExecGraph`]: per-node start/finish times and
+/// the makespan.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// Start time of each node (indexed by `NodeId::index`).
+    pub start: Vec<f64>,
+    /// Finish time of each node.
+    pub finish: Vec<f64>,
+    /// For each node, the dependency or resource-holding node that
+    /// determined its start time (`None` when it started at 0).
+    pub pred: Vec<Option<NodeId>>,
+    /// End of the latest-finishing node.
+    pub makespan: f64,
+}
+
+impl Schedule {
+    /// One chain of nodes realising the makespan, earliest first: start at
+    /// the latest-finishing node and follow [`Schedule::pred`] links back.
+    pub fn critical_path(&self) -> Vec<NodeId> {
+        let mut path = Vec::new();
+        let mut cur = (0..self.finish.len()).max_by(|&a, &b| {
+            self.finish[a].partial_cmp(&self.finish[b]).expect("finite times").then(a.cmp(&b))
+        });
+        while let Some(i) = cur {
+            path.push(NodeId(i));
+            cur = self.pred[i].map(|p| p.0);
+        }
+        path.reverse();
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const K: EventKind = EventKind::Kernel;
+    const T: EventKind = EventKind::Transfer;
+
+    #[test]
+    fn chain_makespan_is_the_sum() {
+        let mut g = ExecGraph::new();
+        let p = g.phase("a");
+        let q = g.phase("b");
+        let a = g.add(p, "a", K, 1.0, &[], &[]);
+        let b = g.add(q, "b", K, 0.5, &[a], &[]);
+        let s = g.schedule();
+        assert_eq!(s.start[b.index()], 1.0);
+        assert_eq!(s.makespan, 1.5);
+        assert_eq!(s.makespan, g.timeline().total(), "chain reduces to the timeline sum");
+        assert_eq!(s.critical_path(), vec![a, b]);
+    }
+
+    #[test]
+    fn independent_nodes_overlap() {
+        let mut g = ExecGraph::new();
+        let p = g.phase("stage1");
+        g.add(p, "k0", K, 1.0, &[], &[Resource::Stream { gpu: 0, stream: 0 }]);
+        g.add(p, "k1", K, 3.0, &[], &[Resource::Stream { gpu: 1, stream: 0 }]);
+        let s = g.schedule();
+        assert_eq!(s.start, vec![0.0, 0.0]);
+        assert_eq!(s.makespan, 3.0, "disjoint streams run concurrently");
+        assert_eq!(g.timeline().total(), 3.0, "phase view takes the max");
+    }
+
+    #[test]
+    fn shared_stream_serialises() {
+        let mut g = ExecGraph::new();
+        let p = g.phase("stage1");
+        let st = Resource::Stream { gpu: 0, stream: 0 };
+        g.add(p, "k0", K, 1.0, &[], &[st]);
+        g.add(p, "k1", K, 3.0, &[], &[st]);
+        let s = g.schedule();
+        assert_eq!(s.start[1], 1.0, "same stream is in-order");
+        assert_eq!(s.makespan, 4.0);
+    }
+
+    #[test]
+    fn shared_link_serialises_transfers() {
+        let topo = Topology::tsubame_kfc(1);
+        let mut g = ExecGraph::new();
+        let p = g.phase("comm");
+        // Two transfers on network 0 contend; one on network 1 does not.
+        g.add(p, "t01", T, 1.0, &[], &Resource::route(&topo, 0, 1));
+        g.add(p, "t23", T, 1.0, &[], &Resource::route(&topo, 2, 3));
+        g.add(p, "t45", T, 1.0, &[], &Resource::route(&topo, 4, 5));
+        let s = g.schedule();
+        assert_eq!(s.makespan, 2.0, "network 0's two transfers serialise");
+        assert_eq!(s.start[2], 0.0, "network 1 is free to overlap");
+        // The second transfer's start was determined by the first holding
+        // the link.
+        assert_eq!(s.pred[1], Some(NodeId(0)));
+    }
+
+    #[test]
+    fn routes_follow_link_classes() {
+        let topo = Topology::tsubame_kfc(2);
+        assert!(Resource::route(&topo, 3, 3).is_empty(), "local copies use no links");
+        assert_eq!(
+            Resource::route(&topo, 0, 1),
+            vec![Resource::PcieNetwork { node: 0, network: 0 }]
+        );
+        assert_eq!(
+            Resource::route(&topo, 0, 4),
+            vec![
+                Resource::PcieNetwork { node: 0, network: 0 },
+                Resource::HostBridge { node: 0 },
+                Resource::PcieNetwork { node: 0, network: 1 },
+            ]
+        );
+        assert_eq!(
+            Resource::route(&topo, 0, 8),
+            vec![
+                Resource::PcieNetwork { node: 0, network: 0 },
+                Resource::IbLink { a: 0, b: 1 },
+                Resource::PcieNetwork { node: 1, network: 0 },
+            ]
+        );
+        assert_eq!(Resource::ib(3, 1), Resource::IbLink { a: 1, b: 3 });
+    }
+
+    #[test]
+    fn barrier_synchronised_fan_matches_timeline_exactly() {
+        // stage1 on 4 streams -> gather -> stage2 -> scatter -> stage3: the
+        // shape of the paper's pipeline. Scheduler makespan must equal the
+        // timeline total bit-for-bit.
+        let durs = [0.31, 0.17, 0.29, 0.23];
+        let mut g = ExecGraph::new();
+        let p1 = g.phase("stage1");
+        let pc = g.phase("comm");
+        let p3 = g.phase("stage3");
+        let s1: Vec<NodeId> = durs
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| g.add(p1, "s1", K, d, &[], &[Resource::Stream { gpu: i, stream: 0 }]))
+            .collect();
+        let c = g.add(pc, "comm", T, 0.011, &s1, &[]);
+        for (i, &d) in durs.iter().enumerate() {
+            g.add(p3, "s3", K, d, &[c], &[Resource::Stream { gpu: i, stream: 0 }]);
+        }
+        let mut tl = Timeline::new();
+        tl.push_parallel("stage1", &durs);
+        tl.push("comm", 0.011);
+        tl.push_parallel("stage3", &durs);
+        let makespan = g.makespan();
+        assert_eq!(makespan.to_bits(), tl.total().to_bits(), "bit-identical to the phase model");
+        assert_eq!(g.timeline().total().to_bits(), tl.total().to_bits());
+    }
+
+    #[test]
+    fn merge_remaps_ids_and_keeps_groups_independent() {
+        let build = |d: f64| {
+            let mut g = ExecGraph::new();
+            let p = g.phase("stage1");
+            let q = g.phase("comm");
+            let a = g.add(p, "k", K, d, &[], &[Resource::Stream { gpu: 0, stream: 0 }]);
+            g.add(q, "c", T, d / 2.0, &[a], &[]);
+            g
+        };
+        let mut g = build(1.0);
+        // Second group on a different GPU: retarget its stream.
+        let mut other = build(1.0);
+        for node in &mut other.nodes {
+            node.resources = vec![Resource::Stream { gpu: 1, stream: 0 }];
+        }
+        let ids = g.merge(other);
+        assert_eq!(ids, vec![NodeId(2), NodeId(3)]);
+        assert_eq!(g.nodes()[3].deps, vec![NodeId(2)], "deps remapped");
+        assert_eq!(g.phase_labels().len(), 2, "phases matched by index");
+        let s = g.schedule();
+        assert_eq!(s.makespan, 1.5, "groups overlap: max of chains, not sum");
+    }
+
+    #[test]
+    #[should_panic(expected = "must agree on phase")]
+    fn merge_rejects_mismatched_phases() {
+        let mut a = ExecGraph::new();
+        a.phase("stage1");
+        let mut b = ExecGraph::new();
+        b.phase("stage2");
+        a.merge(b);
+    }
+
+    #[test]
+    #[should_panic(expected = "not yet added")]
+    fn forward_dependency_rejected() {
+        let mut g = ExecGraph::new();
+        let p = g.phase("p");
+        g.add(p, "a", K, 1.0, &[NodeId(5)], &[]);
+    }
+
+    #[test]
+    fn empty_phase_instance_is_free_like_push_parallel() {
+        let mut g = ExecGraph::new();
+        let p = g.phase("stage1");
+        g.phase("empty");
+        g.add(p, "k", K, 2.0, &[], &[]);
+        let tl = g.timeline();
+        assert_eq!(tl.phases().len(), 2);
+        assert_eq!(tl.phases()[1].seconds, 0.0);
+        assert_eq!(tl.total(), 2.0);
+    }
+
+    #[test]
+    fn overlap_beats_barrier_for_pipelined_batches() {
+        // Two sub-batches through compute -> link -> compute. With cross-
+        // batch deps removed, batch 1's compute overlaps batch 0's
+        // transfer.
+        let st = Resource::Stream { gpu: 0, stream: 0 };
+        let link = Resource::PcieNetwork { node: 0, network: 0 };
+        let build = |barrier: bool| {
+            let mut g = ExecGraph::new();
+            let mut prev: Vec<NodeId> = Vec::new();
+            for b in 0..2 {
+                let p = g.phase(format!("s1[{b}]"));
+                let q = g.phase(format!("comm[{b}]"));
+                let mut deps = if barrier { prev.clone() } else { Vec::new() };
+                let k = g.add(p, "k", K, 1.0, &deps, &[st]);
+                deps = vec![k];
+                if barrier {
+                    deps.extend(prev.iter().copied());
+                }
+                let c = g.add(q, "c", T, 1.0, &deps, &[link]);
+                prev = vec![k, c];
+            }
+            g.makespan()
+        };
+        assert_eq!(build(true), 4.0, "barrier-synchronous: strict alternation");
+        assert_eq!(build(false), 3.0, "batch 1's kernel hides under batch 0's transfer");
+    }
+}

@@ -10,11 +10,16 @@
 //! * [`transfer`] — functional peer-to-peer copies with cost records;
 //! * [`collectives`] — intra-node gather/scatter/barrier cost models;
 //! * [`mpi`] — CUDA-aware MPI collectives for the Multi-Node proposals;
-//! * [`timeline`] — phase composition into makespans (Fig. 14 breakdowns).
+//! * [`graph`] — the stream/event execution graph: operations as DAG nodes
+//!   scheduled over exclusive link and stream resources, makespan as the
+//!   critical path;
+//! * [`timeline`] — the phase-synchronous view (Fig. 14 breakdowns),
+//!   derivable from an execution graph.
 
 #![warn(missing_docs)]
 
 pub mod collectives;
+pub mod graph;
 pub mod link;
 pub mod mpi;
 pub mod timeline;
@@ -24,6 +29,7 @@ pub mod transfer;
 pub use collectives::{
     barrier_cost, gather_cost, scatter_cost, strided_exchange_cost, CollectiveCost, StridedPart,
 };
+pub use graph::{ExecGraph, ExecNode, NodeId, Resource, Schedule};
 pub use link::{FabricSpec, LinkParams};
 pub use mpi::{MpiComm, MpiCost};
 pub use timeline::{Phase, Timeline};

@@ -34,6 +34,14 @@ impl Timeline {
 
     /// Append a phase executed in parallel across GPUs: its duration is the
     /// maximum of the per-GPU times.
+    ///
+    /// An **empty** `per_gpu` slice records the phase with a duration of
+    /// zero seconds — the phase appears in the breakdown but contributes
+    /// nothing to [`Timeline::total`]. This is deliberate (a phase no GPU
+    /// participates in is free, e.g. the communication phase of a
+    /// single-GPU run) and [`crate::graph::ExecGraph::timeline`] mirrors it
+    /// for phase instances with no nodes; callers that consider an empty
+    /// phase a bug must check before pushing.
     pub fn push_parallel(&mut self, label: impl Into<String>, per_gpu: &[f64]) {
         self.push(label, per_gpu.iter().copied().fold(0.0, f64::max));
     }

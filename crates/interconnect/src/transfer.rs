@@ -59,6 +59,12 @@ impl Fabric {
         self.spec.transfer_time(self.topo.link_class(from, to), bytes)
     }
 
+    /// The exclusive link resources a transfer between two GPUs occupies
+    /// (for execution-graph transfer nodes). See [`crate::graph::Resource::route`].
+    pub fn links_between(&self, from: usize, to: usize) -> Vec<crate::graph::Resource> {
+        crate::graph::Resource::route(&self.topo, from, to)
+    }
+
     /// Copy `src[src_range]` into `dst[dst_offset..]`, charging the link the
     /// buffers' owning GPUs are connected by.
     ///

@@ -1,0 +1,118 @@
+//! Property-based tests of the execution-graph scheduler: the DAG model
+//! must *contain* the old phase-synchronous model exactly.
+
+use gpu_sim::EventKind;
+use interconnect::{ExecGraph, NodeId, Resource, Timeline};
+use proptest::prelude::*;
+
+/// Per-phase per-GPU durations: an outer vec of phases, each a non-empty
+/// vec of finite non-negative seconds.
+fn phase_durations() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(0.0f64..2.0, 1..6), 1..8)
+}
+
+/// Build the barrier-synchronised fan graph for `phases` (every node of
+/// phase k+1 depends on all nodes of phase k; one stream per slot) and the
+/// equivalent `push_parallel` timeline.
+fn barrier_graph(phases: &[Vec<f64>]) -> (ExecGraph, Timeline) {
+    let mut g = ExecGraph::new();
+    let mut tl = Timeline::new();
+    let mut prev: Vec<NodeId> = Vec::new();
+    for (k, durs) in phases.iter().enumerate() {
+        let label = format!("phase{k}");
+        let p = g.phase(&label);
+        prev = durs
+            .iter()
+            .enumerate()
+            .map(|(slot, &d)| {
+                g.add(
+                    p,
+                    &label,
+                    EventKind::Kernel,
+                    d,
+                    &prev,
+                    &[Resource::Stream { gpu: slot, stream: 0 }],
+                )
+            })
+            .collect();
+        tl.push_parallel(&label, durs);
+    }
+    (g, tl)
+}
+
+proptest! {
+    /// A chain of single nodes schedules to exactly the sum of durations —
+    /// the `Timeline::push` composition, bit for bit.
+    #[test]
+    fn chain_graph_equals_timeline_sum(durs in prop::collection::vec(0.0f64..3.0, 1..20)) {
+        let mut g = ExecGraph::new();
+        let mut tl = Timeline::new();
+        let mut prev: Vec<NodeId> = Vec::new();
+        for (k, &d) in durs.iter().enumerate() {
+            let label = format!("p{k}");
+            let p = g.phase(&label);
+            prev = vec![g.add(p, &label, EventKind::Kernel, d, &prev, &[])];
+            tl.push(&label, d);
+        }
+        prop_assert_eq!(g.makespan().to_bits(), tl.total().to_bits());
+    }
+
+    /// A barrier-synchronised fan — the shape of every phase-synchronous
+    /// pipeline in the paper — schedules to exactly the sum of per-phase
+    /// maxima, bit for bit, and the derived timeline agrees.
+    #[test]
+    fn barrier_fan_equals_timeline_total(phases in phase_durations()) {
+        let (g, tl) = barrier_graph(&phases);
+        prop_assert_eq!(g.makespan().to_bits(), tl.total().to_bits());
+        prop_assert_eq!(g.timeline().total().to_bits(), tl.total().to_bits());
+        prop_assert_eq!(g.timeline().phases().len(), phases.len());
+    }
+
+    /// Dropping the cross-phase barriers (keeping only stream order) never
+    /// increases the makespan.
+    #[test]
+    fn removing_barriers_never_hurts(phases in phase_durations()) {
+        let (g, _) = barrier_graph(&phases);
+        let mut free = ExecGraph::new();
+        for (k, durs) in phases.iter().enumerate() {
+            let label = format!("phase{k}");
+            let p = free.phase(&label);
+            for (slot, &d) in durs.iter().enumerate() {
+                free.add(p, &label, EventKind::Kernel, d, &[], &[Resource::Stream {
+                    gpu: slot,
+                    stream: 0,
+                }]);
+            }
+        }
+        prop_assert!(free.makespan() <= g.makespan());
+    }
+
+    /// Merging two independent symmetric subgraphs (disjoint streams)
+    /// yields the makespan of one — groups overlap fully, which is the
+    /// MP-PC phase-wise-maximum rule.
+    #[test]
+    fn symmetric_merge_overlaps_fully(phases in phase_durations()) {
+        let (g0, _) = barrier_graph(&phases);
+        // Same shape shifted onto disjoint streams.
+        let mut g1 = ExecGraph::new();
+        let mut prev: Vec<NodeId> = Vec::new();
+        for (k, durs) in phases.iter().enumerate() {
+            let label = format!("phase{k}");
+            let p = g1.phase(&label);
+            prev = durs
+                .iter()
+                .enumerate()
+                .map(|(slot, &d)| {
+                    g1.add(p, &label, EventKind::Kernel, d, &prev, &[Resource::Stream {
+                        gpu: 1000 + slot,
+                        stream: 0,
+                    }])
+                })
+                .collect();
+        }
+        let lone = g0.makespan();
+        let mut merged = g0;
+        merged.merge(g1);
+        prop_assert_eq!(merged.makespan().to_bits(), lone.to_bits());
+    }
+}

@@ -30,8 +30,8 @@ pub mod prelude {
     pub use gpu_sim::DeviceSpec;
     pub use interconnect::{Fabric, Topology};
     pub use scan_core::{
-        premises, scan_case1, scan_mppc, scan_mps, scan_mps_multinode, scan_sp, NodeConfig,
-        ProblemParams,
+        premises, scan_case1, scan_mppc, scan_mppc_with, scan_mps, scan_mps_multinode,
+        scan_mps_with, scan_sp, NodeConfig, PipelinePolicy, ProblemParams,
     };
     pub use skeletons::{Add, Max, Min, Mul, ScanOp, SplkTuple};
 }

@@ -57,19 +57,14 @@ fn f32_scan_total_is_stable_across_k() {
     // Different K values reorder the combines differently; the totals must
     // still agree within f32 rounding.
     let problem = ProblemParams::single(14);
-    let input: Vec<f32> =
-        (0..problem.total_elems()).map(|i| ((i % 997) as f32) * 1e-3).collect();
+    let input: Vec<f32> = (0..problem.total_elems()).map(|i| ((i % 997) as f32) * 1e-3).collect();
     let base = premises::derive_tuple(&device(), 4, 0);
     let space = premises::k_search_space(&device(), &problem, &base, 1);
     assert!(space.len() >= 2);
     let totals: Vec<f32> = space
         .iter()
         .map(|&k| {
-            *scan_sp(Add, base.with_k(k), &device(), problem, &input)
-                .unwrap()
-                .data
-                .last()
-                .unwrap()
+            *scan_sp(Add, base.with_k(k), &device(), problem, &input).unwrap().data.last().unwrap()
         })
         .collect();
     let reference: f64 = input.iter().map(|&v| v as f64).sum();
