@@ -3,6 +3,7 @@
 use std::fmt;
 
 use gpu_sim::SimError;
+use interconnect::FaultError;
 use skeletons::TupleError;
 
 /// Errors surfaced by the batch-scan pipelines.
@@ -17,6 +18,9 @@ pub enum ScanError {
     /// A problem/tuple/node combination that cannot be planned
     /// (e.g. chunk larger than a GPU's portion — violates Eq. 2/3).
     InvalidConfig(String),
+    /// An injected fault was severe enough that the run could not finish
+    /// (e.g. a transfer exhausted its retry budget on a lost link).
+    Fault(FaultError),
 }
 
 impl fmt::Display for ScanError {
@@ -26,6 +30,7 @@ impl fmt::Display for ScanError {
             ScanError::Tuple(e) => write!(f, "invalid tuple: {e}"),
             ScanError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
             ScanError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            ScanError::Fault(e) => write!(f, "injected fault: {e}"),
         }
     }
 }
@@ -35,6 +40,7 @@ impl std::error::Error for ScanError {
         match self {
             ScanError::Sim(e) => Some(e),
             ScanError::Tuple(e) => Some(e),
+            ScanError::Fault(e) => Some(e),
             _ => None,
         }
     }
@@ -49,6 +55,12 @@ impl From<SimError> for ScanError {
 impl From<TupleError> for ScanError {
     fn from(e: TupleError) -> Self {
         ScanError::Tuple(e)
+    }
+}
+
+impl From<FaultError> for ScanError {
+    fn from(e: FaultError) -> Self {
+        ScanError::Fault(e)
     }
 }
 
@@ -69,6 +81,14 @@ mod tests {
         assert!(e.to_string().contains("chunk too big"));
         let e = ScanError::InvalidInput("short".into());
         assert!(e.to_string().contains("invalid input"));
+        let e: ScanError = FaultError::RetryBudgetExhausted {
+            label: "copy".into(),
+            resource: interconnect::Resource::HostBridge { node: 0 },
+            attempts: 4,
+        }
+        .into();
+        assert!(e.to_string().contains("injected fault"));
+        assert!(e.to_string().contains("copy"));
     }
 
     #[test]

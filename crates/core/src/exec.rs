@@ -16,7 +16,7 @@
 //!   the paper's model and is off by default (see DESIGN.md §2).
 
 use gpu_sim::{DeviceSpec, EventKind};
-use interconnect::{ExecGraph, Fabric, NodeId, Resource, Timeline};
+use interconnect::{ExecGraph, Fabric, FaultPlan, NodeId, Resource, Timeline};
 use skeletons::{ScanOp, Scannable, SplkTuple};
 
 use crate::error::{ScanError, ScanResult};
@@ -94,7 +94,7 @@ impl PipelineRun {
 
 /// Largest power of two ≤ `requested`, clamped to `[1, batch]` (`batch` is
 /// itself a power of two, so the result always divides it).
-fn effective_batches(requested: usize, batch: usize) -> usize {
+pub(crate) fn effective_batches(requested: usize, batch: usize) -> usize {
     let b = requested.clamp(1, batch);
     let mut p = 1;
     while p * 2 <= b {
@@ -163,86 +163,139 @@ pub(crate) fn build_pipeline_graph<T: Scannable, O: ScanOp<T>>(
     for b in 0..batches {
         let lo = b * sub_batch * n;
         let hi = lo + sub_batch * n;
-        let plan = ExecutionPlan::new(sub_problem, tuple, gpu_ids.len())?;
-        let mut workers = build_workers(device, &plan, gpu_ids, &input[lo..hi])?;
-        let stream = |w: &Worker<T>| Resource::Stream { gpu: w.global_id, stream: 0 };
-        let links = collective_links(fabric, &workers);
-
-        // Stage 1: chunk reductions, one kernel per GPU stream. The only
-        // cross-batch ordering in overlap mode is each stream's in-order
-        // execution.
-        let t1 = parallel_phase(&mut workers, |w| {
-            run_stage1(&mut w.gpu, &plan, op, &w.input, &mut w.aux)
-        })?;
-        let p = graph.phase("stage1:chunk-reduce");
         let barrier_deps = if policy.overlap { Vec::new() } else { prev_phase.clone() };
-        let s1: Vec<NodeId> = workers
-            .iter()
-            .zip(&t1)
-            .map(|(w, &secs)| {
-                graph.add(
-                    p,
-                    "stage1:chunk-reduce",
-                    EventKind::Kernel,
-                    secs,
-                    &barrier_deps,
-                    &[stream(w)],
-                )
-            })
-            .collect();
-
-        // Aux gather: needs every GPU's chunk reductions; occupies the
-        // union of links to the root.
-        let mut root_aux = workers[0].gpu.alloc::<T>(plan.aux_global_len())?;
-        let gather = gather_aux(fabric, &workers, &mut root_aux, &plan);
-        workers[0].gpu.charge("comm:gather-aux", EventKind::Transfer, gather.seconds);
-        let p = graph.phase("comm:gather-aux");
-        let g_id =
-            graph.add(p, "comm:gather-aux", EventKind::Transfer, gather.seconds, &s1, &links);
-
-        // Stage 2 on the group root's stream.
-        let before = workers[0].gpu.elapsed();
-        run_stage2(&mut workers[0].gpu, &plan, op, &mut root_aux)?;
-        let p = graph.phase("stage2:intermediate-scan");
-        let s2 = graph.add(
-            p,
-            "stage2:intermediate-scan",
-            EventKind::Kernel,
-            workers[0].gpu.elapsed() - before,
-            &[g_id],
-            &[stream(&workers[0])],
-        );
-
-        // Offsets scatter, back over the same links.
-        let scatter = scatter_offsets(fabric, &mut workers, &root_aux, &plan);
-        workers[0].gpu.charge("comm:scatter-offsets", EventKind::Transfer, scatter.seconds);
-        let p = graph.phase("comm:scatter-offsets");
-        let sc = graph.add(
-            p,
-            "comm:scatter-offsets",
-            EventKind::Transfer,
-            scatter.seconds,
-            &[s2],
-            &links,
-        );
-
-        // Stage 3: scan + add offsets, one kernel per GPU stream.
-        let t3 = parallel_phase(&mut workers, |w| {
-            run_stage3_kind(&mut w.gpu, &plan, op, &w.input, &w.offsets, &mut w.output, kind)
-        })?;
-        let p = graph.phase("stage3:scan-add");
-        let s3: Vec<NodeId> = workers
-            .iter()
-            .zip(&t3)
-            .map(|(w, &secs)| {
-                graph.add(p, "stage3:scan-add", EventKind::Kernel, secs, &[sc], &[stream(w)])
-            })
-            .collect();
-        prev_phase = s3;
-
-        out[lo..hi].copy_from_slice(&assemble_output(&plan, &workers));
+        prev_phase = append_sub_batch(
+            &mut graph,
+            op,
+            tuple,
+            device,
+            fabric,
+            gpu_ids,
+            sub_problem,
+            &input[lo..hi],
+            kind,
+            &barrier_deps,
+            "",
+            None,
+            &mut out[lo..hi],
+        )?;
     }
     Ok(graph)
+}
+
+/// Append one sub-batch's five phase instances to `graph` and write its
+/// scanned data into `out`, returning the Stage-3 node ids (the sub-batch's
+/// exit frontier, which barrier-mode callers feed into the next sub-batch's
+/// dependencies).
+///
+/// `phase_prefix` is prepended to every phase and node label — the
+/// degraded-mode replanner reruns an aborted sub-batch under a
+/// `"recovery:"` prefix so the extra work shows up as its own rows in the
+/// Fig. 14-style breakdown. `fault_plan` carries the per-GPU SM throttles
+/// of a fault-injection run (link-level faults are applied to the finished
+/// graph by `interconnect::apply_link_faults`, so they re-price each
+/// transfer exactly once).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn append_sub_batch<T: Scannable, O: ScanOp<T>>(
+    graph: &mut ExecGraph,
+    op: O,
+    tuple: SplkTuple,
+    device: &DeviceSpec,
+    fabric: &Fabric,
+    gpu_ids: &[usize],
+    sub_problem: ProblemParams,
+    sub_input: &[T],
+    kind: ScanKind,
+    barrier_deps: &[NodeId],
+    phase_prefix: &str,
+    fault_plan: Option<&FaultPlan>,
+    out: &mut [T],
+) -> ScanResult<Vec<NodeId>> {
+    let plan = ExecutionPlan::new(sub_problem, tuple, gpu_ids.len())?;
+    let mut workers = build_workers(device, &plan, gpu_ids, sub_input)?;
+    if let Some(fp) = fault_plan {
+        for w in &mut workers {
+            let factor = fp.throttle_of(w.global_id);
+            if factor > 1.0 {
+                w.gpu.set_sm_throttle(factor);
+            }
+        }
+    }
+    let stream = |w: &Worker<T>| Resource::Stream { gpu: w.global_id, stream: 0 };
+    let links = collective_links(fabric, &workers);
+    let label = |name: &str| format!("{phase_prefix}{name}");
+
+    // Stage 1: chunk reductions, one kernel per GPU stream. The only
+    // cross-batch ordering in overlap mode is each stream's in-order
+    // execution.
+    let t1 =
+        parallel_phase(&mut workers, |w| run_stage1(&mut w.gpu, &plan, op, &w.input, &mut w.aux))?;
+    let p = graph.phase(label("stage1:chunk-reduce"));
+    let s1: Vec<NodeId> = workers
+        .iter()
+        .zip(&t1)
+        .map(|(w, &secs)| {
+            graph.add(
+                p,
+                label("stage1:chunk-reduce"),
+                EventKind::Kernel,
+                secs,
+                barrier_deps,
+                &[stream(w)],
+            )
+        })
+        .collect();
+
+    // Aux gather: needs every GPU's chunk reductions; occupies the
+    // union of links to the root.
+    let mut root_aux = workers[0].gpu.alloc::<T>(plan.aux_global_len())?;
+    let gather = gather_aux(fabric, &workers, &mut root_aux, &plan);
+    workers[0].gpu.charge(label("comm:gather-aux"), EventKind::Transfer, gather.seconds);
+    let p = graph.phase(label("comm:gather-aux"));
+    let g_id =
+        graph.add(p, label("comm:gather-aux"), EventKind::Transfer, gather.seconds, &s1, &links);
+
+    // Stage 2 on the group root's stream.
+    let before = workers[0].gpu.elapsed();
+    run_stage2(&mut workers[0].gpu, &plan, op, &mut root_aux)?;
+    let p = graph.phase(label("stage2:intermediate-scan"));
+    let s2 = graph.add(
+        p,
+        label("stage2:intermediate-scan"),
+        EventKind::Kernel,
+        workers[0].gpu.elapsed() - before,
+        &[g_id],
+        &[stream(&workers[0])],
+    );
+
+    // Offsets scatter, back over the same links.
+    let scatter = scatter_offsets(fabric, &mut workers, &root_aux, &plan);
+    workers[0].gpu.charge(label("comm:scatter-offsets"), EventKind::Transfer, scatter.seconds);
+    let p = graph.phase(label("comm:scatter-offsets"));
+    let sc = graph.add(
+        p,
+        label("comm:scatter-offsets"),
+        EventKind::Transfer,
+        scatter.seconds,
+        &[s2],
+        &links,
+    );
+
+    // Stage 3: scan + add offsets, one kernel per GPU stream.
+    let t3 = parallel_phase(&mut workers, |w| {
+        run_stage3_kind(&mut w.gpu, &plan, op, &w.input, &w.offsets, &mut w.output, kind)
+    })?;
+    let p = graph.phase(label("stage3:scan-add"));
+    let s3: Vec<NodeId> = workers
+        .iter()
+        .zip(&t3)
+        .map(|(w, &secs)| {
+            graph.add(p, label("stage3:scan-add"), EventKind::Kernel, secs, &[sc], &[stream(w)])
+        })
+        .collect();
+
+    out.copy_from_slice(&assemble_output(&plan, &workers));
+    Ok(s3)
 }
 
 #[cfg(test)]

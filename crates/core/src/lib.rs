@@ -18,6 +18,12 @@
 //!   MPI_Gather/MPI_Scatter collectives (§4.1);
 //! * [`scan_case1`] — the trivial no-communication distribution (Case 1).
 //!
+//! Each proposal also has a fault-injected twin ([`scan_sp_faulted`],
+//! [`scan_mps_faulted`], [`scan_mppc_faulted`],
+//! [`scan_mps_multinode_faulted`]) that runs under a seeded
+//! [`interconnect::FaultPlan`] with degraded-mode replanning — see
+//! [`fault`].
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -49,6 +55,7 @@ pub mod breakdown;
 pub mod case1;
 pub mod error;
 pub mod exec;
+pub mod fault;
 pub mod mppc;
 pub mod mps;
 pub mod multi_gpu;
@@ -69,6 +76,10 @@ pub use breakdown::{Breakdown, BreakdownRow};
 pub use case1::scan_case1;
 pub use error::{ScanError, ScanResult};
 pub use exec::{PipelinePolicy, PipelineRun};
+pub use fault::{
+    scan_mppc_faulted, scan_mps_faulted, scan_mps_multinode_faulted, scan_sp_faulted,
+    FaultyScanOutput,
+};
 pub use mppc::{scan_mppc, scan_mppc_with};
 pub use mps::{scan_mps, scan_mps_exclusive, scan_mps_with};
 pub use multinode::scan_mps_multinode;

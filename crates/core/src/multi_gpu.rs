@@ -80,7 +80,19 @@ where
     T: Scannable,
     F: Fn(&mut Worker<T>) -> SimResult<KernelStats> + Sync,
 {
-    let results: Vec<SimResult<f64>> = std::thread::scope(|s| {
+    parallel_phase_results(workers, f).into_iter().map(|r| r.map_err(ScanError::from)).collect()
+}
+
+/// Like [`parallel_phase`], but hand back every worker's individual result
+/// instead of failing on the first error. The fault-injection replanner
+/// uses this to tell an evicted device's expected `DeviceLost` from a real
+/// failure on a survivor.
+pub fn parallel_phase_results<T, F>(workers: &mut [Worker<T>], f: F) -> Vec<SimResult<f64>>
+where
+    T: Scannable,
+    F: Fn(&mut Worker<T>) -> SimResult<KernelStats> + Sync,
+{
+    std::thread::scope(|s| {
         let handles: Vec<_> = workers
             .iter_mut()
             .map(|w| {
@@ -93,8 +105,7 @@ where
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect()
-    });
-    results.into_iter().map(|r| r.map_err(ScanError::from)).collect()
+    })
 }
 
 /// Gather every worker's local auxiliary array into the root's global one

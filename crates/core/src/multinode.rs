@@ -12,7 +12,7 @@
 //! the [`interconnect::MpiComm`] cost model honours.
 
 use gpu_sim::{DeviceSpec, EventKind};
-use interconnect::{ExecGraph, Fabric, MpiComm, NodeId, Resource};
+use interconnect::{ExecGraph, Fabric, FaultPlan, MpiComm, NodeId, Resource};
 use skeletons::{ScanOp, Scannable, SplkTuple};
 
 use crate::error::{ScanError, ScanResult};
@@ -39,6 +39,35 @@ pub fn scan_mps_multinode<T: Scannable, O: ScanOp<T>>(
     problem: ProblemParams,
     input: &[T],
 ) -> ScanResult<ScanOutput<T>> {
+    let (data, graph) =
+        build_multinode_graph(op, tuple, device, fabric, cfg, problem, input, None)?;
+    Ok(ScanOutput {
+        data,
+        report: RunReport::from_run(
+            format!("Scan-MPS multi-node M={} W={}", cfg.m(), cfg.w()),
+            problem.total_elems(),
+            PipelineRun::from_graph(graph),
+        ),
+    })
+}
+
+/// The multi-node pipeline body, shared with the fault-injection entry
+/// point: builds the MPI-phase execution graph and returns it unscheduled
+/// together with the scanned data. `fault_plan` carries per-GPU SM
+/// throttles (link faults are applied to the finished graph by the
+/// caller; evictions are rejected there — there is no replanning across
+/// MPI ranks).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn build_multinode_graph<T: Scannable, O: ScanOp<T>>(
+    op: O,
+    tuple: SplkTuple,
+    device: &DeviceSpec,
+    fabric: &Fabric,
+    cfg: NodeConfig,
+    problem: ProblemParams,
+    input: &[T],
+    fault_plan: Option<&FaultPlan>,
+) -> ScanResult<(Vec<T>, ExecGraph)> {
     if cfg.m() < 2 {
         return Err(ScanError::InvalidConfig(
             "scan_mps_multinode needs M ≥ 2; use scan_mps on a single node".into(),
@@ -50,6 +79,14 @@ pub fn scan_mps_multinode<T: Scannable, O: ScanOp<T>>(
 
     let plan = ExecutionPlan::new(problem, tuple, gpu_ids.len())?;
     let mut workers = build_workers(device, &plan, &gpu_ids, input)?;
+    if let Some(fp) = fault_plan {
+        for w in &mut workers {
+            let factor = fp.throttle_of(w.global_id);
+            if factor > 1.0 {
+                w.gpu.set_sm_throttle(factor);
+            }
+        }
+    }
     let mut graph = ExecGraph::new();
     let elem_bytes = std::mem::size_of::<T>();
     let stream = |w: &Worker<T>| Resource::Stream { gpu: w.global_id, stream: 0 };
@@ -115,14 +152,7 @@ pub fn scan_mps_multinode<T: Scannable, O: ScanOp<T>>(
     let p = graph.phase("MPI_Barrier");
     graph.add(p, "MPI_Barrier", EventKind::Collective, barrier.seconds, &s3, &[]);
 
-    Ok(ScanOutput {
-        data: assemble_output(&plan, &workers),
-        report: RunReport::from_run(
-            format!("Scan-MPS multi-node M={} W={}", cfg.m(), cfg.w()),
-            problem.total_elems(),
-            PipelineRun::from_graph(graph),
-        ),
-    })
+    Ok((assemble_output(&plan, &workers), graph))
 }
 
 /// Functional part of the MPI gather: place each rank's aux rows in the

@@ -21,6 +21,13 @@ pub enum SimError {
     /// A launch configuration violates a device limit
     /// (block too large, too much shared memory, empty grid, …).
     InvalidLaunch(String),
+    /// The device has been evicted by fault injection ([`crate::Gpu::evict`]):
+    /// every subsequent launch fails, mirroring `cudaErrorDevicesUnavailable`
+    /// after a device falls off the bus.
+    DeviceLost {
+        /// Flat index of the lost GPU.
+        gpu: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -32,6 +39,9 @@ impl fmt::Display for SimError {
                  of {capacity} B capacity"
             ),
             SimError::InvalidLaunch(msg) => write!(f, "invalid kernel launch: {msg}"),
+            SimError::DeviceLost { gpu } => {
+                write!(f, "device lost: GPU {gpu} was evicted and no longer accepts launches")
+            }
         }
     }
 }

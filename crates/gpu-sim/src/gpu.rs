@@ -4,7 +4,7 @@
 use crate::block::BlockCtx;
 use crate::counters::CostCounters;
 use crate::device::DeviceSpec;
-use crate::error::SimResult;
+use crate::error::{SimError, SimResult};
 use crate::event::{Event, EventKind, EventLog, DEFAULT_STREAM};
 use crate::grid::LaunchConfig;
 use crate::memory::{DeviceBuffer, DeviceCopy, MemoryTracker};
@@ -49,13 +49,27 @@ pub struct Gpu {
     tracker: MemoryTracker,
     log: EventLog,
     timing: TimingModel,
+    /// Fault-injection slow-SM multiplier: every kernel launch takes
+    /// `throttle` times longer (1.0 = healthy).
+    throttle: f64,
+    /// Fault-injection eviction flag: once set, every launch fails with
+    /// [`SimError::DeviceLost`].
+    evicted: bool,
 }
 
 impl Gpu {
     /// Create GPU `id` with the given device spec.
     pub fn new(id: usize, spec: DeviceSpec) -> Self {
         let tracker = MemoryTracker::new(spec.global_mem_bytes);
-        Gpu { id, spec, tracker, log: EventLog::new(), timing: TimingModel::default() }
+        Gpu {
+            id,
+            spec,
+            tracker,
+            log: EventLog::new(),
+            timing: TimingModel::default(),
+            throttle: 1.0,
+            evicted: false,
+        }
     }
 
     /// Create a whole node of `count` identical GPUs (ids `0..count`).
@@ -109,6 +123,35 @@ impl Gpu {
         self.log.clear();
     }
 
+    /// Slow every SM by `factor` (≥ 1.0): subsequent kernel launches take
+    /// `factor` times longer. The functional result of each kernel is
+    /// unchanged — throttling is a timing-only fault.
+    ///
+    /// # Panics
+    /// If `factor` is not finite or is below 1.0 (a speed-up is not a fault).
+    pub fn set_sm_throttle(&mut self, factor: f64) {
+        assert!(factor.is_finite() && factor >= 1.0, "throttle factor must be ≥ 1.0, got {factor}");
+        self.throttle = factor;
+    }
+
+    /// The current slow-SM multiplier (1.0 when healthy).
+    pub fn sm_throttle(&self) -> f64 {
+        self.throttle
+    }
+
+    /// Evict this device: every subsequent launch fails with
+    /// [`SimError::DeviceLost`], mimicking a GPU falling off the bus
+    /// mid-batch. Existing allocations and the event log are preserved so
+    /// the planner can still read the time already spent.
+    pub fn evict(&mut self) {
+        self.evicted = true;
+    }
+
+    /// Whether this device has been evicted.
+    pub fn is_evicted(&self) -> bool {
+        self.evicted
+    }
+
     /// Allocate a zero-initialised device buffer of `len` elements.
     pub fn alloc<T: DeviceCopy>(&self, len: usize) -> SimResult<DeviceBuffer<T>> {
         DeviceBuffer::new(self.id, self.tracker.clone(), vec![T::default(); len])
@@ -147,6 +190,9 @@ impl Gpu {
         T: DeviceCopy,
         F: FnMut(&mut BlockCtx<'_, T>),
     {
+        if self.evicted {
+            return Err(SimError::DeviceLost { gpu: self.id });
+        }
         cfg.validate(&self.spec, std::mem::size_of::<T>())?;
         let occ = occupancy(&self.spec, &cfg.block_resources(std::mem::size_of::<T>()));
 
@@ -168,7 +214,15 @@ impl Gpu {
             }
         }
 
-        let time = self.timing.kernel_time(&self.spec, cfg, &occ, &counters);
+        let mut time = self.timing.kernel_time(&self.spec, cfg, &occ, &counters);
+        if self.throttle != 1.0 {
+            // A slow-SM fault stretches every component uniformly, so
+            // `time.total()` scales by exactly the throttle factor.
+            time.launch *= self.throttle;
+            time.memory *= self.throttle;
+            time.compute *= self.throttle;
+            time.chain *= self.throttle;
+        }
         let mut event = Event::new(cfg.label.clone(), EventKind::Kernel, time.total());
         event.stream = stream;
         event.counters = counters;
@@ -322,6 +376,62 @@ mod tests {
         g.reset_time();
         assert_eq!(g.elapsed(), 0.0);
         assert_eq!(g.memory().used(), 64);
+    }
+
+    #[test]
+    fn throttle_scales_kernel_time_exactly() {
+        let cfg = LaunchConfig::new("k", (8, 1), (128, 1)).regs(16);
+        let mut healthy = gpu();
+        let t0 = healthy.launch::<i32, _>(&cfg, |_| {}).unwrap().seconds();
+        let mut slow = gpu();
+        slow.set_sm_throttle(3.0);
+        let t1 = slow.launch::<i32, _>(&cfg, |_| {}).unwrap().seconds();
+        assert!((t1 / t0 - 3.0).abs() < 1e-12, "t1/t0 = {}", t1 / t0);
+        assert_eq!(slow.sm_throttle(), 3.0);
+    }
+
+    #[test]
+    fn throttle_does_not_change_kernel_results() {
+        let src: Vec<i32> = (0..256).collect();
+        let run = |throttle: f64| {
+            let mut g = gpu();
+            if throttle > 1.0 {
+                g.set_sm_throttle(throttle);
+            }
+            let input = g.alloc_from(&src).unwrap();
+            let mut output = g.alloc::<i32>(256).unwrap();
+            let cfg = LaunchConfig::new("copy", (2, 1), (128, 1)).regs(16);
+            g.launch::<i32, _>(&cfg, |ctx| {
+                let base = ctx.block_idx.0 * 128;
+                let mut tmp = [0i32; 128];
+                ctx.read_global(input.host_view(), base, &mut tmp);
+                ctx.write_global(output.host_view_mut(), base, &tmp);
+            })
+            .unwrap();
+            output.host_view().to_vec()
+        };
+        assert_eq!(run(1.0), run(7.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be ≥ 1.0")]
+    fn speedup_throttle_is_rejected() {
+        gpu().set_sm_throttle(0.5);
+    }
+
+    #[test]
+    fn evicted_gpu_rejects_launches_but_keeps_log() {
+        let mut g = gpu();
+        let cfg = LaunchConfig::new("k", (1, 1), (WARP_SIZE, 1)).regs(16);
+        g.launch::<i32, _>(&cfg, |_| {}).unwrap();
+        let before = g.elapsed();
+        assert!(!g.is_evicted());
+        g.evict();
+        assert!(g.is_evicted());
+        let err = g.launch::<i32, _>(&cfg, |_| {}).unwrap_err();
+        assert_eq!(err, crate::SimError::DeviceLost { gpu: 0 });
+        assert!(err.to_string().contains("GPU 0"));
+        assert_eq!(g.elapsed(), before, "a failed launch must not consume time");
     }
 
     /// Two GPUs can run launches on separate host threads.

@@ -13,12 +13,15 @@
 //! * [`graph`] — the stream/event execution graph: operations as DAG nodes
 //!   scheduled over exclusive link and stream resources, makespan as the
 //!   critical path;
+//! * [`fault`] — seeded, deterministic fault injection: degraded links,
+//!   transient transfer failures with retry/backoff, lost links;
 //! * [`timeline`] — the phase-synchronous view (Fig. 14 breakdowns),
 //!   derivable from an execution graph.
 
 #![warn(missing_docs)]
 
 pub mod collectives;
+pub mod fault;
 pub mod graph;
 pub mod link;
 pub mod mpi;
@@ -28,6 +31,9 @@ pub mod transfer;
 
 pub use collectives::{
     barrier_cost, gather_cost, scatter_cost, strided_exchange_cost, CollectiveCost, StridedPart,
+};
+pub use fault::{
+    apply_link_faults, FaultError, FaultEvent, FaultPlan, FaultReport, GpuEviction, LinkFault,
 };
 pub use graph::{ExecGraph, ExecNode, NodeId, Resource, Schedule};
 pub use link::{FabricSpec, LinkParams};

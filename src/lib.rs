@@ -28,10 +28,13 @@ pub use skeletons as kernels;
 pub mod prelude {
     pub use baselines::{Cub, Cudpp, LightScan, ModernGpu, ScanLibrary, Thrust};
     pub use gpu_sim::DeviceSpec;
-    pub use interconnect::{Fabric, Topology};
+    pub use interconnect::{
+        Fabric, FaultError, FaultEvent, FaultPlan, FaultReport, GpuEviction, LinkFault, Topology,
+    };
     pub use scan_core::{
-        premises, scan_case1, scan_mppc, scan_mppc_with, scan_mps, scan_mps_multinode,
-        scan_mps_with, scan_sp, NodeConfig, PipelinePolicy, ProblemParams,
+        premises, scan_case1, scan_mppc, scan_mppc_faulted, scan_mppc_with, scan_mps,
+        scan_mps_faulted, scan_mps_multinode, scan_mps_multinode_faulted, scan_mps_with, scan_sp,
+        scan_sp_faulted, FaultyScanOutput, NodeConfig, PipelinePolicy, ProblemParams,
     };
     pub use skeletons::{Add, Max, Min, Mul, ScanOp, SplkTuple};
 }

@@ -124,6 +124,81 @@ fn tuple_constraints_are_enforced() {
 }
 
 #[test]
+fn evicting_the_last_gpu_is_a_config_error_not_a_panic() {
+    let problem = ProblemParams::new(13, 0);
+    let input = vec![1i32; problem.total_elems()];
+    let tuple = SplkTuple::kepler_premises(0);
+    // Scan-SP's only GPU is evicted before the first sub-batch: there is
+    // nothing left to replan onto.
+    let plan = FaultPlan::new(7).evict_gpu(0, 0);
+    let err = scan_sp_faulted(Add, tuple, &device(), problem, &input, &plan).unwrap_err();
+    match err {
+        ScanError::InvalidConfig(msg) => {
+            assert!(msg.contains("the last GPU"), "{msg}");
+            assert!(msg.contains("no survivors"), "{msg}");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // Same for a multi-GPU group when the plan takes every member.
+    let fabric = Fabric::tsubame_kfc(1);
+    let cfg = NodeConfig::new(2, 2, 1, 1).unwrap();
+    let problem = ProblemParams::new(13, 1);
+    let input = vec![1i32; problem.total_elems()];
+    let plan = FaultPlan::new(7).evict_gpu(0, 0).evict_gpu(1, 0);
+    let err = scan_mps_faulted(
+        Add,
+        tuple,
+        &device(),
+        &fabric,
+        cfg,
+        problem,
+        &input,
+        &PipelinePolicy::barrier_synchronous(),
+        &plan,
+    )
+    .unwrap_err();
+    assert!(matches!(err, ScanError::InvalidConfig(_)), "{err}");
+}
+
+#[test]
+fn exhausted_retry_budget_names_the_link_and_attempt_count() {
+    use multigpu_scan::fabric::Resource;
+    let fabric = Fabric::tsubame_kfc(1);
+    let cfg = NodeConfig::new(2, 2, 1, 1).unwrap();
+    let problem = ProblemParams::new(13, 1);
+    let input = vec![1i32; problem.total_elems()];
+    let tuple = SplkTuple::kepler_premises(0);
+    // A permanently lost link fails every attempt; 2 retries = 3 attempts.
+    let plan = FaultPlan::new(3)
+        .lose_link(Resource::PcieNetwork { node: 0, network: 0 })
+        .with_retry_budget(2);
+    let err = scan_mps_faulted(
+        Add,
+        tuple,
+        &device(),
+        &fabric,
+        cfg,
+        problem,
+        &input,
+        &PipelinePolicy::barrier_synchronous(),
+        &plan,
+    )
+    .unwrap_err();
+    match &err {
+        ScanError::Fault(FaultError::RetryBudgetExhausted { resource, attempts, .. }) => {
+            assert_eq!(*resource, Resource::PcieNetwork { node: 0, network: 0 });
+            assert_eq!(*attempts, 3);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    let msg = err.to_string();
+    assert!(msg.contains("retry budget exhausted"), "{msg}");
+    assert!(msg.contains("PcieNetwork"), "{msg}");
+    assert!(msg.contains('3'), "{msg}");
+}
+
+#[test]
 fn case1_requires_enough_problems() {
     let fabric = Fabric::tsubame_kfc(1);
     let problem = ProblemParams::new(12, 0); // 1 problem, 4 GPUs
