@@ -151,10 +151,10 @@ impl<O: Copy + Send + Sync + 'static> Thrust<O> {
         for g in 0..problem.batch() {
             self.kernels(&mut gpu, &dinput, &mut output, g * n, n, true)?;
         }
-        Ok(ScanOutput {
-            data: output.copy_to_host(),
-            report: report_from_gpu("Thrust (segmented)", problem, &gpu),
-        })
+        Ok(ScanOutput::new(
+            output.copy_to_host(),
+            report_from_gpu("Thrust (segmented)", problem, &gpu),
+        ))
     }
 }
 

@@ -1,11 +1,16 @@
 //! Regenerate the paper's tables and figures on the simulator.
 //!
 //! ```text
-//! figures [--total-log2 N] [--n-lo N] [--no-verify] [CMD...]
+//! figures [--total-log2 N] [--n-lo N] [--no-verify] [--trace-dir DIR] [CMD...]
 //!
 //! CMD: table3 fig1 fig9 fig10 fig11 fig12 fig13 fig14 mw-sweep k-sweep
-//!      ablations all (default: all)
+//!      ablations trace all (default: all)
 //! ```
+//!
+//! `trace` exports Chrome-trace JSON (`*.trace.json`, loadable in
+//! `chrome://tracing` or Perfetto) for the Fig. 9 Scan-MPS configurations
+//! and an eviction-recovery run, into `--trace-dir` (default `.`),
+//! together with per-resource utilization and critical-path attribution.
 //!
 //! `--total-log2 28` reproduces the paper's full 2^28-element sweeps
 //! (slow); the default 22 preserves every shape at a fraction of the
@@ -18,6 +23,7 @@ use skeletons::{lf, shared_scan, warp_scan_exclusive, warp_scan_inclusive, Add, 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut harness = Harness::default();
+    let mut trace_dir = String::from(".");
     let mut cmds: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -31,10 +37,15 @@ fn main() {
                 harness.n_lo = args[i].parse().expect("--n-lo takes an integer");
             }
             "--no-verify" => harness.verify = false,
+            "--trace-dir" => {
+                i += 1;
+                trace_dir = args[i].clone();
+            }
             "--help" | "-h" => {
                 println!(
-                    "figures [--total-log2 N] [--n-lo N] [--no-verify] \
-                     [table3 fig1 fig9 fig10 fig11 fig12 fig13 fig14 mw-sweep k-sweep ablations all]"
+                    "figures [--total-log2 N] [--n-lo N] [--no-verify] [--trace-dir DIR] \
+                     [table3 fig1 fig9 fig10 fig11 fig12 fig13 fig14 mw-sweep k-sweep ablations \
+                     trace all]"
                 );
                 return;
             }
@@ -64,6 +75,7 @@ fn main() {
             "mw-sweep" => mw_sweep(&harness),
             "k-sweep" => k_sweep(&harness),
             "ablations" => ablations(),
+            "trace" => trace_export(&trace_dir),
             "all" => {
                 table3();
                 fig1();
@@ -212,6 +224,62 @@ fn k_sweep(h: &Harness) {
         println!("  K = {:>4}: {:>10.3} ms", 1 << k, secs * 1e3);
     }
     println!();
+}
+
+/// Export Chrome-trace JSON for the Fig. 9 Scan-MPS configurations and an
+/// eviction-recovery run, plus the derived observability reports.
+///
+/// Files land in `dir` as `fig9_mps_w{W}.trace.json` and
+/// `recovery_mps_w4_evict_gpu2.trace.json`; load them in
+/// `chrome://tracing` or <https://ui.perfetto.dev>.
+fn trace_export(dir: &str) {
+    use interconnect::FaultPlan;
+    use scan_core::{
+        NodeConfig, PipelinePolicy, ProblemParams, Proposal, ScanRequest, TraceOptions,
+    };
+    use skeletons::SplkTuple;
+
+    println!("## Trace export — Chrome-trace JSON into {dir}/");
+    std::fs::create_dir_all(dir).expect("create trace dir");
+    let problem = ProblemParams::new(13, 2);
+    let input: Vec<i32> =
+        (0..problem.total_elems()).map(|i| ((i as i64 * 16807 + 11) % 211) as i32 - 105).collect();
+    let tuple = SplkTuple::kepler_premises(0);
+
+    for (w, v, y) in [(1usize, 1usize, 1usize), (2, 2, 1), (4, 4, 1), (8, 4, 2)] {
+        let out = ScanRequest::new(Add, problem)
+            .proposal(Proposal::Mps)
+            .devices(NodeConfig::new(w, v, y, 1).unwrap())
+            .tuple(tuple)
+            .trace(TraceOptions::full())
+            .run(&input)
+            .expect("Fig. 9 config must run");
+        let handle = out.trace.expect("tracing was requested");
+        let path = format!("{dir}/fig9_mps_w{w}.trace.json");
+        handle.write_chrome_trace(&path).expect("write trace");
+        println!("wrote {path} ({} nodes)", out.report.graph.as_ref().unwrap().nodes().len());
+        if w == 4 {
+            println!("\n{}", handle.utilization());
+            println!("{}", handle.critical_path());
+        }
+    }
+
+    let out = ScanRequest::new(Add, problem)
+        .proposal(Proposal::Mps)
+        .devices(NodeConfig::new(4, 4, 1, 1).unwrap())
+        .tuple(tuple)
+        .pipeline(PipelinePolicy::batched_barrier(4))
+        .faults(FaultPlan::new(0xC0FFEE).evict_gpu(2, 1))
+        .trace(TraceOptions::full())
+        .run(&input)
+        .expect("recovery run must complete");
+    let handle = out.trace.expect("tracing was requested");
+    let path = format!("{dir}/recovery_mps_w4_evict_gpu2.trace.json");
+    handle.write_chrome_trace(&path).expect("write trace");
+    println!("wrote {path} (eviction recovery; replans = {})", {
+        out.faults.as_ref().map(|f| f.replans()).unwrap_or(0)
+    });
+    println!("\n{}", handle.critical_path());
 }
 
 /// Counter-level ablations of the §3.1 design choices.

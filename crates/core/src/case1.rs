@@ -81,14 +81,14 @@ pub fn scan_case1<T: Scannable, O: ScanOp<T>>(
     }
     let graph = merged.expect("at least one GPU");
 
-    Ok(ScanOutput {
+    Ok(ScanOutput::new(
         data,
-        report: RunReport::from_run(
+        RunReport::from_run(
             format!("Scan-Case1 {} GPUs", gpus.len()),
             problem.total_elems(),
             PipelineRun::from_graph(graph),
         ),
-    })
+    ))
 }
 
 #[cfg(test)]

@@ -16,12 +16,12 @@
 //!   the paper's model and is off by default (see DESIGN.md §2).
 
 use gpu_sim::{DeviceSpec, EventKind};
-use interconnect::{ExecGraph, Fabric, FaultPlan, NodeId, Resource, Timeline};
+use interconnect::{ExecGraph, Fabric, FaultPlan, NodeId, NodeMeta, Resource, Timeline};
 use skeletons::{ScanOp, Scannable, SplkTuple};
 
 use crate::error::{ScanError, ScanResult};
 use crate::multi_gpu::{
-    assemble_output, build_workers, gather_aux, parallel_phase, scatter_offsets, Worker,
+    assemble_output, build_workers, gather_aux, parallel_phase_counted, scatter_offsets, Worker,
 };
 use crate::params::{ProblemParams, ScanKind};
 use crate::plan::ExecutionPlan;
@@ -227,21 +227,24 @@ pub(crate) fn append_sub_batch<T: Scannable, O: ScanOp<T>>(
 
     // Stage 1: chunk reductions, one kernel per GPU stream. The only
     // cross-batch ordering in overlap mode is each stream's in-order
-    // execution.
-    let t1 =
-        parallel_phase(&mut workers, |w| run_stage1(&mut w.gpu, &plan, op, &w.input, &mut w.aux))?;
+    // execution. Each kernel node carries the counters its GPU charged
+    // during the phase, for the trace exporter's achieved-bandwidth args.
+    let t1 = parallel_phase_counted(&mut workers, |w| {
+        run_stage1(&mut w.gpu, &plan, op, &w.input, &mut w.aux)
+    })?;
     let p = graph.phase(label("stage1:chunk-reduce"));
     let s1: Vec<NodeId> = workers
         .iter()
         .zip(&t1)
-        .map(|(w, &secs)| {
-            graph.add(
+        .map(|(w, &(secs, counters))| {
+            graph.add_with_meta(
                 p,
                 label("stage1:chunk-reduce"),
                 EventKind::Kernel,
                 secs,
                 barrier_deps,
                 &[stream(w)],
+                NodeMeta::kernel(counters),
             )
         })
         .collect();
@@ -252,45 +255,64 @@ pub(crate) fn append_sub_batch<T: Scannable, O: ScanOp<T>>(
     let gather = gather_aux(fabric, &workers, &mut root_aux, &plan);
     workers[0].gpu.charge(label("comm:gather-aux"), EventKind::Transfer, gather.seconds);
     let p = graph.phase(label("comm:gather-aux"));
-    let g_id =
-        graph.add(p, label("comm:gather-aux"), EventKind::Transfer, gather.seconds, &s1, &links);
+    let g_id = graph.add_with_meta(
+        p,
+        label("comm:gather-aux"),
+        EventKind::Transfer,
+        gather.seconds,
+        &s1,
+        &links,
+        NodeMeta::transfer(gather.bytes as u64),
+    );
 
     // Stage 2 on the group root's stream.
     let before = workers[0].gpu.elapsed();
+    let counters_before = workers[0].gpu.log().total_counters();
     run_stage2(&mut workers[0].gpu, &plan, op, &mut root_aux)?;
+    let s2_counters = workers[0].gpu.log().total_counters().since(&counters_before);
     let p = graph.phase(label("stage2:intermediate-scan"));
-    let s2 = graph.add(
+    let s2 = graph.add_with_meta(
         p,
         label("stage2:intermediate-scan"),
         EventKind::Kernel,
         workers[0].gpu.elapsed() - before,
         &[g_id],
         &[stream(&workers[0])],
+        NodeMeta::kernel(s2_counters),
     );
 
     // Offsets scatter, back over the same links.
     let scatter = scatter_offsets(fabric, &mut workers, &root_aux, &plan);
     workers[0].gpu.charge(label("comm:scatter-offsets"), EventKind::Transfer, scatter.seconds);
     let p = graph.phase(label("comm:scatter-offsets"));
-    let sc = graph.add(
+    let sc = graph.add_with_meta(
         p,
         label("comm:scatter-offsets"),
         EventKind::Transfer,
         scatter.seconds,
         &[s2],
         &links,
+        NodeMeta::transfer(scatter.bytes as u64),
     );
 
     // Stage 3: scan + add offsets, one kernel per GPU stream.
-    let t3 = parallel_phase(&mut workers, |w| {
+    let t3 = parallel_phase_counted(&mut workers, |w| {
         run_stage3_kind(&mut w.gpu, &plan, op, &w.input, &w.offsets, &mut w.output, kind)
     })?;
     let p = graph.phase(label("stage3:scan-add"));
     let s3: Vec<NodeId> = workers
         .iter()
         .zip(&t3)
-        .map(|(w, &secs)| {
-            graph.add(p, label("stage3:scan-add"), EventKind::Kernel, secs, &[sc], &[stream(w)])
+        .map(|(w, &(secs, counters))| {
+            graph.add_with_meta(
+                p,
+                label("stage3:scan-add"),
+                EventKind::Kernel,
+                secs,
+                &[sc],
+                &[stream(w)],
+                NodeMeta::kernel(counters),
+            )
         })
         .collect();
 

@@ -39,25 +39,13 @@ use crate::plan::ExecutionPlan;
 use crate::report::{RunReport, ScanOutput};
 use crate::stage1::run_stage1;
 
-/// Result of a fault-injected scan: the (bit-identical) data, the timing
-/// report of the degraded schedule, and the record of every injected
-/// fault.
-#[derive(Debug, Clone)]
-pub struct FaultyScanOutput<T> {
-    /// Scanned batch, same layout and values as the fault-free run.
-    pub data: Vec<T>,
-    /// Timing report over the faulted execution graph.
-    pub report: RunReport,
-    /// What was injected, retried and replanned.
-    pub faults: FaultReport,
-}
-
-impl<T> FaultyScanOutput<T> {
-    /// View as the plain [`ScanOutput`] (dropping the fault record).
-    pub fn into_scan_output(self) -> ScanOutput<T> {
-        ScanOutput { data: self.data, report: self.report }
-    }
-}
+/// Result of a fault-injected scan.
+///
+/// Since the fault record moved into [`ScanOutput`] as an
+/// `Option<FaultReport>` field, the faulted entry points return the same
+/// type as the healthy ones (with `faults` always `Some`). This alias is
+/// kept so pre-unification call sites keep compiling.
+pub type FaultyScanOutput<T> = ScanOutput<T>;
 
 /// Largest power of two ≤ `n` (0 maps to 0).
 fn largest_pow2(n: usize) -> usize {
@@ -87,10 +75,15 @@ fn finish<T>(
     graph: ExecGraph,
     plan: &FaultPlan,
     mut faults: FaultReport,
-) -> ScanResult<FaultyScanOutput<T>> {
+) -> ScanResult<ScanOutput<T>> {
     let graph = apply_link_faults(&graph, plan, &mut faults)?;
     let run = PipelineRun::from_graph(graph);
-    Ok(FaultyScanOutput { data, report: RunReport::from_run(label, elements, run), faults })
+    Ok(ScanOutput {
+        data,
+        report: RunReport::from_run(label, elements, run),
+        faults: Some(faults),
+        trace: None,
+    })
 }
 
 /// Run one GPU group's pipeline under the fault plan, appending into a
@@ -506,7 +499,7 @@ mod tests {
             healthy.report.makespan.to_bits(),
             "an empty plan must reduce to the healthy schedule exactly"
         );
-        assert!(faulted.faults.events.is_empty());
+        assert!(faulted.faults.expect("faulted runs carry a report").events.is_empty());
     }
 
     #[test]
@@ -537,7 +530,10 @@ mod tests {
             faulted.report.makespan,
             healthy.report.makespan
         );
-        assert_eq!(faulted.faults.events, vec![FaultEvent::GpuThrottled { gpu: 1, factor: 4.0 }]);
+        assert_eq!(
+            faulted.faults.expect("faulted runs carry a report").events,
+            vec![FaultEvent::GpuThrottled { gpu: 1, factor: 4.0 }]
+        );
     }
 
     #[test]
@@ -560,11 +556,11 @@ mod tests {
         )
         .unwrap();
         verify_batch(&faulted.data, &input, problem);
-        assert!(faulted.faults.any_eviction());
-        assert_eq!(faulted.faults.replans(), 1);
+        let fault_report = faulted.faults.as_ref().expect("faulted runs carry a report");
+        assert!(fault_report.any_eviction());
+        assert_eq!(fault_report.replans(), 1);
         // Survivors {0, 1, 3} truncate to a power-of-two pair.
-        let replanned = faulted
-            .faults
+        let replanned = fault_report
             .events
             .iter()
             .find_map(|e| match e {
@@ -623,9 +619,9 @@ mod tests {
         )
         .unwrap();
         verify_batch(&faulted.data, &input, problem);
-        assert_eq!(faulted.faults.replans(), 1);
-        let to = faulted
-            .faults
+        let fault_report = faulted.faults.as_ref().expect("faulted runs carry a report");
+        assert_eq!(fault_report.replans(), 1);
+        let to = fault_report
             .events
             .iter()
             .find_map(|e| match e {

@@ -24,6 +24,11 @@
 //! [`interconnect::FaultPlan`] with degraded-mode replanning — see
 //! [`fault`].
 //!
+//! All of the above are also reachable through one builder,
+//! [`ScanRequest`], which additionally captures execution traces
+//! ([`TraceOptions`]) for Chrome-trace export, per-resource utilization
+//! and critical-path attribution — see [`request`] and [`report`].
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -65,6 +70,7 @@ pub mod plan;
 pub mod premises;
 pub mod reduce;
 pub mod report;
+pub mod request;
 pub mod single;
 pub mod stage1;
 pub mod stage2;
@@ -86,5 +92,6 @@ pub use multinode::scan_mps_multinode;
 pub use params::{NodeConfig, ProblemParams, ScanKind};
 pub use plan::ExecutionPlan;
 pub use reduce::{reduce_sp, ReduceOutput};
-pub use report::{RunReport, ScanOutput};
+pub use report::{RunReport, ScanOutput, TraceHandle};
+pub use request::{Proposal, ScanRequest, TraceOptions};
 pub use single::{scan_sp, scan_sp_exclusive};

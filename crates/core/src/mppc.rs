@@ -121,9 +121,9 @@ pub fn scan_mppc_with<T: Scannable, O: ScanOp<T>>(
     let graph = merged.expect("at least one group");
 
     let plural = if groups == 1 { "group" } else { "groups" };
-    Ok(ScanOutput {
+    Ok(ScanOutput::new(
         data,
-        report: RunReport::from_run(
+        RunReport::from_run(
             format!(
                 "Scan-MP-PC W={} V={} Y={} M={} ({groups} {plural})",
                 cfg.w(),
@@ -134,7 +134,7 @@ pub fn scan_mppc_with<T: Scannable, O: ScanOp<T>>(
             problem.total_elems(),
             PipelineRun::from_graph(graph),
         ),
-    })
+    ))
 }
 
 #[cfg(test)]

@@ -88,7 +88,7 @@ pub fn scan_mps_with<T: Scannable, O: ScanOp<T>>(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn scan_mps_with_kind<T: Scannable, O: ScanOp<T>>(
+pub(crate) fn scan_mps_with_kind<T: Scannable, O: ScanOp<T>>(
     op: O,
     tuple: SplkTuple,
     device: &DeviceSpec,
@@ -109,14 +109,14 @@ fn scan_mps_with_kind<T: Scannable, O: ScanOp<T>>(
     let (data, run) = run_pipeline_group_policy(
         op, tuple, device, fabric, &gpu_ids, problem, input, kind, policy,
     )?;
-    Ok(ScanOutput {
+    Ok(ScanOutput::new(
         data,
-        report: RunReport::from_run(
+        RunReport::from_run(
             format!("Scan-MPS W={} V={} Y={}", cfg.w(), cfg.v(), cfg.y()),
             problem.total_elems(),
             run,
         ),
-    })
+    ))
 }
 
 #[cfg(test)]

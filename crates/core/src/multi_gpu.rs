@@ -7,7 +7,7 @@
 //! maximum of the per-GPU times, matching the paper's phase-synchronous
 //! execution.
 
-use gpu_sim::{DeviceSpec, Gpu, KernelStats, SimResult};
+use gpu_sim::{CostCounters, DeviceSpec, Gpu, KernelStats, SimError, SimResult};
 use interconnect::{strided_exchange_cost, CollectiveCost, Fabric, StridedPart};
 use skeletons::{ScanOp, Scannable, SplkTuple};
 
@@ -81,6 +81,40 @@ where
     F: Fn(&mut Worker<T>) -> SimResult<KernelStats> + Sync,
 {
     parallel_phase_results(workers, f).into_iter().map(|r| r.map_err(ScanError::from)).collect()
+}
+
+/// Like [`parallel_phase`], but also return the simulated hardware
+/// counters each GPU accumulated during the phase (the difference of its
+/// event-log totals around `f`), so the execution graph can attach them to
+/// the phase's kernel nodes. The timing half is identical to
+/// [`parallel_phase`] bit-for-bit.
+pub fn parallel_phase_counted<T, F>(
+    workers: &mut [Worker<T>],
+    f: F,
+) -> ScanResult<Vec<(f64, CostCounters)>>
+where
+    T: Scannable,
+    F: Fn(&mut Worker<T>) -> SimResult<KernelStats> + Sync,
+{
+    std::thread::scope(|s| {
+        let handles: Vec<_> = workers
+            .iter_mut()
+            .map(|w| {
+                let f = &f;
+                s.spawn(move || {
+                    let before = w.gpu.elapsed();
+                    let counters_before = w.gpu.log().total_counters();
+                    f(w)?;
+                    let counters = w.gpu.log().total_counters().since(&counters_before);
+                    Ok::<_, SimError>((w.gpu.elapsed() - before, counters))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked").map_err(ScanError::from))
+            .collect()
+    })
 }
 
 /// Like [`parallel_phase`], but hand back every worker's individual result

@@ -12,13 +12,13 @@
 //! the [`interconnect::MpiComm`] cost model honours.
 
 use gpu_sim::{DeviceSpec, EventKind};
-use interconnect::{ExecGraph, Fabric, FaultPlan, MpiComm, NodeId, Resource};
+use interconnect::{ExecGraph, Fabric, FaultPlan, MpiComm, NodeId, NodeMeta, Resource};
 use skeletons::{ScanOp, Scannable, SplkTuple};
 
 use crate::error::{ScanError, ScanResult};
 use crate::exec::{collective_links, PipelineRun};
 use crate::multi_gpu::{
-    assemble_output, build_workers, parallel_phase, scatter_offsets_functional, Worker,
+    assemble_output, build_workers, parallel_phase_counted, scatter_offsets_functional, Worker,
 };
 use crate::params::{NodeConfig, ProblemParams};
 use crate::plan::ExecutionPlan;
@@ -41,14 +41,14 @@ pub fn scan_mps_multinode<T: Scannable, O: ScanOp<T>>(
 ) -> ScanResult<ScanOutput<T>> {
     let (data, graph) =
         build_multinode_graph(op, tuple, device, fabric, cfg, problem, input, None)?;
-    Ok(ScanOutput {
+    Ok(ScanOutput::new(
         data,
-        report: RunReport::from_run(
+        RunReport::from_run(
             format!("Scan-MPS multi-node M={} W={}", cfg.m(), cfg.w()),
             problem.total_elems(),
             PipelineRun::from_graph(graph),
         ),
-    })
+    ))
 }
 
 /// The multi-node pipeline body, shared with the fault-injection entry
@@ -97,14 +97,23 @@ pub(crate) fn build_multinode_graph<T: Scannable, O: ScanOp<T>>(
     let p = graph.phase("MPI_Barrier");
     let b0 = graph.add(p, "MPI_Barrier", EventKind::Collective, barrier.seconds, &[], &[]);
 
-    let t1 =
-        parallel_phase(&mut workers, |w| run_stage1(&mut w.gpu, &plan, op, &w.input, &mut w.aux))?;
+    let t1 = parallel_phase_counted(&mut workers, |w| {
+        run_stage1(&mut w.gpu, &plan, op, &w.input, &mut w.aux)
+    })?;
     let p = graph.phase("stage1:chunk-reduce");
     let s1: Vec<NodeId> = workers
         .iter()
         .zip(&t1)
-        .map(|(w, &secs)| {
-            graph.add(p, "stage1:chunk-reduce", EventKind::Kernel, secs, &[b0], &[stream(w)])
+        .map(|(w, &(secs, counters))| {
+            graph.add_with_meta(
+                p,
+                "stage1:chunk-reduce",
+                EventKind::Kernel,
+                secs,
+                &[b0],
+                &[stream(w)],
+                NodeMeta::kernel(counters),
+            )
         })
         .collect();
 
@@ -114,18 +123,29 @@ pub(crate) fn build_multinode_graph<T: Scannable, O: ScanOp<T>>(
     let gather = comm.gather(fabric, plan.aux_local_len() * elem_bytes);
     workers[0].gpu.charge("MPI_Gather", EventKind::Collective, gather.seconds);
     let p = graph.phase("MPI_Gather");
-    let g_id = graph.add(p, "MPI_Gather", EventKind::Collective, gather.seconds, &s1, &links);
+    let g_id = graph.add_with_meta(
+        p,
+        "MPI_Gather",
+        EventKind::Collective,
+        gather.seconds,
+        &s1,
+        &links,
+        NodeMeta::transfer(gather.bytes as u64),
+    );
 
     let before = workers[0].gpu.elapsed();
+    let counters_before = workers[0].gpu.log().total_counters();
     run_stage2(&mut workers[0].gpu, &plan, op, &mut root_aux)?;
+    let s2_counters = workers[0].gpu.log().total_counters().since(&counters_before);
     let p = graph.phase("stage2:intermediate-scan");
-    let s2 = graph.add(
+    let s2 = graph.add_with_meta(
         p,
         "stage2:intermediate-scan",
         EventKind::Kernel,
         workers[0].gpu.elapsed() - before,
         &[g_id],
         &[stream(&workers[0])],
+        NodeMeta::kernel(s2_counters),
     );
 
     // MPI_Scatter: each rank's slice of the scanned offsets back.
@@ -133,17 +153,33 @@ pub(crate) fn build_multinode_graph<T: Scannable, O: ScanOp<T>>(
     let scatter = comm.scatter(fabric, plan.aux_local_len() * elem_bytes);
     workers[0].gpu.charge("MPI_Scatter", EventKind::Collective, scatter.seconds);
     let p = graph.phase("MPI_Scatter");
-    let sc = graph.add(p, "MPI_Scatter", EventKind::Collective, scatter.seconds, &[s2], &links);
+    let sc = graph.add_with_meta(
+        p,
+        "MPI_Scatter",
+        EventKind::Collective,
+        scatter.seconds,
+        &[s2],
+        &links,
+        NodeMeta::transfer(scatter.bytes as u64),
+    );
 
-    let t3 = parallel_phase(&mut workers, |w| {
+    let t3 = parallel_phase_counted(&mut workers, |w| {
         run_stage3(&mut w.gpu, &plan, op, &w.input, &w.offsets, &mut w.output)
     })?;
     let p = graph.phase("stage3:scan-add");
     let s3: Vec<NodeId> = workers
         .iter()
         .zip(&t3)
-        .map(|(w, &secs)| {
-            graph.add(p, "stage3:scan-add", EventKind::Kernel, secs, &[sc], &[stream(w)])
+        .map(|(w, &(secs, counters))| {
+            graph.add_with_meta(
+                p,
+                "stage3:scan-add",
+                EventKind::Kernel,
+                secs,
+                &[sc],
+                &[stream(w)],
+                NodeMeta::kernel(counters),
+            )
         })
         .collect();
 

@@ -1,6 +1,8 @@
 //! Run reports: what a pipeline invocation returns besides the data.
 
-use interconnect::{ExecGraph, Timeline};
+use interconnect::{
+    CriticalPathReport, ExecGraph, FaultReport, Timeline, Trace, UtilizationReport,
+};
 
 use crate::exec::PipelineRun;
 
@@ -62,13 +64,93 @@ impl RunReport {
     }
 }
 
-/// Result of a batch scan: the scanned data plus the timing report.
+/// Handle to a run's execution trace: the scheduled graph wrapped for
+/// observability queries and Chrome-trace export.
+///
+/// Obtained from [`ScanOutput::trace`] (populated when the run was issued
+/// through [`crate::ScanRequest`] with tracing enabled) or built on demand
+/// from any report that carries an execution graph.
+#[derive(Debug, Clone)]
+pub struct TraceHandle {
+    trace: Trace,
+}
+
+impl TraceHandle {
+    /// Build a handle by scheduling `graph` (one deterministic pass).
+    pub fn from_graph(graph: &ExecGraph) -> Self {
+        TraceHandle { trace: Trace::from_graph(graph) }
+    }
+
+    /// The underlying [`Trace`] (graph + schedule).
+    pub fn as_trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Render the run as Chrome-trace JSON (load in `chrome://tracing` or
+    /// Perfetto).
+    pub fn chrome_trace_json(&self) -> String {
+        self.trace.chrome_trace_json()
+    }
+
+    /// Write the Chrome-trace JSON to `path`.
+    pub fn write_chrome_trace(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        self.trace.write_chrome_trace(path)
+    }
+
+    /// Per-resource utilization metrics over the scheduled run.
+    pub fn utilization(&self) -> UtilizationReport {
+        self.trace.utilization()
+    }
+
+    /// Critical-path attribution of the makespan.
+    pub fn critical_path(&self) -> CriticalPathReport {
+        self.trace.critical_path()
+    }
+}
+
+/// Result of a batch scan: the scanned data plus the timing report, and —
+/// for fault-injected or traced runs — the fault record and trace handle.
 #[derive(Debug, Clone)]
 pub struct ScanOutput<T> {
     /// Scanned batch, same layout as the input (`[g][N]`, problem-major).
     pub data: Vec<T>,
     /// Timing report.
     pub report: RunReport,
+    /// What was injected, retried and replanned — `Some` exactly when the
+    /// run executed under a [`interconnect::FaultPlan`] (even an empty
+    /// one), `None` for the healthy entry points.
+    pub faults: Option<FaultReport>,
+    /// Execution trace captured at run time, when tracing was requested
+    /// (see [`crate::TraceOptions`]). Use [`ScanOutput::trace`] to get a
+    /// handle regardless.
+    pub trace: Option<TraceHandle>,
+}
+
+impl<T> ScanOutput<T> {
+    /// A healthy, untraced output (no fault record, no captured trace).
+    pub fn new(data: Vec<T>, report: RunReport) -> Self {
+        ScanOutput { data, report, faults: None, trace: None }
+    }
+
+    /// The run's execution trace: the captured handle when tracing was
+    /// requested, otherwise built on demand from the report's graph.
+    /// `None` only for proposals that record a bare timeline (no graph).
+    pub fn trace(&self) -> Option<TraceHandle> {
+        if let Some(t) = &self.trace {
+            return Some(t.clone());
+        }
+        self.report.graph.as_ref().map(TraceHandle::from_graph)
+    }
+
+    /// Drop the fault record and trace, leaving the plain data + report.
+    ///
+    /// Retained from the pre-unification API, where fault-injected runs
+    /// returned a separate `FaultyScanOutput` type.
+    pub fn into_scan_output(mut self) -> ScanOutput<T> {
+        self.faults = None;
+        self.trace = None;
+        self
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,432 @@
+//! The unified scan entry point: [`ScanRequest`].
+//!
+//! The library grew one free function per proposal, then a `_faulted` twin
+//! per proposal, then policy (`_with`) and semantics (`_kind`, `_exclusive`)
+//! variants of each — ten entry points whose signatures drifted apart.
+//! `ScanRequest` collapses them behind one builder:
+//!
+//! ```
+//! use gpu_sim::DeviceSpec;
+//! use scan_core::{Proposal, ScanRequest};
+//! use scan_core::params::{NodeConfig, ProblemParams};
+//! use skeletons::{Add, SplkTuple};
+//!
+//! let problem = ProblemParams::new(12, 2);
+//! let input: Vec<i32> = (0..problem.total_elems()).map(|i| (i % 7) as i32).collect();
+//! let out = ScanRequest::new(Add, problem)
+//!     .proposal(Proposal::Mps)
+//!     .devices(NodeConfig::new(2, 2, 1, 1).unwrap())
+//!     .tuple(SplkTuple::kepler_premises(0))
+//!     .run(&input)
+//!     .unwrap();
+//! assert_eq!(out.data.len(), input.len());
+//! ```
+//!
+//! `run` delegates to the *same* implementation path the legacy free
+//! functions use, so a request reproduces their outputs (data and schedule
+//! bits) exactly; the free functions remain as thin aliases for existing
+//! call sites.
+
+use gpu_sim::DeviceSpec;
+use interconnect::{Fabric, FaultPlan};
+use skeletons::{ScanOp, Scannable, SplkTuple};
+
+use crate::error::{ScanError, ScanResult};
+use crate::exec::PipelinePolicy;
+use crate::params::{NodeConfig, ProblemParams, ScanKind};
+use crate::report::{ScanOutput, TraceHandle};
+
+/// Which of the paper's distribution proposals a [`ScanRequest`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Proposal {
+    /// Scan-SP: the single-GPU batch pipeline.
+    Sp,
+    /// Scan-MPS: every problem split across all `W` GPUs of one node.
+    Mps,
+    /// Scan-MP-PC: per-PCIe-network groups, prioritized communications.
+    Mppc,
+    /// Scan-MPS across `M` nodes with MPI collectives.
+    MpsMultinode,
+    /// Case 1: one problem subset per GPU, no communication.
+    Case1,
+}
+
+/// How much observability a [`ScanRequest`] captures at run time.
+///
+/// Tracing never changes the schedule — it only decides whether the
+/// scheduled execution graph is wrapped into a [`TraceHandle`] on the
+/// output. [`ScanOutput::trace`] can still build a handle after the fact
+/// for any run whose report kept its graph.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceOptions {
+    capture: bool,
+}
+
+impl TraceOptions {
+    /// No capture (the default): `ScanOutput::trace` stays lazily
+    /// available but `ScanOutput.trace` is `None`.
+    pub fn none() -> Self {
+        TraceOptions { capture: false }
+    }
+
+    /// Capture the full execution trace: the output's `trace` field holds
+    /// a ready [`TraceHandle`] for Chrome-trace export, utilization
+    /// metrics and critical-path attribution.
+    pub fn full() -> Self {
+        TraceOptions { capture: true }
+    }
+
+    /// Whether any trace is captured.
+    pub fn is_enabled(&self) -> bool {
+        self.capture
+    }
+}
+
+/// Builder for one batch-scan invocation — proposal, devices, semantics,
+/// pipelining, fault plan and tracing in one place.
+///
+/// Only the operator and problem shape are mandatory. Defaults: proposal
+/// [`Proposal::Sp`], device [`DeviceSpec::tesla_k80`], tuple
+/// [`SplkTuple::kepler_premises`]\(0\), fabric
+/// [`Fabric::tsubame_kfc`]\(M\), inclusive semantics, barrier-synchronous
+/// pipelining, no faults, no tracing.
+#[derive(Debug, Clone)]
+pub struct ScanRequest<O> {
+    op: O,
+    problem: ProblemParams,
+    proposal: Proposal,
+    kind: ScanKind,
+    tuple: Option<SplkTuple>,
+    device: Option<DeviceSpec>,
+    fabric: Option<Fabric>,
+    cfg: Option<NodeConfig>,
+    policy: Option<PipelinePolicy>,
+    faults: Option<FaultPlan>,
+    trace: TraceOptions,
+}
+
+impl<O: Copy> ScanRequest<O> {
+    /// Start a request: scan `problem` with the binary operator `op`.
+    pub fn new(op: O, problem: ProblemParams) -> Self {
+        ScanRequest {
+            op,
+            problem,
+            proposal: Proposal::Sp,
+            kind: ScanKind::Inclusive,
+            tuple: None,
+            device: None,
+            fabric: None,
+            cfg: None,
+            policy: None,
+            faults: None,
+            trace: TraceOptions::none(),
+        }
+    }
+
+    /// Select the distribution proposal (default [`Proposal::Sp`]).
+    pub fn proposal(mut self, proposal: Proposal) -> Self {
+        self.proposal = proposal;
+        self
+    }
+
+    /// Scan semantics (default inclusive).
+    pub fn kind(mut self, kind: ScanKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Exclusive semantics — shorthand for `kind(ScanKind::Exclusive)`.
+    pub fn exclusive(self) -> Self {
+        self.kind(ScanKind::Exclusive)
+    }
+
+    /// The `(s, p, l, K)` tuning tuple (default
+    /// [`SplkTuple::kepler_premises`]\(0\); derive one from the premises
+    /// or the autotuner for other devices).
+    pub fn tuple(mut self, tuple: SplkTuple) -> Self {
+        self.tuple = Some(tuple);
+        self
+    }
+
+    /// The simulated device every GPU models (default
+    /// [`DeviceSpec::tesla_k80`]).
+    pub fn device(mut self, device: DeviceSpec) -> Self {
+        self.device = Some(device);
+        self
+    }
+
+    /// The interconnect fabric (default [`Fabric::tsubame_kfc`] sized to
+    /// the node count; ignored by [`Proposal::Sp`], which always runs on a
+    /// single-GPU topology).
+    pub fn fabric(mut self, fabric: Fabric) -> Self {
+        self.fabric = Some(fabric);
+        self
+    }
+
+    /// Device selection `(W, V, Y, M)` — required by every multi-GPU
+    /// proposal, rejected by [`Proposal::Sp`].
+    pub fn devices(mut self, cfg: NodeConfig) -> Self {
+        self.cfg = Some(cfg);
+        self
+    }
+
+    /// Pipelining policy — only [`Proposal::Mps`] and [`Proposal::Mppc`]
+    /// accept one; other proposals reject an explicit policy rather than
+    /// silently ignoring it.
+    pub fn pipeline(mut self, policy: PipelinePolicy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Run under a seeded fault plan (throttles, link faults, evictions).
+    /// Routes through the proposal's fault-injected twin; the output's
+    /// `faults` field records what was injected.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Observability options (default [`TraceOptions::none`]).
+    pub fn trace(mut self, options: TraceOptions) -> Self {
+        self.trace = options;
+        self
+    }
+
+    fn require_cfg(&self) -> ScanResult<NodeConfig> {
+        self.cfg.ok_or_else(|| {
+            ScanError::InvalidConfig(format!(
+                "proposal {:?} needs a device selection: call .devices(NodeConfig::new(..))",
+                self.proposal
+            ))
+        })
+    }
+
+    fn reject_policy(&self) -> ScanResult<()> {
+        if self.policy.is_some() {
+            return Err(ScanError::InvalidConfig(format!(
+                "proposal {:?} does not take a pipeline policy; only Mps and Mppc pipeline \
+                 their sub-batches",
+                self.proposal
+            )));
+        }
+        Ok(())
+    }
+
+    fn reject_exclusive(&self, context: &str) -> ScanResult<()> {
+        if self.kind == ScanKind::Exclusive {
+            return Err(ScanError::InvalidConfig(format!(
+                "exclusive semantics are only implemented for Sp and Mps ({context})"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Execute the request over `input` (problem-major `[g][N]` layout).
+    ///
+    /// Dispatches to exactly the implementation path of the corresponding
+    /// legacy free function, so outputs are reproduced bit-identically;
+    /// invalid combinations (exclusive + faults, a policy for a proposal
+    /// that cannot pipeline, a missing device selection) surface as
+    /// [`ScanError::InvalidConfig`] instead of being silently ignored.
+    pub fn run<T: Scannable>(&self, input: &[T]) -> ScanResult<ScanOutput<T>>
+    where
+        O: ScanOp<T>,
+    {
+        let device = self.device.clone().unwrap_or_else(DeviceSpec::tesla_k80);
+        let tuple = self.tuple.unwrap_or_else(|| SplkTuple::kepler_premises(0));
+        let policy = self.policy.unwrap_or_default();
+        if self.faults.is_some() {
+            self.reject_exclusive("the fault-injected twins run inclusive scans")?;
+        }
+        let fabric = |m: usize| self.fabric.clone().unwrap_or_else(|| Fabric::tsubame_kfc(m));
+
+        let mut out = match (self.proposal, &self.faults) {
+            (Proposal::Sp, None) => {
+                self.reject_policy()?;
+                crate::single::scan_sp_kind(self.op, tuple, &device, self.problem, input, self.kind)
+            }
+            (Proposal::Sp, Some(plan)) => {
+                self.reject_policy()?;
+                crate::fault::scan_sp_faulted(self.op, tuple, &device, self.problem, input, plan)
+            }
+            (Proposal::Mps, None) => crate::mps::scan_mps_with_kind(
+                self.op,
+                tuple,
+                &device,
+                &fabric(self.require_cfg()?.m()),
+                self.require_cfg()?,
+                self.problem,
+                input,
+                self.kind,
+                &policy,
+            ),
+            (Proposal::Mps, Some(plan)) => {
+                self.reject_exclusive("faulted Mps")?;
+                crate::fault::scan_mps_faulted(
+                    self.op,
+                    tuple,
+                    &device,
+                    &fabric(self.require_cfg()?.m()),
+                    self.require_cfg()?,
+                    self.problem,
+                    input,
+                    &policy,
+                    plan,
+                )
+            }
+            (Proposal::Mppc, None) => {
+                self.reject_exclusive("Mppc")?;
+                crate::mppc::scan_mppc_with(
+                    self.op,
+                    tuple,
+                    &device,
+                    &fabric(self.require_cfg()?.m()),
+                    self.require_cfg()?,
+                    self.problem,
+                    input,
+                    &policy,
+                )
+            }
+            (Proposal::Mppc, Some(plan)) => crate::fault::scan_mppc_faulted(
+                self.op,
+                tuple,
+                &device,
+                &fabric(self.require_cfg()?.m()),
+                self.require_cfg()?,
+                self.problem,
+                input,
+                &policy,
+                plan,
+            ),
+            (Proposal::MpsMultinode, None) => {
+                self.reject_policy()?;
+                self.reject_exclusive("MpsMultinode")?;
+                crate::multinode::scan_mps_multinode(
+                    self.op,
+                    tuple,
+                    &device,
+                    &fabric(self.require_cfg()?.m()),
+                    self.require_cfg()?,
+                    self.problem,
+                    input,
+                )
+            }
+            (Proposal::MpsMultinode, Some(plan)) => {
+                self.reject_policy()?;
+                crate::fault::scan_mps_multinode_faulted(
+                    self.op,
+                    tuple,
+                    &device,
+                    &fabric(self.require_cfg()?.m()),
+                    self.require_cfg()?,
+                    self.problem,
+                    input,
+                    plan,
+                )
+            }
+            (Proposal::Case1, None) => {
+                self.reject_policy()?;
+                self.reject_exclusive("Case1")?;
+                crate::case1::scan_case1(
+                    self.op,
+                    tuple,
+                    &device,
+                    &fabric(self.require_cfg()?.m()),
+                    self.require_cfg()?,
+                    self.problem,
+                    input,
+                )
+            }
+            (Proposal::Case1, Some(_)) => Err(ScanError::InvalidConfig(
+                "Case1 has no fault-injected twin: its groups share no link to fault and no \
+                 replanning protocol"
+                    .into(),
+            )),
+        }?;
+
+        if self.trace.is_enabled() {
+            out.trace = out.report.graph.as_ref().map(TraceHandle::from_graph);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skeletons::Add;
+
+    fn pseudo(n: usize) -> Vec<i32> {
+        (0..n).map(|i| ((i as i64 * 16807 + 11) % 211) as i32 - 105).collect()
+    }
+
+    #[test]
+    fn request_reproduces_scan_sp_bit_identically() {
+        let problem = ProblemParams::new(12, 2);
+        let input = pseudo(problem.total_elems());
+        let tuple = SplkTuple::kepler_premises(0);
+        let legacy =
+            crate::single::scan_sp(Add, tuple, &DeviceSpec::tesla_k80(), problem, &input).unwrap();
+        let req = ScanRequest::new(Add, problem).run(&input).unwrap();
+        assert_eq!(req.data, legacy.data);
+        assert_eq!(req.report.makespan.to_bits(), legacy.report.makespan.to_bits());
+        assert!(req.faults.is_none());
+        assert!(req.trace.is_none());
+    }
+
+    #[test]
+    fn trace_options_capture_a_handle() {
+        let problem = ProblemParams::new(12, 1);
+        let input = pseudo(problem.total_elems());
+        let out = ScanRequest::new(Add, problem).trace(TraceOptions::full()).run(&input).unwrap();
+        let handle = out.trace.expect("tracing was requested");
+        assert_eq!(
+            handle.critical_path().total_seconds().to_bits(),
+            out.report.makespan.to_bits(),
+            "critical-path attribution must reproduce the report's makespan"
+        );
+        assert!(handle.chrome_trace_json().contains("\"traceEvents\""));
+    }
+
+    #[test]
+    fn invalid_combinations_are_rejected() {
+        let problem = ProblemParams::new(12, 1);
+        let input = pseudo(problem.total_elems());
+        // A pipeline policy on a proposal that cannot pipeline.
+        let err = ScanRequest::new(Add, problem)
+            .pipeline(PipelinePolicy::pipelined(2))
+            .run(&input)
+            .unwrap_err();
+        assert!(matches!(err, ScanError::InvalidConfig(_)));
+        // A multi-GPU proposal without a device selection.
+        let err = ScanRequest::new(Add, problem).proposal(Proposal::Mps).run(&input).unwrap_err();
+        assert!(matches!(err, ScanError::InvalidConfig(_)));
+        // Exclusive semantics under a fault plan.
+        let err = ScanRequest::new(Add, problem)
+            .exclusive()
+            .faults(FaultPlan::new(1))
+            .run(&input)
+            .unwrap_err();
+        assert!(matches!(err, ScanError::InvalidConfig(_)));
+        // Case1 has no faulted twin.
+        let err = ScanRequest::new(Add, problem)
+            .proposal(Proposal::Case1)
+            .devices(NodeConfig::new(2, 2, 1, 1).unwrap())
+            .faults(FaultPlan::new(1))
+            .run(&input)
+            .unwrap_err();
+        assert!(matches!(err, ScanError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn faulted_request_carries_the_fault_report() {
+        let problem = ProblemParams::new(12, 1);
+        let input = pseudo(problem.total_elems());
+        let out = ScanRequest::new(Add, problem)
+            .faults(FaultPlan::new(7).throttle_gpu(0, 2.0))
+            .run(&input)
+            .unwrap();
+        let report = out.faults.expect("faulted runs record a report");
+        assert!(!report.events.is_empty());
+    }
+}

@@ -56,7 +56,7 @@ pub fn scan_sp_kind<T: Scannable, O: ScanOp<T>>(
         ScanKind::Inclusive => "Scan-SP",
         ScanKind::Exclusive => "Scan-SP (exclusive)",
     };
-    Ok(ScanOutput { data, report: RunReport::from_run(label, problem.total_elems(), run) })
+    Ok(ScanOutput::new(data, RunReport::from_run(label, problem.total_elems(), run)))
 }
 
 #[cfg(test)]

@@ -18,12 +18,13 @@ pub struct ProfileRow {
     pub kind: EventKind,
     /// Number of occurrences.
     pub count: usize,
-    /// Total simulated seconds.
+    /// Total simulated duration across all occurrences, in seconds.
     pub seconds: f64,
-    /// Earliest recorded start among the label's events (stream-relative
-    /// sim time).
+    /// Earliest recorded start among the label's events, in seconds of
+    /// stream-relative simulated time.
     pub first_start: f64,
-    /// Latest recorded end among the label's events.
+    /// Latest recorded end among the label's events, in seconds of
+    /// stream-relative simulated time.
     pub last_end: f64,
     /// Summed counters.
     pub counters: CostCounters,
@@ -44,7 +45,7 @@ impl ProfileRow {
 pub struct ProfileReport {
     /// Rows in first-occurrence order.
     pub rows: Vec<ProfileRow>,
-    /// Total simulated seconds across all events.
+    /// Total simulated duration across all events, in seconds.
     pub total_seconds: f64,
 }
 
@@ -81,9 +82,14 @@ impl ProfileReport {
         self.rows.iter().find(|r| r.label == label)
     }
 
-    /// Effective memory throughput of a row in bytes per simulated second.
+    /// Effective memory throughput of a row in **bytes per simulated
+    /// second** (divide by `1e9` for GB/s).
+    ///
+    /// Delegates to [`CostCounters::achieved_bandwidth`] — the same
+    /// definition the execution-trace exporter uses for its per-kernel
+    /// achieved-bandwidth arg, so the two always agree on units.
     pub fn memory_throughput(&self, label: &str) -> Option<f64> {
-        self.row(label).map(|r| r.counters.global_bytes() as f64 / r.seconds)
+        self.row(label).map(|r| r.counters.achieved_bandwidth(r.seconds))
     }
 }
 

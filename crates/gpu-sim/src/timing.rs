@@ -46,22 +46,25 @@ impl Default for TimingModel {
 /// inspection by the breakdown harness (Fig. 14) and tests.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct KernelTime {
-    /// Fixed launch overhead.
+    /// Fixed launch overhead, in seconds.
     pub launch: f64,
-    /// Global-memory streaming time at the achieved efficiency.
+    /// Global-memory streaming time at the achieved efficiency, in
+    /// seconds.
     pub memory: f64,
-    /// Compute-side time (ALU + shuffle + shared memory).
+    /// Compute-side time (ALU + shuffle + shared memory), in seconds.
     pub compute: f64,
-    /// Serial-chain propagation time (zero for non-chained kernels).
+    /// Serial-chain propagation time, in seconds (zero for non-chained
+    /// kernels).
     pub chain: f64,
-    /// Combined bandwidth-extraction efficiency in `(0, 1]`.
+    /// Combined bandwidth-extraction efficiency in `(0, 1]`
+    /// (dimensionless fraction of peak bandwidth).
     pub efficiency: f64,
 }
 
 impl KernelTime {
-    /// Total simulated duration of the kernel: launch overhead plus the
-    /// larger of the (overlapping) memory and compute phases, plus chain
-    /// propagation.
+    /// Total simulated duration of the kernel, in seconds: launch
+    /// overhead plus the larger of the (overlapping) memory and compute
+    /// phases, plus chain propagation.
     pub fn total(&self) -> f64 {
         self.launch + self.memory.max(self.compute) + self.chain
     }

@@ -43,7 +43,7 @@ use gpu_sim::EventKind;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::graph::{ExecGraph, NodeId, Resource};
+use crate::graph::{ExecGraph, NodeId, NodeMeta, Resource};
 
 /// SplitMix64 finalizer: decorrelates per-node seeds derived from the
 /// plan seed.
@@ -427,7 +427,15 @@ pub fn apply_link_faults(
         let seconds = node.seconds * degrade;
 
         if fail_prob <= 0.0 {
-            let id = out.add(node.phase, &node.label, node.kind, seconds, &deps, &node.resources);
+            let id = out.add_with_meta(
+                node.phase,
+                &node.label,
+                node.kind,
+                seconds,
+                &deps,
+                &node.resources,
+                node.meta,
+            );
             remap.push(id);
             continue;
         }
@@ -446,14 +454,19 @@ pub fn apply_link_faults(
         let mut wasted = 0.0f64;
         let mut succeeded = None;
         for (i, &(fail_draw, frac_draw)) in draws.iter().enumerate() {
+            // Every attempt — failed or successful — carries the original
+            // node's metadata plus its 1-based attempt index, so the trace
+            // exporter can render the retry chain as distinct slices.
+            let attempt_meta = NodeMeta { attempt: Some(i + 1), ..node.meta };
             if fail_draw >= fail_prob {
-                let id = out.add(
+                let id = out.add_with_meta(
                     node.phase,
                     &node.label,
                     node.kind,
                     seconds,
                     &prev_attempt,
                     &node.resources,
+                    attempt_meta,
                 );
                 succeeded = Some(id);
                 if i > 0 {
@@ -472,13 +485,14 @@ pub fn apply_link_faults(
             let backoff = plan.backoff_factor() * seconds * (1u64 << i) as f64;
             let cost = frac_draw * seconds + backoff;
             wasted += cost;
-            let id = out.add(
+            let id = out.add_with_meta(
                 node.phase,
                 format!("{} [attempt {} failed]", node.label, i + 1),
                 node.kind,
                 cost,
                 &prev_attempt,
                 &node.resources,
+                attempt_meta,
             );
             prev_attempt = vec![id];
         }

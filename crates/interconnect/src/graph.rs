@@ -29,7 +29,7 @@
 
 use std::collections::HashMap;
 
-use gpu_sim::EventKind;
+use gpu_sim::{CostCounters, EventKind};
 
 use crate::timeline::Timeline;
 use crate::topology::{LinkClass, Topology};
@@ -114,6 +114,35 @@ impl Resource {
     }
 }
 
+/// Optional observability metadata attached to an [`ExecNode`].
+///
+/// Metadata never affects scheduling — it is carried verbatim through
+/// [`ExecGraph::merge`] and the fault rewriter so the trace exporter and
+/// the utilization metrics can attribute bytes, simulated hardware
+/// counters, and retry attempts to the node that caused them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeMeta {
+    /// Payload bytes moved by a transfer or collective node.
+    pub bytes: Option<u64>,
+    /// Aggregated simulated hardware counters of a kernel node.
+    pub counters: Option<CostCounters>,
+    /// 1-based retry-attempt index stamped by the fault rewriter
+    /// (`Some(1)` is the first attempt of a retried transfer).
+    pub attempt: Option<usize>,
+}
+
+impl NodeMeta {
+    /// Metadata for a transfer of `bytes` payload bytes.
+    pub fn transfer(bytes: u64) -> Self {
+        NodeMeta { bytes: Some(bytes), ..Default::default() }
+    }
+
+    /// Metadata for a kernel node with aggregated simulated counters.
+    pub fn kernel(counters: CostCounters) -> Self {
+        NodeMeta { counters: Some(counters), ..Default::default() }
+    }
+}
+
 /// One simulated operation in the graph.
 #[derive(Debug, Clone)]
 pub struct ExecNode {
@@ -129,6 +158,8 @@ pub struct ExecNode {
     pub resources: Vec<Resource>,
     /// Phase instance the node belongs to (index into the graph's phases).
     pub phase: usize,
+    /// Observability metadata (bytes moved, counters, retry attempt).
+    pub meta: NodeMeta,
 }
 
 /// A DAG of simulated operations plus its phase-instance labels.
@@ -167,6 +198,25 @@ impl ExecGraph {
         deps: &[NodeId],
         resources: &[Resource],
     ) -> NodeId {
+        self.add_with_meta(phase, label, kind, seconds, deps, resources, NodeMeta::default())
+    }
+
+    /// [`ExecGraph::add`] with observability metadata attached. Metadata
+    /// has no effect on scheduling.
+    ///
+    /// # Panics
+    /// Panics under the same conditions as [`ExecGraph::add`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_with_meta(
+        &mut self,
+        phase: usize,
+        label: impl Into<String>,
+        kind: EventKind,
+        seconds: f64,
+        deps: &[NodeId],
+        resources: &[Resource],
+        meta: NodeMeta,
+    ) -> NodeId {
         let id = NodeId(self.nodes.len());
         assert!(phase < self.phase_labels.len(), "phase {phase} not registered");
         assert!(seconds >= 0.0 && seconds.is_finite(), "bad duration {seconds}");
@@ -180,6 +230,7 @@ impl ExecGraph {
             deps: deps.to_vec(),
             resources: resources.to_vec(),
             phase,
+            meta,
         });
         id
     }

@@ -15,6 +15,8 @@
 //!   critical path;
 //! * [`fault`] — seeded, deterministic fault injection: degraded links,
 //!   transient transfer failures with retry/backoff, lost links;
+//! * [`trace`] — observability over scheduled graphs: Chrome-trace JSON
+//!   export, per-resource utilization metrics, critical-path attribution;
 //! * [`timeline`] — the phase-synchronous view (Fig. 14 breakdowns),
 //!   derivable from an execution graph.
 
@@ -27,6 +29,7 @@ pub mod link;
 pub mod mpi;
 pub mod timeline;
 pub mod topology;
+pub mod trace;
 pub mod transfer;
 
 pub use collectives::{
@@ -35,9 +38,12 @@ pub use collectives::{
 pub use fault::{
     apply_link_faults, FaultError, FaultEvent, FaultPlan, FaultReport, GpuEviction, LinkFault,
 };
-pub use graph::{ExecGraph, ExecNode, NodeId, Resource, Schedule};
+pub use graph::{ExecGraph, ExecNode, NodeId, NodeMeta, Resource, Schedule};
 pub use link::{FabricSpec, LinkParams};
 pub use mpi::{MpiComm, MpiCost};
 pub use timeline::{Phase, Timeline};
 pub use topology::{LinkClass, Location, Topology};
+pub use trace::{
+    CriticalPathNode, CriticalPathReport, ResourceUtilization, Trace, UtilizationReport,
+};
 pub use transfer::{Fabric, Transfer};

@@ -3,7 +3,7 @@
 
 use gpu_sim::EventKind;
 use interconnect::{
-    apply_link_faults, ExecGraph, FaultPlan, FaultReport, NodeId, Resource, Timeline,
+    apply_link_faults, ExecGraph, FaultPlan, FaultReport, NodeId, Resource, Timeline, Trace,
 };
 use proptest::prelude::*;
 
@@ -250,5 +250,51 @@ proptest! {
             prop_assert_eq!(faulted.makespan().to_bits(), g.makespan().to_bits());
             prop_assert!(report.events.is_empty());
         }
+    }
+
+    /// Resources are exclusive, so no resource can be busy for longer
+    /// than the whole schedule, and the summed busy time across tracks is
+    /// bounded by makespan × track-count.
+    #[test]
+    fn busy_time_never_exceeds_makespan_per_resource(phases in phase_durations()) {
+        let g = comm_barrier_graph(&phases);
+        let trace = Trace::new(g);
+        let util = trace.utilization();
+        let mut total_busy = 0.0;
+        for r in &util.resources {
+            prop_assert!(
+                r.busy_seconds <= util.makespan,
+                "{} busy {} > makespan {}",
+                &r.track, r.busy_seconds, util.makespan
+            );
+            total_busy += r.busy_seconds;
+        }
+        prop_assert!(total_busy <= util.makespan * util.resources.len() as f64);
+    }
+
+    /// Critical-path attribution is exact: folding the path durations in
+    /// path order reproduces the makespan bit-for-bit, with and without
+    /// fault rewriting.
+    #[test]
+    fn critical_path_durations_sum_exactly_to_the_makespan(
+        phases in phase_durations(),
+        seed in any::<u64>(),
+        fail_prob in 0.0f64..0.9,
+    ) {
+        let g = comm_barrier_graph(&phases);
+        let healthy = Trace::from_graph(&g).critical_path();
+        prop_assert_eq!(healthy.total_seconds().to_bits(), healthy.makespan.to_bits());
+
+        let plan = FaultPlan::new(seed)
+            .transient_link(Resource::PcieNetwork { node: 0, network: 0 }, fail_prob)
+            .with_retry_budget(64);
+        let mut report = FaultReport::new(&plan);
+        let faulted = apply_link_faults(&g, &plan, &mut report).unwrap();
+        let cp = Trace::new(faulted).critical_path();
+        prop_assert_eq!(cp.total_seconds().to_bits(), cp.makespan.to_bits());
+        // The per-phase split partitions the path: phase totals re-sum to
+        // the path total (same addends, regrouped — equal up to rounding).
+        let phase_sum: f64 = cp.phase_seconds().iter().map(|(_, s)| s).sum();
+        prop_assert!((phase_sum - cp.makespan).abs() <= 1e-9 * cp.makespan.max(1.0));
     }
 }

@@ -15,8 +15,11 @@
 //! * [`scan`] — the paper's proposals (`scan-core`);
 //! * [`competitors`] — CUDPP/Thrust/ModernGPU/CUB/LightScan (`baselines`).
 //!
-//! See `examples/quickstart.rs` for a three-line batch scan, and the
-//! `figures` binary in `crates/bench` for the full evaluation.
+//! The unified builder [`ScanRequest`] fronts every proposal, fault plan
+//! and observability option; see `examples/quickstart.rs` for a
+//! three-line batch scan, `examples/trace_export.rs` for Chrome-trace
+//! export, and the `figures` binary in `crates/bench` for the full
+//! evaluation.
 
 pub use baselines as competitors;
 pub use gpu_sim as sim;
@@ -24,17 +27,23 @@ pub use interconnect as fabric;
 pub use scan_core as scan;
 pub use skeletons as kernels;
 
+// The unified entry point, flat at the crate root: most callers need
+// nothing beyond `multigpu_scan::{ScanRequest, Proposal}`.
+pub use scan_core::{Proposal, ScanRequest, TraceHandle, TraceOptions};
+
 /// The most common entry points, re-exported flat.
 pub mod prelude {
     pub use baselines::{Cub, Cudpp, LightScan, ModernGpu, ScanLibrary, Thrust};
     pub use gpu_sim::DeviceSpec;
     pub use interconnect::{
         Fabric, FaultError, FaultEvent, FaultPlan, FaultReport, GpuEviction, LinkFault, Topology,
+        Trace,
     };
     pub use scan_core::{
         premises, scan_case1, scan_mppc, scan_mppc_faulted, scan_mppc_with, scan_mps,
         scan_mps_faulted, scan_mps_multinode, scan_mps_multinode_faulted, scan_mps_with, scan_sp,
-        scan_sp_faulted, FaultyScanOutput, NodeConfig, PipelinePolicy, ProblemParams,
+        scan_sp_faulted, FaultyScanOutput, NodeConfig, PipelinePolicy, ProblemParams, Proposal,
+        ScanRequest, TraceHandle, TraceOptions,
     };
     pub use skeletons::{Add, Max, Min, Mul, ScanOp, SplkTuple};
 }

@@ -121,7 +121,11 @@ fn scan_mps_matrix_is_bit_identical_and_deterministic() {
                 b.report.makespan.to_bits(),
                 "seed {seed} plan {name}: schedule must be reproducible"
             );
-            assert_eq!(a.faults.events, b.faults.events, "seed {seed} plan {name}");
+            assert_eq!(
+                a.faults.as_ref().unwrap().events,
+                b.faults.as_ref().unwrap().events,
+                "seed {seed} plan {name}"
+            );
         }
     }
 }
@@ -264,10 +268,10 @@ fn evicting_one_of_eight_gpus_mid_mps_meets_the_acceptance_criteria() {
     // report says what happened.
     let breakdown = Breakdown::from_graph(faulted.report.graph.as_ref().unwrap());
     assert!(breakdown.seconds_with_prefix("recovery") > 0.0);
-    assert!(faulted.faults.any_eviction());
-    assert_eq!(faulted.faults.replans(), 1);
-    assert!(faulted
-        .faults
+    let fault_report = faulted.faults.as_ref().unwrap();
+    assert!(fault_report.any_eviction());
+    assert_eq!(fault_report.replans(), 1);
+    assert!(fault_report
         .events
         .iter()
         .any(|e| matches!(e, FaultEvent::GpuEvicted { gpu: 3, at_sub_batch: 1 })));
@@ -275,5 +279,5 @@ fn evicting_one_of_eight_gpus_mid_mps_meets_the_acceptance_criteria() {
     // Same seed, same schedule — twice.
     let again = run();
     assert_eq!(faulted.report.makespan.to_bits(), again.report.makespan.to_bits());
-    assert_eq!(faulted.faults.events, again.faults.events);
+    assert_eq!(fault_report.events, again.faults.as_ref().unwrap().events);
 }

@@ -1,0 +1,138 @@
+//! Golden Chrome-trace regression tests: the exported `.trace.json` of a
+//! Fig. 9 configuration and of an eviction-recovery schedule, pinned byte
+//! for byte. The trace exporter is deterministic (timestamps come from the
+//! deterministic scheduler, track order from the derived `Resource`
+//! ordering), so any change to the exporter, the scheduler or the timing
+//! model shows up as a diff here.
+//!
+//! To regenerate after an intentional change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_traces
+//! ```
+
+use std::path::PathBuf;
+
+use multigpu_scan::prelude::*;
+
+fn pseudo(n: usize) -> Vec<i32> {
+    (0..n).map(|i| ((i as i64 * 16807 + 11) % 211) as i32 - 105).collect()
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(format!("{name}.json"))
+}
+
+/// Compare against the stored trace, or rewrite it under `UPDATE_GOLDEN=1`.
+fn check(name: &str, rendered: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, rendered).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden trace {path:?} ({e}); run with UPDATE_GOLDEN=1 to create it")
+    });
+    assert_eq!(
+        golden, rendered,
+        "trace for `{name}` diverges from {path:?} \
+         (run with UPDATE_GOLDEN=1 if the exporter or timing model changed intentionally)"
+    );
+}
+
+/// Structural invariants every exported trace must satisfy, independent of
+/// the pinned bytes: one "X" slice per graph node, and the required
+/// Chrome-trace keys on every event.
+fn assert_trace_shape(json: &str, nodes: usize) {
+    assert_eq!(
+        json.matches("\"ph\":\"X\"").count(),
+        nodes,
+        "every execution-graph node must appear exactly once as a complete slice"
+    );
+    let events = json.matches("\"ph\":").count();
+    for key in ["\"ts\":", "\"dur\":", "\"pid\":", "\"tid\":"] {
+        assert_eq!(json.matches(key).count(), events, "{key} must appear on every event");
+    }
+    // Metadata events carry a second "name" inside their args, so the
+    // count is a lower bound here; the CI smoke step parses the JSON and
+    // checks the key per event.
+    assert!(json.matches("\"name\":").count() >= events, "\"name\" must appear on every event");
+}
+
+/// Fig. 9's W=4 Scan-MPS run, exported through the `ScanRequest` front.
+#[test]
+fn fig9_mps_w4_trace_is_stable() {
+    let problem = ProblemParams::new(13, 2);
+    let input = pseudo(problem.total_elems());
+    let out = ScanRequest::new(Add, problem)
+        .proposal(Proposal::Mps)
+        .devices(NodeConfig::new(4, 4, 1, 1).unwrap())
+        .tuple(SplkTuple::kepler_premises(0))
+        .trace(TraceOptions::full())
+        .run(&input)
+        .unwrap();
+    let json = out.trace.as_ref().expect("tracing was requested").chrome_trace_json();
+    assert_trace_shape(&json, out.report.graph.as_ref().unwrap().nodes().len());
+    check("trace_fig9_mps_w4", &json);
+}
+
+/// The acceptance scenario's eviction-recovery schedule (same plan the
+/// `recovery_mps_w4_evict_gpu2` schedule golden pins), as a trace.
+#[test]
+fn recovery_trace_is_stable() {
+    let problem = ProblemParams::new(13, 2);
+    let input = pseudo(problem.total_elems());
+    let out = ScanRequest::new(Add, problem)
+        .proposal(Proposal::Mps)
+        .devices(NodeConfig::new(4, 4, 1, 1).unwrap())
+        .tuple(SplkTuple::kepler_premises(0))
+        .pipeline(PipelinePolicy::batched_barrier(4))
+        .faults(FaultPlan::new(0xC0FFEE).evict_gpu(2, 1))
+        .trace(TraceOptions::full())
+        .run(&input)
+        .unwrap();
+    assert!(out.faults.as_ref().unwrap().any_eviction());
+    let json = out.trace.as_ref().unwrap().chrome_trace_json();
+    assert_trace_shape(&json, out.report.graph.as_ref().unwrap().nodes().len());
+    assert!(
+        json.contains("recovery:"),
+        "the replanned sub-batch must be visible under its recovery phases"
+    );
+    check("trace_recovery_mps_w4_evict_gpu2", &json);
+}
+
+/// Transient-link retries render as distinct slices carrying their attempt
+/// index, so a Perfetto timeline shows each failed attempt separately.
+#[test]
+fn retry_attempts_render_as_distinct_slices() {
+    use multigpu_scan::fabric::Resource;
+
+    let problem = ProblemParams::new(13, 2);
+    let input = pseudo(problem.total_elems());
+    let plan = FaultPlan::new(42)
+        .transient_link(Resource::PcieNetwork { node: 0, network: 0 }, 0.9)
+        .with_retry_budget(64);
+    let out = ScanRequest::new(Add, problem)
+        .proposal(Proposal::Mps)
+        .devices(NodeConfig::new(4, 4, 1, 1).unwrap())
+        .tuple(SplkTuple::kepler_premises(0))
+        .faults(plan)
+        .trace(TraceOptions::full())
+        .run(&input)
+        .unwrap();
+    assert!(
+        out.faults.as_ref().unwrap().retried_transfers() > 0,
+        "a 90% transient link with this seed must retry at least once"
+    );
+    let json = out.trace.as_ref().unwrap().chrome_trace_json();
+    assert_trace_shape(&json, out.report.graph.as_ref().unwrap().nodes().len());
+    let failed_slices = json.matches("failed]").count();
+    let attempt_args = json.matches("\"attempt\":").count();
+    assert!(failed_slices > 0, "failed attempts must appear as their own slices");
+    assert!(
+        attempt_args > failed_slices,
+        "both failed and succeeding attempts carry their attempt index \
+         ({attempt_args} args vs {failed_slices} failed slices)"
+    );
+}

@@ -1,0 +1,226 @@
+//! `ScanRequest` is a front, not a fork: for every proposal — healthy and
+//! fault-injected — a request must reproduce the legacy free function's
+//! output bit-identically (same data, same schedule bits, same fault
+//! events). This is the acceptance harness for the unified API.
+
+use multigpu_scan::prelude::*;
+
+fn device() -> DeviceSpec {
+    DeviceSpec::tesla_k80()
+}
+
+fn pseudo(n: usize) -> Vec<i32> {
+    (0..n).map(|i| ((i as i64 * 16807 + 11) % 211) as i32 - 105).collect()
+}
+
+fn tuple() -> SplkTuple {
+    SplkTuple::kepler_premises(0)
+}
+
+/// Same data, same makespan bits, same label.
+fn assert_identical<T: PartialEq + std::fmt::Debug>(
+    legacy: &multigpu_scan::scan::ScanOutput<T>,
+    req: &multigpu_scan::scan::ScanOutput<T>,
+) {
+    assert_eq!(req.data, legacy.data, "data must match bit-for-bit");
+    assert_eq!(
+        req.report.makespan.to_bits(),
+        legacy.report.makespan.to_bits(),
+        "schedules must match bit-for-bit"
+    );
+    assert_eq!(req.report.label, legacy.report.label);
+    assert_eq!(
+        req.faults.as_ref().map(|f| &f.events),
+        legacy.faults.as_ref().map(|f| &f.events),
+        "fault records must match"
+    );
+}
+
+#[test]
+fn request_matches_scan_sp() {
+    let problem = ProblemParams::new(13, 2);
+    let input = pseudo(problem.total_elems());
+    let legacy = scan_sp(Add, tuple(), &device(), problem, &input).unwrap();
+    let req = ScanRequest::new(Add, problem).tuple(tuple()).run(&input).unwrap();
+    assert_identical(&legacy, &req);
+}
+
+#[test]
+fn request_matches_scan_mps() {
+    let fabric = Fabric::tsubame_kfc(1);
+    let problem = ProblemParams::new(13, 2);
+    let input = pseudo(problem.total_elems());
+    let cfg = NodeConfig::new(4, 4, 1, 1).unwrap();
+    let legacy = scan_mps(Add, tuple(), &device(), &fabric, cfg, problem, &input).unwrap();
+    let req = ScanRequest::new(Add, problem)
+        .proposal(Proposal::Mps)
+        .devices(cfg)
+        .tuple(tuple())
+        .run(&input)
+        .unwrap();
+    assert_identical(&legacy, &req);
+}
+
+#[test]
+fn request_matches_scan_mppc() {
+    let fabric = Fabric::tsubame_kfc(1);
+    let problem = ProblemParams::new(13, 2);
+    let input = pseudo(problem.total_elems());
+    let cfg = NodeConfig::new(4, 2, 2, 1).unwrap();
+    let legacy = scan_mppc(Add, tuple(), &device(), &fabric, cfg, problem, &input).unwrap();
+    let req = ScanRequest::new(Add, problem)
+        .proposal(Proposal::Mppc)
+        .devices(cfg)
+        .tuple(tuple())
+        .run(&input)
+        .unwrap();
+    assert_identical(&legacy, &req);
+}
+
+#[test]
+fn request_matches_scan_mps_multinode() {
+    let fabric = Fabric::tsubame_kfc(2);
+    let problem = ProblemParams::new(14, 1);
+    let input = pseudo(problem.total_elems());
+    let cfg = NodeConfig::new(4, 4, 1, 2).unwrap();
+    let legacy =
+        scan_mps_multinode(Add, tuple(), &device(), &fabric, cfg, problem, &input).unwrap();
+    let req = ScanRequest::new(Add, problem)
+        .proposal(Proposal::MpsMultinode)
+        .devices(cfg)
+        .tuple(tuple())
+        .run(&input)
+        .unwrap();
+    assert_identical(&legacy, &req);
+}
+
+#[test]
+fn request_matches_scan_case1() {
+    let fabric = Fabric::tsubame_kfc(1);
+    let problem = ProblemParams::new(13, 3);
+    let input = pseudo(problem.total_elems());
+    let cfg = NodeConfig::new(4, 4, 1, 1).unwrap();
+    let legacy = scan_case1(Add, tuple(), &device(), &fabric, cfg, problem, &input).unwrap();
+    let req = ScanRequest::new(Add, problem)
+        .proposal(Proposal::Case1)
+        .devices(cfg)
+        .tuple(tuple())
+        .run(&input)
+        .unwrap();
+    assert_identical(&legacy, &req);
+}
+
+#[test]
+fn request_matches_scan_sp_faulted() {
+    let problem = ProblemParams::new(13, 1);
+    let input = pseudo(problem.total_elems());
+    let plan = FaultPlan::new(7).throttle_gpu(0, 2.0);
+    let legacy = scan_sp_faulted(Add, tuple(), &device(), problem, &input, &plan).unwrap();
+    let req =
+        ScanRequest::new(Add, problem).tuple(tuple()).faults(plan.clone()).run(&input).unwrap();
+    assert_identical(&legacy, &req);
+}
+
+#[test]
+fn request_matches_scan_mps_faulted() {
+    let fabric = Fabric::tsubame_kfc(1);
+    let problem = ProblemParams::new(13, 2);
+    let input = pseudo(problem.total_elems());
+    let cfg = NodeConfig::new(4, 4, 1, 1).unwrap();
+    let policy = PipelinePolicy::batched_barrier(4);
+    let plan = FaultPlan::new(0xC0FFEE).evict_gpu(2, 1);
+    let legacy =
+        scan_mps_faulted(Add, tuple(), &device(), &fabric, cfg, problem, &input, &policy, &plan)
+            .unwrap();
+    let req = ScanRequest::new(Add, problem)
+        .proposal(Proposal::Mps)
+        .devices(cfg)
+        .tuple(tuple())
+        .pipeline(policy)
+        .faults(plan.clone())
+        .run(&input)
+        .unwrap();
+    assert_identical(&legacy, &req);
+}
+
+#[test]
+fn request_matches_scan_mppc_faulted() {
+    let fabric = Fabric::tsubame_kfc(1);
+    let problem = ProblemParams::new(13, 3);
+    let input = pseudo(problem.total_elems());
+    let cfg = NodeConfig::new(4, 2, 2, 1).unwrap();
+    let policy = PipelinePolicy::default();
+    let plan = FaultPlan::new(5).evict_gpu(4, 0);
+    let legacy =
+        scan_mppc_faulted(Add, tuple(), &device(), &fabric, cfg, problem, &input, &policy, &plan)
+            .unwrap();
+    let req = ScanRequest::new(Add, problem)
+        .proposal(Proposal::Mppc)
+        .devices(cfg)
+        .tuple(tuple())
+        .pipeline(policy)
+        .faults(plan.clone())
+        .run(&input)
+        .unwrap();
+    assert_identical(&legacy, &req);
+}
+
+#[test]
+fn request_matches_scan_mps_multinode_faulted() {
+    use multigpu_scan::fabric::Resource;
+
+    let fabric = Fabric::tsubame_kfc(2);
+    let problem = ProblemParams::new(14, 1);
+    let input = pseudo(problem.total_elems());
+    let cfg = NodeConfig::new(4, 4, 1, 2).unwrap();
+    let plan = FaultPlan::new(9).degrade_link(Resource::ib(0, 1), 8.0);
+    let legacy =
+        scan_mps_multinode_faulted(Add, tuple(), &device(), &fabric, cfg, problem, &input, &plan)
+            .unwrap();
+    let req = ScanRequest::new(Add, problem)
+        .proposal(Proposal::MpsMultinode)
+        .devices(cfg)
+        .tuple(tuple())
+        .faults(plan.clone())
+        .run(&input)
+        .unwrap();
+    assert_identical(&legacy, &req);
+}
+
+/// The exclusive variants also route through the builder.
+#[test]
+fn request_matches_exclusive_variants() {
+    let problem = ProblemParams::new(13, 1);
+    let input = pseudo(problem.total_elems());
+    let legacy = scan_sp_exclusive_helper(&input, problem);
+    let req = ScanRequest::new(Add, problem).tuple(tuple()).exclusive().run(&input).unwrap();
+    assert_identical(&legacy, &req);
+
+    let fabric = Fabric::tsubame_kfc(1);
+    let cfg = NodeConfig::new(2, 2, 1, 1).unwrap();
+    let legacy = multigpu_scan::scan::scan_mps_exclusive(
+        Add,
+        tuple(),
+        &device(),
+        &fabric,
+        cfg,
+        problem,
+        &input,
+    )
+    .unwrap();
+    let req = ScanRequest::new(Add, problem)
+        .proposal(Proposal::Mps)
+        .devices(cfg)
+        .tuple(tuple())
+        .exclusive()
+        .run(&input)
+        .unwrap();
+    assert_identical(&legacy, &req);
+}
+
+fn scan_sp_exclusive_helper(
+    input: &[i32],
+    problem: ProblemParams,
+) -> multigpu_scan::scan::ScanOutput<i32> {
+    multigpu_scan::scan::scan_sp_exclusive(Add, tuple(), &device(), problem, input).unwrap()
+}
