@@ -1,16 +1,30 @@
 //! Regenerate the paper's tables and figures on the simulator.
 //!
 //! ```text
-//! figures [--total-log2 N] [--n-lo N] [--no-verify] [--trace-dir DIR] [CMD...]
+//! figures [--total-log2 N] [--n-lo N] [--no-verify] [--trace-dir DIR]
+//!         [--seed N] [--requests N] [--policy fifo|sjf|edf|all]
+//!         [--pool-gpus N] [--no-coalesce] [--out DIR] [--workload FILE]
+//!         [CMD...]
 //!
 //! CMD: table3 fig1 fig9 fig10 fig11 fig12 fig13 fig14 mw-sweep k-sweep
-//!      ablations trace all (default: all)
+//!      ablations trace serve bench-scan all (default: all)
 //! ```
 //!
 //! `trace` exports Chrome-trace JSON (`*.trace.json`, loadable in
 //! `chrome://tracing` or Perfetto) for the Fig. 9 Scan-MPS configurations
-//! and an eviction-recovery run, into `--trace-dir` (default `.`),
-//! together with per-resource utilization and critical-path attribution.
+//! and an eviction-recovery run, into `--trace-dir` (default
+//! `target/traces`), together with per-resource utilization and
+//! critical-path attribution.
+//!
+//! `serve` runs the multi-tenant scheduler (`scan-serve`) over a seeded
+//! workload — or a JSON trace via `--workload` — under every policy,
+//! prints p50/p99 latency, throughput and the coalescing ratio, writes
+//! `BENCH_serve.json` into `--out` (default `.`) and one fleet-wide
+//! Chrome trace per selected policy into `--trace-dir`.
+//!
+//! `bench-scan` runs a pinned set of single-scan configurations
+//! (independent of the sweep flags, so the output is byte-stable) and
+//! writes their makespans to `BENCH_scan.json` in `--out`.
 //!
 //! `--total-log2 28` reproduces the paper's full 2^28-element sweeps
 //! (slow); the default 22 preserves every shape at a fraction of the
@@ -23,7 +37,8 @@ use skeletons::{lf, shared_scan, warp_scan_exclusive, warp_scan_inclusive, Add, 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut harness = Harness::default();
-    let mut trace_dir = String::from(".");
+    let mut trace_dir = String::from("target/traces");
+    let mut serve_opts = ServeOpts::default();
     let mut cmds: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -41,11 +56,38 @@ fn main() {
                 i += 1;
                 trace_dir = args[i].clone();
             }
+            "--seed" => {
+                i += 1;
+                serve_opts.seed = args[i].parse().expect("--seed takes an integer");
+            }
+            "--requests" => {
+                i += 1;
+                serve_opts.requests = args[i].parse().expect("--requests takes an integer");
+            }
+            "--policy" => {
+                i += 1;
+                serve_opts.policy = args[i].clone();
+            }
+            "--pool-gpus" => {
+                i += 1;
+                serve_opts.pool_gpus = args[i].parse().expect("--pool-gpus takes an integer");
+            }
+            "--no-coalesce" => serve_opts.coalesce = false,
+            "--out" => {
+                i += 1;
+                serve_opts.out = args[i].clone();
+            }
+            "--workload" => {
+                i += 1;
+                serve_opts.workload = Some(args[i].clone());
+            }
             "--help" | "-h" => {
                 println!(
                     "figures [--total-log2 N] [--n-lo N] [--no-verify] [--trace-dir DIR] \
+                     [--seed N] [--requests N] [--policy fifo|sjf|edf|all] [--pool-gpus N] \
+                     [--no-coalesce] [--out DIR] [--workload FILE] \
                      [table3 fig1 fig9 fig10 fig11 fig12 fig13 fig14 mw-sweep k-sweep ablations \
-                     trace all]"
+                     trace serve bench-scan all]"
                 );
                 return;
             }
@@ -76,6 +118,8 @@ fn main() {
             "k-sweep" => k_sweep(&harness),
             "ablations" => ablations(),
             "trace" => trace_export(&trace_dir),
+            "serve" => serve(&serve_opts, &trace_dir),
+            "bench-scan" => bench_scan(&serve_opts.out),
             "all" => {
                 table3();
                 fig1();
@@ -280,6 +324,141 @@ fn trace_export(dir: &str) {
         out.faults.as_ref().map(|f| f.replans()).unwrap_or(0)
     });
     println!("\n{}", handle.critical_path());
+}
+
+/// CLI options of the `serve` and `bench-scan` commands.
+struct ServeOpts {
+    seed: u64,
+    requests: usize,
+    policy: String,
+    pool_gpus: usize,
+    coalesce: bool,
+    out: String,
+    workload: Option<String>,
+}
+
+impl Default for ServeOpts {
+    fn default() -> Self {
+        ServeOpts {
+            seed: 7,
+            requests: 200,
+            policy: "edf".into(),
+            pool_gpus: 8,
+            coalesce: true,
+            out: String::from("."),
+            workload: None,
+        }
+    }
+}
+
+/// Serve a multi-tenant workload (`scan-serve`) and write `BENCH_serve.json`.
+///
+/// Every policy runs over the same workload so the JSON is independent of
+/// `--policy` (the golden file compares byte-for-byte across invocations);
+/// the flag only selects which summaries print and which fleet traces are
+/// exported.
+fn serve(opts: &ServeOpts, trace_dir: &str) {
+    use scan_serve::{requests_from_json, Policy, ServeConfig, Server, WorkloadSpec};
+
+    let requests = match &opts.workload {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).expect("read --workload file");
+            requests_from_json(&text).expect("parse --workload JSON")
+        }
+        None => WorkloadSpec::default_for(opts.seed, opts.requests).generate(),
+    };
+    println!(
+        "## scan-serve — {} requests, seed {}, pool of {} GPUs, coalescing {}",
+        requests.len(),
+        opts.seed,
+        opts.pool_gpus,
+        if opts.coalesce { "on" } else { "off" }
+    );
+
+    let selected: Vec<Policy> = if opts.policy == "all" {
+        Policy::all().to_vec()
+    } else {
+        vec![Policy::parse(&opts.policy).expect("--policy takes fifo|sjf|edf|all")]
+    };
+    std::fs::create_dir_all(&opts.out).expect("create --out dir");
+    std::fs::create_dir_all(trace_dir).expect("create trace dir");
+
+    let mut entries = Vec::new();
+    for policy in Policy::all() {
+        let mut config = ServeConfig::new(policy, opts.seed);
+        config.pool_gpus = opts.pool_gpus;
+        config.coalesce = opts.coalesce;
+        let report = Server::new(config).run(&requests).expect("serve the window");
+        if selected.contains(&policy) {
+            println!("{}", report.metrics.summary());
+            let path = format!("{trace_dir}/serve_{}_seed{}.trace.json", policy.name(), opts.seed);
+            report.trace.write_chrome_trace(&path).expect("write fleet trace");
+            println!(
+                "wrote {path} ({} launches, {} nodes)",
+                report.launches,
+                report.trace.graph().nodes().len()
+            );
+        }
+        let metrics = report.metrics.to_json().replace('\n', "\n    ");
+        entries.push(format!("    \"{}\": {metrics}", policy.name()));
+    }
+
+    let path = format!("{}/BENCH_serve.json", opts.out);
+    let json = format!(
+        "{{\n  \"seed\": {},\n  \"requests\": {},\n  \"pool_gpus\": {},\n  \
+         \"coalesce\": {},\n  \"policies\": {{\n{}\n  }}\n}}\n",
+        opts.seed,
+        requests.len(),
+        opts.pool_gpus,
+        opts.coalesce,
+        entries.join(",\n")
+    );
+    std::fs::write(&path, json).expect("write BENCH_serve.json");
+    println!("wrote {path}\n");
+}
+
+/// Makespans of a pinned configuration set, written to `BENCH_scan.json`.
+///
+/// The harness here is fixed (2^20 elements, verify on, default seed) and
+/// deliberately ignores `--total-log2`/`--n-lo`, so two runs of
+/// `bench-scan` always produce byte-identical JSON — the CI artifact and
+/// regression baseline.
+fn bench_scan(out: &str) {
+    let h = Harness { total_log2: 20, ..Harness::default() };
+    let runs: Vec<(&str, Option<scan_core::ScanOutput<i32>>)> = vec![
+        ("sp_n20", h.run_sp(20)),
+        ("mps_w2_n18", h.run_mps(18, 2, 2, 1)),
+        ("mps_w4_n16", h.run_mps(16, 4, 4, 1)),
+        ("mps_w8_n14", h.run_mps(14, 8, 4, 2)),
+        ("mppc_m2w4_n16", h.run_mppc(16, 4, 4, 1, 2)),
+        ("mppc_m4w2_n15", h.run_mppc(15, 2, 2, 1, 4)),
+    ];
+
+    println!("## bench-scan — pinned configs at 2^{} elements", h.total_log2);
+    let mut entries = Vec::new();
+    for (name, out) in &runs {
+        let out = out.as_ref().unwrap_or_else(|| panic!("pinned config {name} must run"));
+        println!(
+            "  {name:>14}: {:>10.3} ms  {:>9.2} Melem/s",
+            out.report.seconds() * 1e3,
+            out.report.throughput() / 1e6
+        );
+        entries.push(format!(
+            "    {{\"name\": \"{name}\", \"makespan_s\": {}, \"melems_per_s\": {}}}",
+            out.report.seconds(),
+            out.report.throughput() / 1e6
+        ));
+    }
+
+    std::fs::create_dir_all(out).expect("create --out dir");
+    let path = format!("{out}/BENCH_scan.json");
+    let json = format!(
+        "{{\n  \"total_log2\": {},\n  \"configs\": [\n{}\n  ]\n}}\n",
+        h.total_log2,
+        entries.join(",\n")
+    );
+    std::fs::write(&path, json).expect("write BENCH_scan.json");
+    println!("wrote {path}\n");
 }
 
 /// Counter-level ablations of the §3.1 design choices.

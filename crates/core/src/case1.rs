@@ -66,6 +66,7 @@ pub fn scan_case1<T: Scannable, O: ScanOp<T>>(
             device,
             fabric,
             &[gid],
+            0,
             sub_problem,
             &input[start..end],
             ScanKind::Inclusive,

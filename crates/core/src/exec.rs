@@ -127,8 +127,11 @@ pub(crate) fn collective_links<T: Scannable>(
 ///
 /// Each sub-batch contributes five phase instances —
 /// `stage1:chunk-reduce`, `comm:gather-aux`, `stage2:intermediate-scan`,
-/// `comm:scatter-offsets`, `stage3:scan-add` — with kernels on each GPU's
-/// stream 0 and the exchanges on the links they traverse.
+/// `comm:scatter-offsets`, `stage3:scan-add` — with kernels on stream
+/// `stream` of each GPU and the exchanges on the links they traverse.
+/// Standalone runs use stream 0; the serving layer passes each lease's
+/// private stream id (see `gpu_sim::StreamNamespace`) so concurrent
+/// requests sharing a GPU stay distinguishable in the fleet schedule.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn build_pipeline_graph<T: Scannable, O: ScanOp<T>>(
     op: O,
@@ -136,6 +139,7 @@ pub(crate) fn build_pipeline_graph<T: Scannable, O: ScanOp<T>>(
     device: &DeviceSpec,
     fabric: &Fabric,
     gpu_ids: &[usize],
+    stream: usize,
     problem: ProblemParams,
     input: &[T],
     kind: ScanKind,
@@ -171,6 +175,7 @@ pub(crate) fn build_pipeline_graph<T: Scannable, O: ScanOp<T>>(
             device,
             fabric,
             gpu_ids,
+            stream,
             sub_problem,
             &input[lo..hi],
             kind,
@@ -203,6 +208,7 @@ pub(crate) fn append_sub_batch<T: Scannable, O: ScanOp<T>>(
     device: &DeviceSpec,
     fabric: &Fabric,
     gpu_ids: &[usize],
+    stream: usize,
     sub_problem: ProblemParams,
     sub_input: &[T],
     kind: ScanKind,
@@ -221,7 +227,7 @@ pub(crate) fn append_sub_batch<T: Scannable, O: ScanOp<T>>(
             }
         }
     }
-    let stream = |w: &Worker<T>| Resource::Stream { gpu: w.global_id, stream: 0 };
+    let stream = |w: &Worker<T>| Resource::Stream { gpu: w.global_id, stream };
     let links = collective_links(fabric, &workers);
     let label = |name: &str| format!("{phase_prefix}{name}");
 
@@ -353,6 +359,7 @@ mod tests {
             &gpu_sim::DeviceSpec::tesla_k80(),
             &fabric,
             &[0, 1],
+            0,
             problem,
             &input,
             ScanKind::Inclusive,
@@ -389,6 +396,7 @@ mod tests {
                 &device,
                 &fabric,
                 &[0, 1],
+                0,
                 problem,
                 &input,
                 ScanKind::Inclusive,

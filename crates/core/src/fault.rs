@@ -47,8 +47,10 @@ use crate::stage1::run_stage1;
 /// kept so pre-unification call sites keep compiling.
 pub type FaultyScanOutput<T> = ScanOutput<T>;
 
-/// Largest power of two ≤ `n` (0 maps to 0).
-fn largest_pow2(n: usize) -> usize {
+/// Largest power of two ≤ `n` (0 maps to 0). Shared with the lease
+/// planner, whose partial-lease rule is the same largest-feasible-subset
+/// rule the replanner applies to eviction survivors.
+pub(crate) fn largest_pow2(n: usize) -> usize {
     if n == 0 {
         0
     } else {
@@ -149,6 +151,7 @@ fn faulted_group_pipeline<T: Scannable, O: ScanOp<T>>(
                 device,
                 fabric,
                 &active,
+                0,
                 sub_problem,
                 &input[lo..hi],
                 kind,
@@ -223,6 +226,7 @@ fn faulted_group_pipeline<T: Scannable, O: ScanOp<T>>(
             device,
             fabric,
             &survivors,
+            0,
             sub_problem,
             &input[lo..hi],
             kind,

@@ -61,6 +61,7 @@ pub mod case1;
 pub mod error;
 pub mod exec;
 pub mod fault;
+pub mod lease;
 pub mod mppc;
 pub mod mps;
 pub mod multi_gpu;
@@ -86,6 +87,7 @@ pub use fault::{
     scan_mppc_faulted, scan_mps_faulted, scan_mps_multinode_faulted, scan_sp_faulted,
     FaultyScanOutput,
 };
+pub use lease::{scan_on_lease, GpuLease, LeaseRun};
 pub use mppc::{scan_mppc, scan_mppc_with};
 pub use mps::{scan_mps, scan_mps_exclusive, scan_mps_with};
 pub use multinode::scan_mps_multinode;

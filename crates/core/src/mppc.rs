@@ -96,6 +96,7 @@ pub fn scan_mppc_with<T: Scannable, O: ScanOp<T>>(
                         device,
                         fabric,
                         &gpu_ids,
+                        0,
                         sub_problem,
                         group_input,
                         ScanKind::Inclusive,

@@ -296,7 +296,7 @@ pub fn run_pipeline_group_policy<T: Scannable, O: ScanOp<T>>(
 ) -> ScanResult<(Vec<T>, PipelineRun)> {
     let mut out = vec![T::default(); problem.total_elems()];
     let graph = build_pipeline_graph(
-        op, tuple, device, fabric, gpu_ids, problem, input, kind, policy, &mut out,
+        op, tuple, device, fabric, gpu_ids, 0, problem, input, kind, policy, &mut out,
     )?;
     Ok((out, PipelineRun::from_graph(graph)))
 }

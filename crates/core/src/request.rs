@@ -100,6 +100,7 @@ pub struct ScanRequest<O> {
     device: Option<DeviceSpec>,
     fabric: Option<Fabric>,
     cfg: Option<NodeConfig>,
+    gpu_ids: Option<Vec<usize>>,
     policy: Option<PipelinePolicy>,
     faults: Option<FaultPlan>,
     trace: TraceOptions,
@@ -117,6 +118,7 @@ impl<O: Copy> ScanRequest<O> {
             device: None,
             fabric: None,
             cfg: None,
+            gpu_ids: None,
             policy: None,
             faults: None,
             trace: TraceOptions::none(),
@@ -167,6 +169,17 @@ impl<O: Copy> ScanRequest<O> {
     /// proposal, rejected by [`Proposal::Sp`].
     pub fn devices(mut self, cfg: NodeConfig) -> Self {
         self.cfg = Some(cfg);
+        self
+    }
+
+    /// Run on an explicit list of GPU ids instead of a `(W, V, Y, M)`
+    /// selection — the leased-subset path the serving layer uses (see
+    /// [`crate::lease`]). Only [`Proposal::Sp`] and [`Proposal::Mps`]
+    /// semantics are available; the plan runs on the largest power-of-two
+    /// prefix that fits the problem. Duplicate ids are rejected with
+    /// [`ScanError::InvalidConfig`].
+    pub fn device_ids(mut self, ids: &[usize]) -> Self {
+        self.gpu_ids = Some(ids.to_vec());
         self
     }
 
@@ -239,6 +252,51 @@ impl<O: Copy> ScanRequest<O> {
             self.reject_exclusive("the fault-injected twins run inclusive scans")?;
         }
         let fabric = |m: usize| self.fabric.clone().unwrap_or_else(|| Fabric::tsubame_kfc(m));
+
+        if let Some(ids) = &self.gpu_ids {
+            crate::lease::check_unique_gpu_ids(ids)?;
+            if self.cfg.is_some() {
+                return Err(ScanError::InvalidConfig(
+                    "give either .devices(NodeConfig) or .device_ids(..), not both".into(),
+                ));
+            }
+            if self.faults.is_some() {
+                return Err(ScanError::InvalidConfig(
+                    "explicit device_ids leases have no fault-injected twin".into(),
+                ));
+            }
+            if !matches!(self.proposal, Proposal::Sp | Proposal::Mps) {
+                return Err(ScanError::InvalidConfig(format!(
+                    "proposal {:?} does not run on an explicit device list; use Sp or Mps",
+                    self.proposal
+                )));
+            }
+            // Size the default fabric to cover the highest requested id.
+            let needed = ids.iter().max().map_or(1, |&g| g + 1);
+            let per_node = Fabric::tsubame_kfc(1).topology().total_gpus();
+            let fabric = fabric(needed.div_ceil(per_node));
+            let lease = crate::lease::GpuLease::new(ids.clone(), 0)?;
+            let leased = crate::lease::scan_on_lease(
+                self.op,
+                tuple,
+                &device,
+                &fabric,
+                &lease,
+                self.problem,
+                input,
+                self.kind,
+                &policy,
+            )?;
+            let label = format!("Scan-Lease {} GPUs", leased.gpus_used.len());
+            let mut out = ScanOutput::new(
+                leased.data,
+                crate::report::RunReport::from_run(label, self.problem.total_elems(), leased.run),
+            );
+            if self.trace.is_enabled() {
+                out.trace = out.report.graph.as_ref().map(TraceHandle::from_graph);
+            }
+            return Ok(out);
+        }
 
         let mut out = match (self.proposal, &self.faults) {
             (Proposal::Sp, None) => {
@@ -416,6 +474,64 @@ mod tests {
             .run(&input)
             .unwrap_err();
         assert!(matches!(err, ScanError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn device_ids_reproduce_the_mps_path() {
+        let problem = ProblemParams::new(12, 2);
+        let input = pseudo(problem.total_elems());
+        let by_ids = ScanRequest::new(Add, problem)
+            .proposal(Proposal::Mps)
+            .device_ids(&[0, 1])
+            .run(&input)
+            .unwrap();
+        let by_cfg = ScanRequest::new(Add, problem)
+            .proposal(Proposal::Mps)
+            .devices(NodeConfig::new(2, 2, 1, 1).unwrap())
+            .run(&input)
+            .unwrap();
+        assert_eq!(by_ids.data, by_cfg.data);
+        assert_eq!(by_ids.report.makespan.to_bits(), by_cfg.report.makespan.to_bits());
+    }
+
+    #[test]
+    fn duplicate_device_ids_are_invalid_config() {
+        let problem = ProblemParams::new(12, 2);
+        let input = pseudo(problem.total_elems());
+        let err = ScanRequest::new(Add, problem)
+            .proposal(Proposal::Mps)
+            .device_ids(&[0, 1, 0])
+            .run(&input)
+            .unwrap_err();
+        match err {
+            ScanError::InvalidConfig(msg) => assert!(msg.contains("duplicate GPU id 0")),
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn device_ids_invalid_combinations() {
+        let problem = ProblemParams::new(12, 2);
+        let input = pseudo(problem.total_elems());
+        let both = ScanRequest::new(Add, problem)
+            .proposal(Proposal::Mps)
+            .devices(NodeConfig::new(2, 2, 1, 1).unwrap())
+            .device_ids(&[0, 1])
+            .run(&input)
+            .unwrap_err();
+        assert!(matches!(both, ScanError::InvalidConfig(_)));
+        let case1 = ScanRequest::new(Add, problem)
+            .proposal(Proposal::Case1)
+            .device_ids(&[0, 1])
+            .run(&input)
+            .unwrap_err();
+        assert!(matches!(case1, ScanError::InvalidConfig(_)));
+        let faulted = ScanRequest::new(Add, problem)
+            .device_ids(&[0])
+            .faults(FaultPlan::new(1))
+            .run(&input)
+            .unwrap_err();
+        assert!(matches!(faulted, ScanError::InvalidConfig(_)));
     }
 
     #[test]

@@ -51,6 +51,7 @@ pub mod grid;
 pub mod memory;
 pub mod occupancy;
 pub mod profile;
+pub mod stream;
 pub mod timing;
 pub mod vecload;
 pub mod warp;
@@ -65,6 +66,7 @@ pub use grid::LaunchConfig;
 pub use memory::{DeviceBuffer, DeviceCopy, MemoryTracker};
 pub use occupancy::{occupancy, BlockResources, Limiter, Occupancy, Table3Row};
 pub use profile::{ProfileReport, ProfileRow};
+pub use stream::{StreamGrant, StreamNamespace};
 pub use timing::{KernelTime, TimingModel};
 pub use vecload::AccessWidth;
 pub use warp::{LaneArray, WARP_SIZE};

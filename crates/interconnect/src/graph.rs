@@ -293,77 +293,267 @@ impl ExecGraph {
     /// (ties broken by insertion order), then marks its resources busy until
     /// its finish. The result is deterministic for a given graph.
     pub fn schedule(&self) -> Schedule {
-        let n = self.nodes.len();
-        let mut start = vec![0.0f64; n];
-        let mut finish = vec![0.0f64; n];
-        // Earliest start imposed by dependencies, folded in as each
-        // dependency is placed (0.0 before any).
-        let mut dep_ready = vec![0.0f64; n];
-        let mut pred: Vec<Option<NodeId>> = vec![None; n];
-        let mut deps_left: Vec<usize> = self.nodes.iter().map(|d| d.deps.len()).collect();
-        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
-        for (i, node) in self.nodes.iter().enumerate() {
-            for d in &node.deps {
-                succs[d.0].push(i);
-            }
-        }
-        let mut avail: HashMap<Resource, f64> = HashMap::new();
-        let mut holder: HashMap<Resource, NodeId> = HashMap::new();
-        let mut ready: Vec<usize> = (0..n).filter(|&i| deps_left[i] == 0).collect();
-        let mut placed = vec![false; n];
-
-        for _ in 0..n {
-            // Earliest-start-first among ready nodes, insertion order on ties.
-            let mut best: Option<(f64, usize, usize)> = None; // (est, node, ready slot)
-            for (slot, &i) in ready.iter().enumerate() {
-                let mut est = dep_ready[i];
-                for r in &self.nodes[i].resources {
-                    est = est.max(avail.get(r).copied().unwrap_or(0.0));
-                }
-                match best {
-                    Some((b, bi, _)) if (est, i) >= (b, bi) => {}
-                    _ => best = Some((est, i, slot)),
-                }
-            }
-            let (est, i, slot) = best.expect("graph has a cycle or dangling dependency");
-            ready.swap_remove(slot);
-            placed[i] = true;
-
-            // Record which dependency or resource holder determined the
-            // start (for critical-path reporting).
-            start[i] = est;
-            finish[i] = est + self.nodes[i].seconds;
-            if est > 0.0 {
-                pred[i] =
-                    self.nodes[i].deps.iter().copied().find(|d| finish[d.0] == est).or_else(|| {
-                        self.nodes[i]
-                            .resources
-                            .iter()
-                            .find(|r| avail.get(r).copied().unwrap_or(0.0) == est)
-                            .and_then(|r| holder.get(r).copied())
-                    });
-            }
-            for r in &self.nodes[i].resources {
-                avail.insert(*r, finish[i]);
-                holder.insert(*r, NodeId(i));
-            }
-            for &s in &succs[i] {
-                dep_ready[s] = dep_ready[s].max(finish[i]);
-                deps_left[s] -= 1;
-                if deps_left[s] == 0 {
-                    ready.push(s);
-                }
-            }
-        }
-        assert!(placed.iter().all(|&p| p), "graph has a cycle or dangling dependency");
-
-        let makespan = finish.iter().copied().fold(0.0, f64::max);
+        let mut avail = HashMap::new();
+        let mut holder = HashMap::new();
+        let (start, finish, pred, makespan) =
+            list_schedule(&self.nodes, 0.0, &mut avail, &mut holder, 0);
         Schedule { start, finish, pred, makespan }
     }
 
     /// Critical-path makespan: [`ExecGraph::schedule`]'s total.
     pub fn makespan(&self) -> f64 {
         self.schedule().makespan
+    }
+}
+
+/// The shared deterministic list scheduler.
+///
+/// Places `nodes` one at a time, earliest-start-first (insertion order on
+/// ties). A node's earliest start is the maximum of `release`, its
+/// dependencies' finish times, and the availability of every resource it
+/// claims in `avail`. `holder` remembers which node last held each resource
+/// (for critical-path predecessor links) and `offset` translates local node
+/// indices into the caller's id space — [`ExecGraph::schedule`] passes
+/// empty maps, `release = 0` and `offset = 0`, [`FleetTimeline::admit`]
+/// passes its shared maps so graphs admitted later contend for the same
+/// hardware.
+///
+/// Returns `(start, finish, pred, makespan)` with `pred` in the caller's
+/// (offset) id space.
+fn list_schedule(
+    nodes: &[ExecNode],
+    release: f64,
+    avail: &mut HashMap<Resource, f64>,
+    holder: &mut HashMap<Resource, NodeId>,
+    offset: usize,
+) -> (Vec<f64>, Vec<f64>, Vec<Option<NodeId>>, f64) {
+    let n = nodes.len();
+    let mut start = vec![0.0f64; n];
+    let mut finish = vec![0.0f64; n];
+    // Earliest start imposed by dependencies, folded in as each
+    // dependency is placed (the release time before any).
+    let mut dep_ready = vec![release; n];
+    let mut pred: Vec<Option<NodeId>> = vec![None; n];
+    let mut deps_left: Vec<usize> = nodes.iter().map(|d| d.deps.len()).collect();
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, node) in nodes.iter().enumerate() {
+        for d in &node.deps {
+            succs[d.0].push(i);
+        }
+    }
+    let mut ready: Vec<usize> = (0..n).filter(|&i| deps_left[i] == 0).collect();
+    let mut placed = vec![false; n];
+
+    for _ in 0..n {
+        // Earliest-start-first among ready nodes, insertion order on ties.
+        let mut best: Option<(f64, usize, usize)> = None; // (est, node, ready slot)
+        for (slot, &i) in ready.iter().enumerate() {
+            let mut est = dep_ready[i];
+            for r in &nodes[i].resources {
+                est = est.max(avail.get(r).copied().unwrap_or(0.0));
+            }
+            match best {
+                Some((b, bi, _)) if (est, i) >= (b, bi) => {}
+                _ => best = Some((est, i, slot)),
+            }
+        }
+        let (est, i, slot) = best.expect("graph has a cycle or dangling dependency");
+        ready.swap_remove(slot);
+        placed[i] = true;
+
+        // Record which dependency or resource holder determined the
+        // start (for critical-path reporting). A node that starts exactly
+        // at its release time with no determining dependency or holder
+        // keeps `None` — in a fleet timeline that is the admission point.
+        start[i] = est;
+        finish[i] = est + nodes[i].seconds;
+        if est > 0.0 {
+            pred[i] = nodes[i]
+                .deps
+                .iter()
+                .find(|d| finish[d.0] == est)
+                .map(|d| NodeId(d.0 + offset))
+                .or_else(|| {
+                    nodes[i]
+                        .resources
+                        .iter()
+                        .find(|r| avail.get(r).copied().unwrap_or(0.0) == est)
+                        .and_then(|r| holder.get(r).copied())
+                });
+        }
+        for r in &nodes[i].resources {
+            avail.insert(*r, finish[i]);
+            holder.insert(*r, NodeId(i + offset));
+        }
+        for &s in &succs[i] {
+            dep_ready[s] = dep_ready[s].max(finish[i]);
+            deps_left[s] -= 1;
+            if deps_left[s] == 0 {
+                ready.push(s);
+            }
+        }
+    }
+    assert!(placed.iter().all(|&p| p), "graph has a cycle or dangling dependency");
+
+    let makespan = finish.iter().copied().fold(0.0, f64::max);
+    (start, finish, pred, makespan)
+}
+
+/// What one [`FleetTimeline::admit`] call scheduled.
+#[derive(Debug, Clone)]
+pub struct Admission {
+    /// Fleet-graph ids of the admitted nodes, in the admitted graph's
+    /// node order.
+    pub nodes: Vec<NodeId>,
+    /// The release time the graph was admitted at.
+    pub release: f64,
+    /// Earliest node start (≥ `release`; later when the fleet's resources
+    /// were still held by earlier admissions).
+    pub start: f64,
+    /// Latest node finish — when this admission completes.
+    pub finish: f64,
+}
+
+impl Admission {
+    /// Time the admission spent queued on busy fleet resources before its
+    /// first node could start.
+    pub fn queue_wait(&self) -> f64 {
+        self.start - self.release
+    }
+}
+
+/// One shared resource timeline that many [`ExecGraph`]s are admitted
+/// into: the serving layer's view of the cluster.
+///
+/// Each [`FleetTimeline::admit`] call schedules a graph with the *same*
+/// deterministic list scheduler a lone [`ExecGraph::schedule`] run uses,
+/// but against the fleet's live resource availability: a stream or link
+/// still held by an earlier admission delays the new graph exactly like
+/// intra-graph contention would. Admissions carry a release time (the
+/// simulated instant the request was dispatched), so no node starts
+/// before it.
+///
+/// The timeline accumulates every admitted node into one fleet-wide graph
+/// and schedule — phase and node labels get a per-admission prefix — which
+/// exports as a single trace covering the whole serving window (see
+/// [`crate::Trace::from_parts`]).
+///
+/// Admissions must be issued in non-decreasing release order (the natural
+/// order of a simulated-clock service loop); this keeps the sequential
+/// admission schedule identical to what one global scheduler would produce
+/// for the combined graph.
+#[derive(Debug, Clone, Default)]
+pub struct FleetTimeline {
+    graph: ExecGraph,
+    start: Vec<f64>,
+    finish: Vec<f64>,
+    pred: Vec<Option<NodeId>>,
+    avail: HashMap<Resource, f64>,
+    holder: HashMap<Resource, NodeId>,
+    makespan: f64,
+    last_release: f64,
+    admissions: usize,
+}
+
+impl FleetTimeline {
+    /// An empty timeline: every resource available at time 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Admit `graph` at `release`, scheduling it against the fleet's
+    /// current resource availability and absorbing its nodes into the
+    /// fleet-wide record. `prefix` is prepended to the graph's phase and
+    /// node labels (e.g. `"r42:"`) so concurrent requests stay
+    /// distinguishable in the fleet trace.
+    ///
+    /// # Panics
+    /// Panics if `release` is negative, non-finite, or earlier than a
+    /// previous admission's release.
+    pub fn admit(&mut self, graph: &ExecGraph, release: f64, prefix: &str) -> Admission {
+        assert!(release >= 0.0 && release.is_finite(), "bad release time {release}");
+        assert!(
+            release >= self.last_release,
+            "admissions must arrive in release order ({release} < {})",
+            self.last_release
+        );
+        self.last_release = release;
+        self.admissions += 1;
+
+        let offset = self.graph.nodes.len();
+        let (start, finish, pred, makespan) =
+            list_schedule(&graph.nodes, release, &mut self.avail, &mut self.holder, offset);
+
+        let phase_map: Vec<usize> = graph
+            .phase_labels
+            .iter()
+            .map(|label| self.graph.phase(format!("{prefix}{label}")))
+            .collect();
+        let mut ids = Vec::with_capacity(graph.nodes.len());
+        for node in &graph.nodes {
+            let mut node = node.clone();
+            node.label = format!("{prefix}{}", node.label);
+            node.phase = phase_map[node.phase];
+            for d in &mut node.deps {
+                d.0 += offset;
+            }
+            ids.push(NodeId(self.graph.nodes.len()));
+            self.graph.nodes.push(node);
+        }
+        self.start.extend_from_slice(&start);
+        self.finish.extend_from_slice(&finish);
+        self.pred.extend_from_slice(&pred);
+        self.makespan = self.makespan.max(makespan);
+
+        let first_start = start.iter().copied().fold(f64::INFINITY, f64::min);
+        Admission {
+            nodes: ids,
+            release,
+            start: if first_start.is_finite() { first_start } else { release },
+            finish: makespan.max(release),
+        }
+    }
+
+    /// The fleet-wide graph accumulated so far.
+    pub fn graph(&self) -> &ExecGraph {
+        &self.graph
+    }
+
+    /// The fleet-wide schedule accumulated so far (fleet node ids).
+    pub fn schedule(&self) -> Schedule {
+        Schedule {
+            start: self.start.clone(),
+            finish: self.finish.clone(),
+            pred: self.pred.clone(),
+            makespan: self.makespan,
+        }
+    }
+
+    /// End of the latest-finishing admitted node (0 when empty).
+    pub fn makespan(&self) -> f64 {
+        self.makespan
+    }
+
+    /// Number of graphs admitted so far.
+    pub fn admissions(&self) -> usize {
+        self.admissions
+    }
+
+    /// When `resource` becomes free given everything admitted so far
+    /// (0 if nothing has claimed it).
+    pub fn resource_available(&self, resource: Resource) -> f64 {
+        self.avail.get(&resource).copied().unwrap_or(0.0)
+    }
+
+    /// The fleet graph and schedule, consumed for trace export.
+    pub fn into_parts(self) -> (ExecGraph, Schedule) {
+        let schedule = Schedule {
+            start: self.start,
+            finish: self.finish,
+            pred: self.pred,
+            makespan: self.makespan,
+        };
+        (self.graph, schedule)
     }
 }
 
@@ -568,6 +758,105 @@ mod tests {
         assert_eq!(tl.phases().len(), 2);
         assert_eq!(tl.phases()[1].seconds, 0.0);
         assert_eq!(tl.total(), 2.0);
+    }
+
+    /// A two-phase chain `kernel -> transfer` on one GPU stream + one link.
+    fn request_graph(kernel: f64, transfer: f64, gpu: usize) -> ExecGraph {
+        let mut g = ExecGraph::new();
+        let p = g.phase("stage1");
+        let q = g.phase("comm");
+        let a = g.add(p, "k", K, kernel, &[], &[Resource::Stream { gpu, stream: 0 }]);
+        g.add(q, "c", T, transfer, &[a], &[Resource::PcieNetwork { node: 0, network: 0 }]);
+        g
+    }
+
+    #[test]
+    fn single_admission_reproduces_schedule_bit_for_bit() {
+        let g = request_graph(1.25, 0.375, 0);
+        let lone = g.schedule();
+        let mut fleet = FleetTimeline::new();
+        let adm = fleet.admit(&g, 0.0, "r0:");
+        let fs = fleet.schedule();
+        for i in 0..g.nodes().len() {
+            assert_eq!(fs.start[i].to_bits(), lone.start[i].to_bits());
+            assert_eq!(fs.finish[i].to_bits(), lone.finish[i].to_bits());
+        }
+        assert_eq!(fs.makespan.to_bits(), lone.makespan.to_bits());
+        assert_eq!(adm.finish.to_bits(), lone.makespan.to_bits());
+        assert_eq!(adm.queue_wait(), 0.0);
+        assert_eq!(fleet.admissions(), 1);
+    }
+
+    #[test]
+    fn admission_respects_release_time() {
+        let mut fleet = FleetTimeline::new();
+        let adm = fleet.admit(&request_graph(1.0, 0.5, 0), 2.5, "r0:");
+        assert_eq!(adm.start, 2.5);
+        assert_eq!(adm.finish, 4.0);
+        let s = fleet.schedule();
+        assert!(s.start.iter().all(|&t| t >= 2.5));
+    }
+
+    #[test]
+    fn cross_admission_contention_serialises_like_intra_graph() {
+        // Two requests on the same GPU admitted back to back: the second
+        // waits for the first to release the stream, exactly as two nodes
+        // of one graph sharing the stream would.
+        let mut fleet = FleetTimeline::new();
+        let a = fleet.admit(&request_graph(1.0, 0.5, 0), 0.0, "r0:");
+        let b = fleet.admit(&request_graph(1.0, 0.5, 0), 0.25, "r1:");
+        // r1's kernel needs stream 0, free at t=1.0; its transfer then
+        // queues behind r0's transfer on the shared link (free at 1.5).
+        assert_eq!(b.start, 1.0);
+        assert_eq!(b.queue_wait(), 0.75);
+        assert_eq!(b.finish, 2.5);
+        assert_eq!(fleet.makespan(), 2.5);
+        // The resource-holder predecessor crosses the admission boundary.
+        let s = fleet.schedule();
+        assert_eq!(s.pred[b.nodes[0].index()], Some(a.nodes[0]));
+        assert_eq!(
+            fleet.resource_available(Resource::Stream { gpu: 0, stream: 0 }),
+            2.0,
+            "r1's kernel runs 1.0..2.0"
+        );
+    }
+
+    #[test]
+    fn disjoint_admissions_overlap() {
+        let mut fleet = FleetTimeline::new();
+        let mut g1 = request_graph(1.0, 0.0, 1);
+        // Give request 1 its own link so nothing is shared.
+        for node in &mut g1.nodes {
+            if node.kind == T {
+                node.resources = vec![Resource::PcieNetwork { node: 0, network: 1 }];
+            }
+        }
+        fleet.admit(&request_graph(1.0, 0.5, 0), 0.0, "r0:");
+        let b = fleet.admit(&g1, 0.0, "r1:");
+        assert_eq!(b.start, 0.0, "disjoint resources admit concurrently");
+        assert_eq!(fleet.makespan(), 1.5);
+    }
+
+    #[test]
+    fn fleet_labels_carry_the_admission_prefix() {
+        let mut fleet = FleetTimeline::new();
+        fleet.admit(&request_graph(1.0, 0.5, 0), 0.0, "r7:");
+        fleet.admit(&request_graph(1.0, 0.5, 0), 1.5, "r8:");
+        let labels = fleet.graph().phase_labels();
+        assert_eq!(labels.len(), 4, "phases are appended per admission, never merged");
+        assert_eq!(labels[0], "r7:stage1");
+        assert_eq!(labels[2], "r8:stage1");
+        assert_eq!(fleet.graph().nodes()[2].label, "r8:k");
+        // Dependencies were remapped into fleet space.
+        assert_eq!(fleet.graph().nodes()[3].deps, vec![NodeId(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "release order")]
+    fn out_of_order_release_is_rejected() {
+        let mut fleet = FleetTimeline::new();
+        fleet.admit(&request_graph(1.0, 0.5, 0), 2.0, "r0:");
+        fleet.admit(&request_graph(1.0, 0.5, 0), 1.0, "r1:");
     }
 
     #[test]

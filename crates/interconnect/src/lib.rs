@@ -38,7 +38,9 @@ pub use collectives::{
 pub use fault::{
     apply_link_faults, FaultError, FaultEvent, FaultPlan, FaultReport, GpuEviction, LinkFault,
 };
-pub use graph::{ExecGraph, ExecNode, NodeId, NodeMeta, Resource, Schedule};
+pub use graph::{
+    Admission, ExecGraph, ExecNode, FleetTimeline, NodeId, NodeMeta, Resource, Schedule,
+};
 pub use link::{FabricSpec, LinkParams};
 pub use mpi::{MpiComm, MpiCost};
 pub use timeline::{Phase, Timeline};

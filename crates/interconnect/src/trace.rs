@@ -272,6 +272,17 @@ impl Trace {
         Trace::new(graph.clone())
     }
 
+    /// Freeze an already-computed schedule for `graph` without rescheduling.
+    ///
+    /// Used by fleet timelines, whose schedules are built incrementally as
+    /// requests are admitted and cannot be reproduced by a single
+    /// [`ExecGraph::schedule`] call (nodes start no earlier than their
+    /// admission's release time).
+    pub fn from_parts(graph: ExecGraph, schedule: Schedule) -> Self {
+        assert_eq!(schedule.start.len(), graph.nodes().len(), "schedule does not cover the graph");
+        Trace { graph, schedule }
+    }
+
     /// The traced graph.
     pub fn graph(&self) -> &ExecGraph {
         &self.graph

@@ -1,0 +1,53 @@
+//! # scan-serve — a multi-tenant scheduler over the simulated cluster
+//!
+//! The library crates below this one execute *one* scan at a time on an
+//! idle cluster. `scan-serve` runs a **workload**: a stream of
+//! [`ServeRequest`]s (sizes, arrivals, priorities, deadlines) served by a
+//! deterministic simulated-clock loop that
+//!
+//! * **admits** arrivals into a queue ordered by a pluggable [`Policy`]
+//!   (FIFO, shortest-job-first, earliest-deadline-first);
+//! * **leases** GPUs from a [`DevicePool`] — partial grants are planned
+//!   with the degraded-mode subset rule, and each lease gets its own
+//!   stream ids via `gpu_sim::StreamNamespace`;
+//! * **coalesces** compatible small scans into one batched Scan-SP launch
+//!   (the paper's Fig. 11–13 batching insight applied across tenants),
+//!   bit-identically to serving each request alone;
+//! * **executes** every launch's `ExecGraph` against one shared
+//!   `interconnect::FleetTimeline`, so cross-request contention
+//!   serialises exactly like intra-request contention, and the whole
+//!   window exports as a single Perfetto trace.
+//!
+//! Everything is bit-deterministic from the workload seed; golden
+//! snapshots pin one window per policy. See `docs/serving.md`.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use scan_serve::{Policy, ServeConfig, Server, WorkloadSpec};
+//!
+//! let requests = WorkloadSpec::default_for(7, 16).generate();
+//! let report = Server::new(ServeConfig::new(Policy::Edf, 7)).run(&requests).unwrap();
+//! assert_eq!(report.completions.len(), 16);
+//! println!("{}", report.metrics.summary());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod coalesce;
+pub mod json;
+pub mod metrics;
+pub mod policy;
+pub mod pool;
+pub mod request;
+pub mod serve;
+pub mod workload;
+
+pub use coalesce::CoalescePlan;
+pub use json::Json;
+pub use metrics::FleetMetrics;
+pub use policy::Policy;
+pub use pool::{DevicePool, PoolLease};
+pub use request::ServeRequest;
+pub use serve::{Completion, ServeConfig, ServeReport, Server};
+pub use workload::{request_input, requests_from_json, requests_to_json, WorkloadSpec};

@@ -1,0 +1,188 @@
+//! Fleet-level metrics over a serving window.
+//!
+//! All quantities derive deterministically from the completion records and
+//! the fleet trace; the JSON rendering prints `f64`s with Rust's shortest
+//! round-trip formatting, so equal runs produce byte-equal reports (the
+//! basis of the `BENCH_serve.json` golden and the CI regression gate).
+
+use interconnect::{Resource, Trace};
+
+use crate::policy::Policy;
+use crate::serve::Completion;
+
+/// Throughput, latency percentiles, utilization and queueing statistics
+/// for one serving window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetMetrics {
+    /// Policy that produced the window.
+    pub policy: &'static str,
+    /// Requests completed.
+    pub requests: usize,
+    /// Launches issued (requests / coalescing).
+    pub launches: usize,
+    /// `requests / launches` (1.0 = nothing coalesced).
+    pub coalescing_ratio: f64,
+    /// End of the fleet schedule, seconds.
+    pub makespan: f64,
+    /// Median request latency (arrival → finish), seconds.
+    pub p50_latency: f64,
+    /// 99th-percentile latency (nearest-rank), seconds.
+    pub p99_latency: f64,
+    /// Mean latency, seconds.
+    pub mean_latency: f64,
+    /// Worst latency, seconds.
+    pub max_latency: f64,
+    /// Scanned elements per simulated second.
+    pub throughput_elems_per_sec: f64,
+    /// Completed requests per simulated second.
+    pub requests_per_sec: f64,
+    /// Busy seconds across all GPU streams over `pool_gpus · makespan`.
+    pub gpu_busy_fraction: f64,
+    /// Deepest the queue ever got.
+    pub max_queue_depth: usize,
+    /// Time-weighted mean queue depth.
+    pub mean_queue_depth: f64,
+    /// Requests that carried a deadline.
+    pub deadline_total: usize,
+    /// Of those, how many finished late.
+    pub deadline_misses: usize,
+}
+
+impl FleetMetrics {
+    /// Derive the metrics of one finished window.
+    pub fn compute(
+        policy: Policy,
+        pool_gpus: usize,
+        completions: &[Completion],
+        launches: usize,
+        makespan: f64,
+        trace: &Trace,
+        queue_samples: &[(f64, usize)],
+    ) -> FleetMetrics {
+        let mut latencies: Vec<f64> = completions.iter().map(Completion::latency).collect();
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let total_elems: usize = completions.iter().map(|c| c.request.total_elems()).sum();
+
+        let stream_busy: f64 = trace
+            .utilization()
+            .resources
+            .iter()
+            .filter(|r| matches!(r.resource, Some(Resource::Stream { .. })))
+            .map(|r| r.busy_seconds)
+            .sum();
+
+        let (mut max_depth, mut weighted) = (0usize, 0.0f64);
+        for (i, &(t, depth)) in queue_samples.iter().enumerate() {
+            max_depth = max_depth.max(depth);
+            let until = queue_samples.get(i + 1).map_or(makespan, |&(t2, _)| t2);
+            weighted += depth as f64 * (until - t).max(0.0);
+        }
+
+        let with_deadline: Vec<&Completion> =
+            completions.iter().filter(|c| c.request.deadline.is_some()).collect();
+
+        let div = |num: f64| if makespan > 0.0 { num / makespan } else { 0.0 };
+        FleetMetrics {
+            policy: policy.name(),
+            requests: completions.len(),
+            launches,
+            coalescing_ratio: if launches > 0 {
+                completions.len() as f64 / launches as f64
+            } else {
+                0.0
+            },
+            makespan,
+            p50_latency: percentile(&latencies, 50),
+            p99_latency: percentile(&latencies, 99),
+            mean_latency: if latencies.is_empty() {
+                0.0
+            } else {
+                latencies.iter().sum::<f64>() / latencies.len() as f64
+            },
+            max_latency: latencies.last().copied().unwrap_or(0.0),
+            throughput_elems_per_sec: div(total_elems as f64),
+            requests_per_sec: div(completions.len() as f64),
+            gpu_busy_fraction: div(stream_busy / pool_gpus as f64),
+            max_queue_depth: max_depth,
+            mean_queue_depth: div(weighted),
+            deadline_total: with_deadline.len(),
+            deadline_misses: with_deadline.iter().filter(|c| c.missed_deadline()).count(),
+        }
+    }
+
+    /// Render as a JSON object (shortest round-trip float formatting, so
+    /// byte-stable across equal runs).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"policy\": \"{}\",\n  \"requests\": {},\n  \"launches\": {},\n  \
+             \"coalescing_ratio\": {},\n  \"makespan_s\": {},\n  \"p50_latency_s\": {},\n  \
+             \"p99_latency_s\": {},\n  \"mean_latency_s\": {},\n  \"max_latency_s\": {},\n  \
+             \"throughput_elems_per_s\": {},\n  \"requests_per_s\": {},\n  \
+             \"gpu_busy_fraction\": {},\n  \"max_queue_depth\": {},\n  \
+             \"mean_queue_depth\": {},\n  \"deadline_total\": {},\n  \"deadline_misses\": {}\n}}",
+            self.policy,
+            self.requests,
+            self.launches,
+            self.coalescing_ratio,
+            self.makespan,
+            self.p50_latency,
+            self.p99_latency,
+            self.mean_latency,
+            self.max_latency,
+            self.throughput_elems_per_sec,
+            self.requests_per_sec,
+            self.gpu_busy_fraction,
+            self.max_queue_depth,
+            self.mean_queue_depth,
+            self.deadline_total,
+            self.deadline_misses,
+        )
+    }
+
+    /// One-line human summary (the `bench serve` console output).
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {} requests in {} launches (coalescing {:.2}x) | p50 {:.3} ms, p99 {:.3} ms | \
+             {:.2} Melem/s, {:.1} req/s | GPU busy {:.1}% | queue max {} mean {:.2} | \
+             deadlines {}/{} missed",
+            self.policy,
+            self.requests,
+            self.launches,
+            self.coalescing_ratio,
+            self.p50_latency * 1e3,
+            self.p99_latency * 1e3,
+            self.throughput_elems_per_sec / 1e6,
+            self.requests_per_sec,
+            self.gpu_busy_fraction * 1e2,
+            self.max_queue_depth,
+            self.mean_queue_depth,
+            self.deadline_misses,
+            self.deadline_total,
+        )
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+fn percentile(sorted: &[f64], p: usize) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p * sorted.len()).div_ceil(100).max(1);
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 50), 2.0);
+        assert_eq!(percentile(&v, 99), 4.0);
+        assert_eq!(percentile(&v, 100), 4.0);
+        assert_eq!(percentile(&v, 1), 1.0);
+        assert_eq!(percentile(&[], 50), 0.0);
+        assert_eq!(percentile(&[7.0], 99), 7.0);
+    }
+}

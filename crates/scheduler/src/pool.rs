@@ -1,0 +1,159 @@
+//! The device pool: who owns which GPU right now.
+//!
+//! Leasing is exclusive (a GPU serves one request at a time) and
+//! deterministic: the lowest free ids are granted first, and a request
+//! asking for more GPUs than are free receives the largest power-of-two
+//! subset available — a *partial* lease, which the core planner handles
+//! with the same degraded-mode rule it uses for eviction survivors
+//! (`scan_core::lease`). Each granted GPU also carries a stream id from a
+//! [`StreamNamespace`], so a lease's kernels are attributable to their
+//! tenant even when GPUs are later re-leased.
+
+use gpu_sim::{StreamGrant, StreamNamespace};
+use scan_core::GpuLease;
+
+/// One grant from the pool: GPUs plus their stream ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolLease {
+    grants: Vec<StreamGrant>,
+}
+
+impl PoolLease {
+    /// The granted GPU ids, ascending.
+    pub fn gpu_ids(&self) -> Vec<usize> {
+        self.grants.iter().map(|g| g.gpu).collect()
+    }
+
+    /// Number of GPUs granted.
+    pub fn len(&self) -> usize {
+        self.grants.len()
+    }
+
+    /// Whether the lease is empty (never true for a granted lease).
+    pub fn is_empty(&self) -> bool {
+        self.grants.is_empty()
+    }
+
+    /// The lease's stream id: with exclusive GPU leasing every granted GPU
+    /// receives the same id, and the planner runs all kernels on it.
+    pub fn stream(&self) -> usize {
+        let s = self.grants[0].stream;
+        debug_assert!(self.grants.iter().all(|g| g.stream == s));
+        s
+    }
+
+    /// Convert to the core planner's lease type.
+    pub fn to_gpu_lease(&self) -> GpuLease {
+        GpuLease::new(self.gpu_ids(), self.stream()).expect("pool grants are unique and non-empty")
+    }
+}
+
+/// Exclusive, deterministic GPU leasing over a fixed-size cluster.
+#[derive(Debug, Clone)]
+pub struct DevicePool {
+    busy: Vec<bool>,
+    streams: StreamNamespace,
+}
+
+impl DevicePool {
+    /// A pool of GPUs `0..total`, all free.
+    pub fn new(total: usize) -> Self {
+        assert!(total > 0, "a pool needs at least one GPU");
+        DevicePool { busy: vec![false; total], streams: StreamNamespace::new() }
+    }
+
+    /// Cluster size.
+    pub fn total(&self) -> usize {
+        self.busy.len()
+    }
+
+    /// GPUs currently free.
+    pub fn free_count(&self) -> usize {
+        self.busy.iter().filter(|&&b| !b).count()
+    }
+
+    /// Lease up to `wanted` GPUs: the largest power of two not exceeding
+    /// `min(wanted, free)`, lowest ids first. Returns `None` when no GPU
+    /// is free (`wanted` must be ≥ 1).
+    pub fn lease(&mut self, wanted: usize) -> Option<PoolLease> {
+        assert!(wanted >= 1, "a lease must ask for at least one GPU");
+        let available = self.free_count().min(wanted);
+        if available == 0 {
+            return None;
+        }
+        let grant_len = largest_pow2(available);
+        let ids: Vec<usize> =
+            (0..self.busy.len()).filter(|&g| !self.busy[g]).take(grant_len).collect();
+        let grants: Vec<StreamGrant> = ids
+            .into_iter()
+            .map(|g| {
+                self.busy[g] = true;
+                self.streams.grant(g)
+            })
+            .collect();
+        Some(PoolLease { grants })
+    }
+
+    /// Return a lease's GPUs and streams to the pool.
+    pub fn release(&mut self, lease: PoolLease) {
+        for grant in lease.grants {
+            assert!(self.busy[grant.gpu], "releasing a GPU the pool thinks is free");
+            self.busy[grant.gpu] = false;
+            self.streams.release(grant);
+        }
+    }
+}
+
+fn largest_pow2(n: usize) -> usize {
+    debug_assert!(n > 0);
+    1 << (usize::BITS - 1 - n.leading_zeros())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grants_lowest_free_power_of_two() {
+        let mut pool = DevicePool::new(8);
+        let a = pool.lease(4).unwrap();
+        assert_eq!(a.gpu_ids(), vec![0, 1, 2, 3]);
+        let b = pool.lease(8).unwrap();
+        assert_eq!(b.gpu_ids(), vec![4, 5, 6, 7], "partial: 4 free, wanted 8");
+        assert_eq!(pool.lease(1), None, "pool exhausted");
+        pool.release(a);
+        let c = pool.lease(3).unwrap();
+        assert_eq!(c.gpu_ids(), vec![0, 1], "3 wanted -> pow2 grant of 2");
+        assert_eq!(pool.free_count(), 2);
+        pool.release(b);
+        pool.release(c);
+        assert_eq!(pool.free_count(), 8);
+    }
+
+    #[test]
+    fn lease_converts_to_core_lease() {
+        let mut pool = DevicePool::new(4);
+        let lease = pool.lease(2).unwrap();
+        let core = lease.to_gpu_lease();
+        assert_eq!(core.granted(), &[0, 1]);
+        assert_eq!(core.stream(), lease.stream());
+    }
+
+    #[test]
+    fn streams_distinguish_sequential_tenants() {
+        // Exclusive leasing means a re-leased GPU gets stream 0 again —
+        // the namespace's job is to guarantee *live* leases never collide.
+        let mut pool = DevicePool::new(2);
+        let a = pool.lease(2).unwrap();
+        assert_eq!(a.stream(), 0);
+        pool.release(a);
+        let b = pool.lease(2).unwrap();
+        assert_eq!(b.stream(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one GPU")]
+    fn zero_wanted_is_a_bug() {
+        DevicePool::new(2).lease(0);
+    }
+}

@@ -1,0 +1,478 @@
+//! The serving loop: a deterministic simulated-clock scheduler.
+//!
+//! [`Server::run`] drives a discrete-event loop over one shared cluster:
+//!
+//! 1. **Admit** — requests whose arrival time has passed join the queue.
+//! 2. **Dispatch** — the queue is ordered by the configured [`Policy`];
+//!    the head leases GPUs from the [`DevicePool`] (a partial grant is
+//!    planned with the degraded-mode subset rule), compatible neighbours
+//!    are coalesced into its launch ([`crate::coalesce`]), the batch is
+//!    *functionally executed* through `scan_core::scan_on_lease`, and the
+//!    resulting graph is admitted into one shared [`FleetTimeline`] — so
+//!    cross-request contention serialises exactly like intra-request
+//!    contention.
+//! 3. **Advance** — the clock jumps to the next arrival or completion;
+//!    completions release their leases and record latency.
+//!
+//! Everything is bit-deterministic from the workload and the input seed:
+//! the clock only takes values produced by the fleet scheduler's f64
+//! arithmetic, queue orders are total, and completions are processed in
+//! `(finish-time bits, launch sequence)` order.
+//!
+//! The served operator is pinned to inclusive `Add` over `i32` — the
+//! paper's evaluation workload. Generic operators stay in `scan_core`;
+//! a fleet of mixed operator types would need per-type launch queues for
+//! no modelling benefit.
+
+use gpu_sim::DeviceSpec;
+use interconnect::{Fabric, FleetTimeline, Trace};
+use scan_core::{scan_on_lease, PipelinePolicy, ProblemParams, ScanKind, ScanResult};
+use skeletons::{Add, SplkTuple};
+
+use crate::coalesce;
+use crate::metrics::FleetMetrics;
+use crate::policy::Policy;
+use crate::pool::{DevicePool, PoolLease};
+use crate::request::ServeRequest;
+use crate::workload::request_input;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// GPUs in the shared pool.
+    pub pool_gpus: usize,
+    /// Queue discipline.
+    pub policy: Policy,
+    /// Whether compatible small scans coalesce into one launch.
+    pub coalesce: bool,
+    /// Seed for per-request input data (independent of the workload
+    /// generator's seed so traces can be replayed with fresh data).
+    pub input_seed: u64,
+    /// Keep every request's full output in its completion record (tests);
+    /// off for benchmarking, where the checksum suffices.
+    pub keep_outputs: bool,
+}
+
+impl ServeConfig {
+    /// Defaults: one TSUBAME-KFC node (8 GPUs), coalescing on, outputs
+    /// dropped after checksumming.
+    pub fn new(policy: Policy, input_seed: u64) -> Self {
+        ServeConfig { pool_gpus: 8, policy, coalesce: true, input_seed, keep_outputs: false }
+    }
+}
+
+/// One finished request.
+#[derive(Debug, Clone)]
+pub struct Completion {
+    /// The request as submitted.
+    pub request: ServeRequest,
+    /// When the dispatcher admitted its launch (≥ arrival).
+    pub dispatched: f64,
+    /// When its first node started executing (≥ dispatched; later when the
+    /// fleet's resources were still busy).
+    pub started: f64,
+    /// When its launch finished.
+    pub finished: f64,
+    /// Members in its launch (1 = ran alone).
+    pub coalesced: usize,
+    /// GPUs the launch actually ran on.
+    pub gpus: Vec<usize>,
+    /// FNV-1a checksum of the request's output slice.
+    pub checksum: u64,
+    /// The output slice itself, when [`ServeConfig::keep_outputs`] is set.
+    pub output: Option<Vec<i32>>,
+}
+
+impl Completion {
+    /// Queueing + service time: `finished - arrival`.
+    pub fn latency(&self) -> f64 {
+        self.finished - self.request.arrival
+    }
+
+    /// Whether the request had a deadline and missed it.
+    pub fn missed_deadline(&self) -> bool {
+        self.request.deadline.is_some_and(|d| self.finished > d)
+    }
+}
+
+/// Everything a serving window produced.
+#[derive(Debug)]
+pub struct ServeReport {
+    /// Completions in completion order (finish time, then launch order).
+    pub completions: Vec<Completion>,
+    /// Number of launches (≤ requests; the gap is coalescing).
+    pub launches: usize,
+    /// End of the fleet schedule, seconds.
+    pub makespan: f64,
+    /// The whole window as one trace: every request's nodes on the shared
+    /// resource timeline, phases prefixed per launch.
+    pub trace: Trace,
+    /// `(time, queued)` after every scheduling step, for queue-depth
+    /// metrics.
+    pub queue_samples: Vec<(f64, usize)>,
+    /// Fleet-level metrics derived from the above.
+    pub metrics: FleetMetrics,
+}
+
+struct Launch {
+    seq: usize,
+    lease: PoolLease,
+    finish: f64,
+    completions: Vec<Completion>,
+}
+
+/// The multi-tenant scheduler.
+pub struct Server {
+    config: ServeConfig,
+    device: DeviceSpec,
+    tuple: SplkTuple,
+    fabric: Fabric,
+}
+
+impl Server {
+    /// A server over `config.pool_gpus` simulated K80s on the paper's
+    /// TSUBAME-KFC fabric (enough nodes to hold the pool).
+    pub fn new(config: ServeConfig) -> Self {
+        assert!(config.pool_gpus >= 1);
+        let per_node = Fabric::tsubame_kfc(1).topology().total_gpus();
+        let fabric = Fabric::tsubame_kfc(config.pool_gpus.div_ceil(per_node));
+        Server {
+            config,
+            device: DeviceSpec::tesla_k80(),
+            tuple: SplkTuple::kepler_premises(0),
+            fabric,
+        }
+    }
+
+    /// Serve `requests` (sorted by arrival) to completion.
+    pub fn run(&self, requests: &[ServeRequest]) -> ScanResult<ServeReport> {
+        assert!(
+            requests.windows(2).all(|w| w[0].arrival <= w[1].arrival),
+            "requests must be sorted by arrival"
+        );
+        let mut pool = DevicePool::new(self.config.pool_gpus);
+        let mut fleet = FleetTimeline::new();
+        let mut queue: Vec<ServeRequest> = Vec::new();
+        let mut running: Vec<Launch> = Vec::new();
+        let mut completions: Vec<Completion> = Vec::new();
+        let mut queue_samples: Vec<(f64, usize)> = Vec::new();
+        let mut next = 0; // index into `requests`
+        let mut launches = 0usize;
+        let mut now = 0.0f64;
+
+        loop {
+            while next < requests.len() && requests[next].arrival <= now {
+                queue.push(requests[next].clone());
+                next += 1;
+            }
+
+            // Dispatch in strict policy order until the queue drains or the
+            // pool runs dry. No backfilling: a head that cannot lease
+            // blocks everything behind it (see docs/serving.md).
+            while !queue.is_empty() {
+                queue.sort_by_key(|r| self.config.policy.key(r));
+                let Some(lease) = pool.lease(queue[0].gpus_wanted) else { break };
+                let refs: Vec<&ServeRequest> = queue.iter().collect();
+                let plan = coalesce::plan(&refs, self.config.coalesce);
+                let members: Vec<ServeRequest> = plan
+                    .members
+                    .iter()
+                    .rev() // remove back-to-front so positions stay valid
+                    .map(|&pos| queue.remove(pos))
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .rev()
+                    .collect();
+                let launch =
+                    self.launch(launches, &mut fleet, lease, members, plan.g_combined, now)?;
+                launches += 1;
+                running.push(launch);
+            }
+            queue_samples.push((now, queue.len()));
+
+            // Advance the clock to the next event.
+            let next_completion =
+                running.iter().map(|l| (l.finish.to_bits(), l.seq)).min().map(|(f, _)| f);
+            let next_arrival = (next < requests.len()).then(|| requests[next].arrival);
+            now = match (next_completion, next_arrival) {
+                (None, None) => {
+                    assert!(queue.is_empty(), "idle pool with a non-empty queue");
+                    break;
+                }
+                (Some(f), None) => f64::from_bits(f),
+                (None, Some(a)) => a,
+                (Some(f), Some(a)) => f64::from_bits(f).min(a),
+            };
+
+            // Retire every launch finishing at or before the new time, in
+            // (finish, launch-sequence) order.
+            loop {
+                let done = running
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, l)| l.finish <= now)
+                    .min_by_key(|(_, l)| (l.finish.to_bits(), l.seq))
+                    .map(|(i, _)| i);
+                let Some(i) = done else { break };
+                let launch = running.remove(i);
+                pool.release(launch.lease);
+                completions.extend(launch.completions);
+            }
+        }
+
+        let makespan = fleet.makespan();
+        let (graph, schedule) = fleet.into_parts();
+        let trace = Trace::from_parts(graph, schedule);
+        let metrics = FleetMetrics::compute(
+            self.config.policy,
+            self.config.pool_gpus,
+            &completions,
+            launches,
+            makespan,
+            &trace,
+            &queue_samples,
+        );
+        Ok(ServeReport { completions, launches, makespan, trace, queue_samples, metrics })
+    }
+
+    /// Execute one (possibly coalesced) launch and admit it to the fleet.
+    fn launch(
+        &self,
+        seq: usize,
+        fleet: &mut FleetTimeline,
+        lease: PoolLease,
+        members: Vec<ServeRequest>,
+        g_combined: u32,
+        now: f64,
+    ) -> ScanResult<Launch> {
+        let head = &members[0];
+        let problem = ProblemParams::new(head.n, g_combined);
+        let mut input = Vec::with_capacity(problem.total_elems());
+        for m in &members {
+            input.extend(request_input(self.config.input_seed, m.id, m.total_elems()));
+        }
+        debug_assert_eq!(input.len(), problem.total_elems());
+
+        let leased = scan_on_lease(
+            Add,
+            self.tuple,
+            &self.device,
+            &self.fabric,
+            &lease.to_gpu_lease(),
+            problem,
+            &input,
+            ScanKind::Inclusive,
+            &PipelinePolicy::default(),
+        )?;
+
+        let prefix = if members.len() == 1 {
+            format!("r{}:", head.id)
+        } else {
+            format!("r{}+{}:", head.id, members.len() - 1)
+        };
+        let admission = fleet.admit(&leased.run.graph, now, &prefix);
+
+        let group = members.len();
+        let mut completions = Vec::with_capacity(group);
+        let mut offset = 0;
+        for m in members {
+            let len = m.total_elems();
+            let slice = &leased.data[offset..offset + len];
+            offset += len;
+            completions.push(Completion {
+                dispatched: now,
+                started: admission.start,
+                finished: admission.finish,
+                coalesced: group,
+                gpus: leased.gpus_used.clone(),
+                checksum: fnv1a(slice),
+                output: self.config.keep_outputs.then(|| slice.to_vec()),
+                request: m,
+            });
+        }
+        Ok(Launch { seq, lease, finish: admission.finish, completions })
+    }
+}
+
+/// FNV-1a over the little-endian bytes of the output values.
+fn fnv1a(values: &[i32]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for v in values {
+        for byte in v.to_le_bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::WorkloadSpec;
+    use skeletons::reference_inclusive;
+
+    fn small_workload(seed: u64, count: usize) -> Vec<ServeRequest> {
+        let mut spec = WorkloadSpec::default_for(seed, count);
+        spec.n_range = (10, 11);
+        spec.g_range = (0, 2);
+        spec.generate()
+    }
+
+    #[test]
+    fn serves_a_window_to_completion() {
+        let requests = small_workload(3, 12);
+        let server = Server::new(ServeConfig::new(Policy::Fifo, 3));
+        let report = server.run(&requests).unwrap();
+        assert_eq!(report.completions.len(), 12);
+        assert!(report.launches <= 12);
+        assert!(report.makespan > 0.0);
+        // Completion times are consistent and causal.
+        for c in &report.completions {
+            assert!(c.dispatched >= c.request.arrival);
+            assert!(c.started >= c.dispatched);
+            assert!(c.finished > c.started);
+        }
+        // Completion order is by finish time.
+        assert!(report.completions.windows(2).all(|w| w[0].finished <= w[1].finished));
+        // Every request id appears exactly once.
+        let mut ids: Vec<usize> = report.completions.iter().map(|c| c.request.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn outputs_are_correct_scans() {
+        let requests = small_workload(5, 8);
+        let mut config = ServeConfig::new(Policy::Sjf, 9);
+        config.keep_outputs = true;
+        let report = Server::new(config).run(&requests).unwrap();
+        for c in &report.completions {
+            let input = request_input(9, c.request.id, c.request.total_elems());
+            let output = c.output.as_ref().expect("keep_outputs");
+            let n = c.request.problem().problem_size();
+            for g in 0..c.request.problem().batch() {
+                let expected = reference_inclusive(Add, &input[g * n..(g + 1) * n]);
+                assert_eq!(&output[g * n..(g + 1) * n], &expected[..], "request {}", c.request.id);
+            }
+            assert_eq!(c.checksum, fnv1a(output));
+        }
+    }
+
+    #[test]
+    fn fleet_trace_covers_every_launch() {
+        let requests = small_workload(3, 10);
+        let report = Server::new(ServeConfig::new(Policy::Fifo, 3)).run(&requests).unwrap();
+        let json = report.trace.chrome_trace_json();
+        // Each launch's phases carry its prefix; spot-check the first
+        // request appears somewhere in the fleet trace.
+        assert!(json.contains("\"traceEvents\""));
+        let labels = report.trace.graph().phase_labels();
+        let launches_seen: std::collections::BTreeSet<&str> =
+            labels.iter().filter_map(|l| l.split(':').next()).collect();
+        assert_eq!(launches_seen.len(), report.launches);
+    }
+
+    #[test]
+    fn pool_contention_queues_requests() {
+        // A 1-GPU pool serialises everything: total busy time equals the
+        // sum of launch times, and some request must wait.
+        let mut requests = small_workload(3, 6);
+        for r in &mut requests {
+            r.gpus_wanted = 1;
+            r.arrival = 0.0;
+        }
+        let mut config = ServeConfig::new(Policy::Fifo, 3);
+        config.pool_gpus = 1;
+        config.coalesce = false;
+        let report = Server::new(config).run(&requests).unwrap();
+        assert_eq!(report.launches, 6);
+        let waited = report.completions.iter().filter(|c| c.dispatched > c.request.arrival).count();
+        assert!(waited >= 5, "a serial pool must queue later requests");
+        // Starts never overlap on the single GPU: sorted by start, each
+        // starts exactly when its predecessor's stream frees up.
+        let mut spans: Vec<(f64, f64)> =
+            report.completions.iter().map(|c| (c.started, c.finished)).collect();
+        spans.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for w in spans.windows(2) {
+            assert!(w[1].0 >= w[0].0, "starts are ordered");
+        }
+    }
+
+    #[test]
+    fn coalescing_reduces_launches() {
+        // Same-shape single-GPU requests arriving together must merge.
+        let requests: Vec<ServeRequest> = (0..8)
+            .map(|id| ServeRequest {
+                id,
+                arrival: 0.0,
+                n: 10,
+                g: 0,
+                gpus_wanted: 1,
+                priority: 0,
+                deadline: None,
+            })
+            .collect();
+        let mut config = ServeConfig::new(Policy::Fifo, 3);
+        config.pool_gpus = 2;
+        let report = Server::new(config.clone()).run(&requests).unwrap();
+        assert!(
+            report.launches < 8,
+            "8 identical requests on 2 GPUs must coalesce, got {} launches",
+            report.launches
+        );
+        assert!(report.metrics.coalescing_ratio > 1.0);
+
+        config.coalesce = false;
+        let solo = Server::new(config).run(&requests).unwrap();
+        assert_eq!(solo.launches, 8);
+        assert!(
+            report.makespan < solo.makespan,
+            "coalescing must beat per-request launches ({} vs {})",
+            report.makespan,
+            solo.makespan
+        );
+    }
+
+    #[test]
+    fn edf_prefers_urgent_requests() {
+        // Three same-size jobs at t=0 on one GPU; the last to arrive has
+        // the tightest deadline. EDF runs it first, FIFO last.
+        let mk = |id: usize, deadline: Option<f64>| ServeRequest {
+            id,
+            arrival: 0.0,
+            n: 11,
+            g: 1,
+            gpus_wanted: 1,
+            priority: 0,
+            deadline,
+        };
+        let requests = vec![mk(0, None), mk(1, None), mk(2, Some(1e-3))];
+        let mut config = ServeConfig::new(Policy::Edf, 3);
+        config.pool_gpus = 1;
+        config.coalesce = false;
+        let edf = Server::new(config.clone()).run(&requests).unwrap();
+        assert_eq!(edf.completions[0].request.id, 2, "EDF serves the deadline first");
+        config.policy = Policy::Fifo;
+        let fifo = Server::new(config).run(&requests).unwrap();
+        assert_eq!(fifo.completions[2].request.id, 2, "FIFO serves it last");
+    }
+
+    #[test]
+    fn partial_lease_degrades_instead_of_waiting() {
+        // One request wants 8 GPUs but the pool has 2: it runs on both.
+        let requests = vec![ServeRequest {
+            id: 0,
+            arrival: 0.0,
+            n: 12,
+            g: 2,
+            gpus_wanted: 8,
+            priority: 0,
+            deadline: None,
+        }];
+        let mut config = ServeConfig::new(Policy::Fifo, 3);
+        config.pool_gpus = 2;
+        let report = Server::new(config).run(&requests).unwrap();
+        assert_eq!(report.completions[0].gpus, vec![0, 1]);
+    }
+}

@@ -1,0 +1,287 @@
+//! Workload sources: a seeded generator and a JSON trace reader.
+//!
+//! Both produce the same thing — a list of [`ServeRequest`]s sorted by
+//! arrival time — so the server never knows where its workload came from.
+//! The generator is bit-deterministic from its seed (the vendored
+//! SplitMix64 `StdRng`), which is what lets golden snapshots pin a whole
+//! serving window.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::json::Json;
+use crate::request::ServeRequest;
+
+/// Parameters of the seeded workload generator.
+///
+/// Arrival gaps are drawn in whole microseconds so arrival times are exact
+/// binary fractions of small integers — summing them is deterministic and
+/// prints round in traces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Generator seed.
+    pub seed: u64,
+    /// Number of requests.
+    pub requests: usize,
+    /// Mean inter-arrival gap in microseconds (gaps are uniform on
+    /// `0..=2·mean`, so the mean is exact).
+    pub mean_gap_us: u64,
+    /// Inclusive range of `n` (log2 problem size).
+    pub n_range: (u32, u32),
+    /// Inclusive range of `g` (log2 batch).
+    pub g_range: (u32, u32),
+    /// GPUs wanted is `2^k` with `k` uniform on `0..=log2(max_gpus)`.
+    pub max_gpus: usize,
+    /// Fraction of requests (out of 256) that carry a deadline.
+    pub deadline_per_256: u32,
+    /// Deadline slack in microseconds past arrival, uniform on this
+    /// inclusive range.
+    pub slack_us: (u64, u64),
+    /// Fraction of draws (out of 256) that open a *burst*: one tenant
+    /// submitting [`WorkloadSpec::burst_len`] single-GPU requests of one
+    /// shape back-to-back (gaps ≤ 1 µs) — the batch-submission pattern the
+    /// coalescer exists for.
+    pub burst_per_256: u32,
+    /// Requests per burst (the opener included).
+    pub burst_len: usize,
+}
+
+impl WorkloadSpec {
+    /// The pinned default: single-node pool, small scans (the regime where
+    /// coalescing matters), one request in four carrying a deadline. The
+    /// mean gap oversubscribes the default 8-GPU pool so queues form (and
+    /// policies actually reorder work), and roughly one draw in five opens
+    /// a four-request burst that gives the coalescer adjacent compatible
+    /// shapes.
+    pub fn default_for(seed: u64, requests: usize) -> Self {
+        WorkloadSpec {
+            seed,
+            requests,
+            mean_gap_us: 5,
+            n_range: (10, 12),
+            g_range: (0, 3),
+            max_gpus: 4,
+            deadline_per_256: 64,
+            slack_us: (40, 400),
+            burst_per_256: 48,
+            burst_len: 4,
+        }
+    }
+
+    /// Generate the request list, sorted by `(arrival, id)`.
+    pub fn generate(&self) -> Vec<ServeRequest> {
+        assert!(self.max_gpus.is_power_of_two(), "max_gpus must be a power of two");
+        assert!(self.n_range.0 <= self.n_range.1 && self.g_range.0 <= self.g_range.1);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let gpu_pow = self.max_gpus.trailing_zeros();
+        let mut arrival_us: u64 = 0;
+        let mut out: Vec<ServeRequest> = Vec::with_capacity(self.requests);
+        while out.len() < self.requests {
+            arrival_us += rng.gen_range(0..=2 * self.mean_gap_us);
+            let n = rng.gen_range(self.n_range.0..=self.n_range.1);
+            if self.burst_len > 1 && rng.gen_range(0..256u32) < self.burst_per_256 {
+                // One tenant's batch submission: identical small single-GPU
+                // shapes, one priority, back-to-back arrivals. Equal `g`
+                // keeps every prefix's batch sum a power of two, so the
+                // coalescer can absorb the whole burst.
+                let g = rng.gen_range(self.g_range.0..=self.g_range.1).min(1);
+                let priority = rng.gen_range(0..4u64) as u8;
+                for i in 0..self.burst_len {
+                    if out.len() == self.requests {
+                        break;
+                    }
+                    if i > 0 {
+                        arrival_us += rng.gen_range(0..=1);
+                    }
+                    out.push(ServeRequest {
+                        id: out.len(),
+                        arrival: us_to_s(arrival_us),
+                        n,
+                        g,
+                        gpus_wanted: 1,
+                        priority,
+                        deadline: None,
+                    });
+                }
+            } else {
+                let g = rng.gen_range(self.g_range.0..=self.g_range.1);
+                let gpus_wanted = 1usize << rng.gen_range(0..=gpu_pow);
+                let priority = rng.gen_range(0..4u64) as u8;
+                let deadline = if rng.gen_range(0..256u32) < self.deadline_per_256 {
+                    let slack = rng.gen_range(self.slack_us.0..=self.slack_us.1);
+                    Some(us_to_s(arrival_us + slack))
+                } else {
+                    None
+                };
+                out.push(ServeRequest {
+                    id: out.len(),
+                    arrival: us_to_s(arrival_us),
+                    n,
+                    g,
+                    gpus_wanted,
+                    priority,
+                    deadline,
+                });
+            }
+        }
+        out
+    }
+}
+
+fn us_to_s(us: u64) -> f64 {
+    us as f64 * 1e-6
+}
+
+/// Deterministic per-request input data: the values each tenant "uploads".
+///
+/// Seeded by `(workload seed, request id)` so a request's input is the same
+/// whether it runs alone or inside a coalesced batch — the bit-identity
+/// property tests depend on this.
+pub fn request_input(seed: u64, id: usize, len: usize) -> Vec<i32> {
+    let mut rng = StdRng::seed_from_u64(seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    (0..len).map(|_| rng.gen_range(-100..=100)).collect()
+}
+
+/// Read a request trace from JSON.
+///
+/// Format — one object with a `requests` array; each entry carries
+/// `arrival` (seconds), `n`, `g`, and optionally `gpus` (default 1),
+/// `priority` (default 0) and `deadline` (absolute seconds):
+///
+/// ```json
+/// {"requests": [
+///   {"arrival": 0.0,    "n": 12, "g": 2, "gpus": 1},
+///   {"arrival": 0.0015, "n": 10, "g": 0, "gpus": 4, "deadline": 0.25}
+/// ]}
+/// ```
+///
+/// Ids are assigned by position. Entries must be sorted by arrival.
+pub fn requests_from_json(text: &str) -> Result<Vec<ServeRequest>, String> {
+    let doc = Json::parse(text)?;
+    let entries = doc
+        .get("requests")
+        .and_then(Json::as_array)
+        .ok_or("trace must be an object with a \"requests\" array")?;
+    let mut out = Vec::with_capacity(entries.len());
+    for (id, entry) in entries.iter().enumerate() {
+        let field = |key: &str| entry.get(key).ok_or(format!("request {id}: missing \"{key}\""));
+        let num = |key: &str| {
+            field(key)?.as_f64().ok_or(format!("request {id}: \"{key}\" must be a number"))
+        };
+        let int = |key: &str| {
+            field(key)?.as_usize().ok_or(format!("request {id}: \"{key}\" must be an integer"))
+        };
+        let arrival = num("arrival")?;
+        if !(arrival.is_finite() && arrival >= 0.0) {
+            return Err(format!("request {id}: bad arrival {arrival}"));
+        }
+        let opt_int = |key: &str| match entry.get(key) {
+            None => Ok(None),
+            Some(v) => {
+                v.as_usize().map(Some).ok_or(format!("request {id}: \"{key}\" must be an integer"))
+            }
+        };
+        let deadline = match entry.get("deadline") {
+            None | Some(Json::Null) => None,
+            Some(v) => {
+                Some(v.as_f64().ok_or(format!("request {id}: \"deadline\" must be a number"))?)
+            }
+        };
+        out.push(ServeRequest {
+            id,
+            arrival,
+            n: int("n")? as u32,
+            g: int("g")? as u32,
+            gpus_wanted: opt_int("gpus")?.unwrap_or(1),
+            priority: opt_int("priority")?.unwrap_or(0) as u8,
+            deadline,
+        });
+    }
+    for pair in out.windows(2) {
+        if pair[1].arrival < pair[0].arrival {
+            return Err(format!(
+                "trace not sorted by arrival: request {} at {} after {} at {}",
+                pair[1].id, pair[1].arrival, pair[0].id, pair[0].arrival
+            ));
+        }
+    }
+    Ok(out)
+}
+
+/// Render requests back to the JSON trace format (round-trips through
+/// [`requests_from_json`]).
+pub fn requests_to_json(requests: &[ServeRequest]) -> String {
+    let mut out = String::from("{\"requests\": [\n");
+    for (i, r) in requests.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"arrival\": {}, \"n\": {}, \"g\": {}, \"gpus\": {}, \"priority\": {}",
+            r.arrival, r.n, r.g, r.gpus_wanted, r.priority
+        ));
+        if let Some(d) = r.deadline {
+            out.push_str(&format!(", \"deadline\": {d}"));
+        }
+        out.push('}');
+        if i + 1 < requests.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_deterministic_and_sorted() {
+        let spec = WorkloadSpec::default_for(7, 50);
+        let a = spec.generate();
+        let b = spec.generate();
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        assert!(a.iter().all(|r| r.gpus_wanted.is_power_of_two() && r.gpus_wanted <= 4));
+        assert!(a.iter().all(|r| (10..=13).contains(&r.n) && r.g <= 3));
+        assert_ne!(a, WorkloadSpec::default_for(8, 50).generate());
+    }
+
+    #[test]
+    fn some_requests_carry_deadlines() {
+        let reqs = WorkloadSpec::default_for(7, 200).generate();
+        let with = reqs.iter().filter(|r| r.deadline.is_some()).count();
+        assert!(with > 10 && with < 190, "~1/4 of requests have deadlines, got {with}");
+        assert!(reqs.iter().filter_map(|r| r.deadline.map(|d| (r.arrival, d))).all(|(a, d)| d > a));
+    }
+
+    #[test]
+    fn request_input_is_stable_per_id() {
+        assert_eq!(request_input(7, 3, 64), request_input(7, 3, 64));
+        assert_ne!(request_input(7, 3, 64), request_input(7, 4, 64));
+        // A prefix of a longer draw equals the shorter draw (same stream).
+        assert_eq!(request_input(7, 3, 128)[..64], request_input(7, 3, 64)[..]);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let reqs = WorkloadSpec::default_for(11, 20).generate();
+        let parsed = requests_from_json(&requests_to_json(&reqs)).unwrap();
+        assert_eq!(parsed, reqs);
+    }
+
+    #[test]
+    fn json_defaults_and_errors() {
+        let ok =
+            requests_from_json(r#"{"requests": [{"arrival": 0.5, "n": 11, "g": 1}]}"#).unwrap();
+        assert_eq!(ok[0].gpus_wanted, 1);
+        assert_eq!(ok[0].priority, 0);
+        assert_eq!(ok[0].deadline, None);
+        assert!(requests_from_json("[]").is_err());
+        assert!(requests_from_json(r#"{"requests": [{"n": 11, "g": 1}]}"#).is_err());
+        let unsorted = r#"{"requests": [
+            {"arrival": 1.0, "n": 11, "g": 1},
+            {"arrival": 0.5, "n": 11, "g": 1}
+        ]}"#;
+        assert!(requests_from_json(unsorted).unwrap_err().contains("not sorted"));
+    }
+}

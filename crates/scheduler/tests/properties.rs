@@ -1,0 +1,121 @@
+//! Property tests of the serving layer (proptest): determinism,
+//! coalescing bit-identity, and EDF's feasibility guarantee.
+
+use proptest::prelude::*;
+use scan_serve::{Policy, ServeConfig, ServeRequest, Server, WorkloadSpec};
+
+/// A small-but-contended workload: sizes stay tiny so every proptest case
+/// runs in microseconds of wall-clock, while the dense arrivals keep the
+/// pool oversubscribed enough that queues (and thus policies and
+/// coalescing) actually matter.
+fn workload(seed: u64, requests: usize) -> Vec<ServeRequest> {
+    let mut spec = WorkloadSpec::default_for(seed, requests);
+    spec.n_range = (10, 11);
+    spec.g_range = (0, 2);
+    spec.mean_gap_us = 3;
+    spec.generate()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Same seed and workload ⇒ bit-identical completion order, times,
+    /// checksums and makespan — across policies and pool sizes.
+    #[test]
+    fn same_seed_is_bit_identical(
+        seed in 0u64..1_000,
+        policy_sel in 0usize..3,
+        pool in prop::sample::select(vec![1usize, 2, 4, 8]),
+    ) {
+        let requests = workload(seed, 14);
+        let mut config = ServeConfig::new(Policy::all()[policy_sel], seed);
+        config.pool_gpus = pool;
+        let a = Server::new(config.clone()).run(&requests).unwrap();
+        let b = Server::new(config).run(&requests).unwrap();
+
+        prop_assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+        prop_assert_eq!(a.launches, b.launches);
+        prop_assert_eq!(a.completions.len(), b.completions.len());
+        for (x, y) in a.completions.iter().zip(&b.completions) {
+            prop_assert_eq!(x.request.id, y.request.id);
+            prop_assert_eq!(x.finished.to_bits(), y.finished.to_bits());
+            prop_assert_eq!(x.started.to_bits(), y.started.to_bits());
+            prop_assert_eq!(x.checksum, y.checksum);
+        }
+        prop_assert_eq!(&a.metrics, &b.metrics);
+    }
+
+    /// Every coalesced batch's outputs are bit-identical to serving each
+    /// member alone: switching the coalescer off changes timing, never a
+    /// single output bit.
+    #[test]
+    fn coalesced_outputs_match_isolated_runs(
+        seed in 0u64..1_000,
+        policy_sel in 0usize..3,
+    ) {
+        let requests = workload(seed, 12);
+        let mut config = ServeConfig::new(Policy::all()[policy_sel], seed ^ 0xABCD);
+        config.pool_gpus = 2; // contention -> deep queues -> coalescing
+        config.keep_outputs = true;
+        let merged = Server::new(config.clone()).run(&requests).unwrap();
+        config.coalesce = false;
+        let isolated = Server::new(config).run(&requests).unwrap();
+
+        prop_assert_eq!(isolated.launches, requests.len());
+        let solo_out = |id: usize| {
+            isolated
+                .completions
+                .iter()
+                .find(|c| c.request.id == id)
+                .and_then(|c| c.output.clone())
+                .expect("isolated run keeps outputs")
+        };
+        for c in &merged.completions {
+            prop_assert_eq!(
+                c.output.as_ref().expect("merged run keeps outputs"),
+                &solo_out(c.request.id),
+                "request {} (coalesced into a group of {})",
+                c.request.id,
+                c.coalesced
+            );
+        }
+    }
+
+    /// EDF's guarantee (uniform service times, one GPU, no coalescing —
+    /// the regime where non-preemptive EDF is optimal): whenever FIFO
+    /// meets every deadline, EDF does too.
+    #[test]
+    fn edf_meets_every_feasible_deadline_set(
+        seed in 0u64..400,
+        slack_lo in 20u64..120,
+    ) {
+        let mut spec = WorkloadSpec::default_for(seed, 10);
+        spec.n_range = (10, 10); // uniform shape -> uniform service time
+        spec.g_range = (1, 1);
+        spec.max_gpus = 1;
+        spec.burst_per_256 = 0; // bursts would vary the shape
+        spec.mean_gap_us = 8;
+        spec.deadline_per_256 = 128;
+        spec.slack_us = (slack_lo, slack_lo + 300);
+        let requests = spec.generate();
+
+        let mut config = ServeConfig::new(Policy::Fifo, seed);
+        config.pool_gpus = 1;
+        config.coalesce = false;
+        let fifo = Server::new(config.clone()).run(&requests).unwrap();
+        config.policy = Policy::Edf;
+        let edf = Server::new(config).run(&requests).unwrap();
+
+        let misses = |r: &scan_serve::ServeReport| {
+            r.completions.iter().filter(|c| c.missed_deadline()).count()
+        };
+        if misses(&fifo) == 0 {
+            prop_assert_eq!(
+                misses(&edf),
+                0,
+                "FIFO met every deadline but EDF missed one (seed {})",
+                seed
+            );
+        }
+    }
+}

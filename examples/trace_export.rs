@@ -4,10 +4,11 @@
 //! critical-path reports.
 //!
 //! ```sh
-//! cargo run --release --example trace_export
+//! cargo run --release --example trace_export [-- OUT_DIR]
 //! ```
 //!
-//! Load the written `scan_mps_w4.trace.json` in `chrome://tracing` or
+//! Traces land in `OUT_DIR` (default `target/traces`). Load the written
+//! `scan_mps_w4.trace.json` in `chrome://tracing` or
 //! <https://ui.perfetto.dev>: one track per GPU stream and PCIe network,
 //! one slice per execution-graph node, with phase labels, byte counts and
 //! achieved-bandwidth figures in each slice's args.
@@ -16,6 +17,9 @@ use multigpu_scan::prelude::*;
 use multigpu_scan::scan::verify::verify_batch;
 
 fn main() {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| "target/traces".into());
+    std::fs::create_dir_all(&dir).expect("create trace dir");
+
     // Fig. 9's W=4 configuration: 4 problems of 8192 elements, every
     // problem split across all four GPUs of the node.
     let problem = ProblemParams::new(13, 2);
@@ -32,8 +36,8 @@ fn main() {
 
     let handle = out.trace.as_ref().expect("tracing was requested");
 
-    let path = "scan_mps_w4.trace.json";
-    handle.write_chrome_trace(path).expect("write trace");
+    let path = format!("{dir}/scan_mps_w4.trace.json");
+    handle.write_chrome_trace(&path).expect("write trace");
     println!("wrote {path} — load it in chrome://tracing or ui.perfetto.dev\n");
 
     // Where did the makespan go? Per-resource busy time and utilization...
@@ -64,8 +68,8 @@ fn main() {
         .expect("faulted scan failed");
     assert_eq!(faulted.data, out.data, "faults change timing, never data");
 
-    let path = "scan_mps_w4_recovery.trace.json";
-    faulted.trace.as_ref().unwrap().write_chrome_trace(path).expect("write trace");
+    let path = format!("{dir}/scan_mps_w4_recovery.trace.json");
+    faulted.trace.as_ref().unwrap().write_chrome_trace(&path).expect("write trace");
     let report = faulted.faults.as_ref().unwrap();
     println!(
         "\nwrote {path} — {} replan(s), {} event(s) recorded",

@@ -13,6 +13,7 @@
 //! * [`fabric`] — the interconnect model (`interconnect`);
 //! * [`kernels`] — scan skeletons (`skeletons`);
 //! * [`scan`] — the paper's proposals (`scan-core`);
+//! * [`serve`] — the multi-tenant serving layer (`scan-serve`);
 //! * [`competitors`] — CUDPP/Thrust/ModernGPU/CUB/LightScan (`baselines`).
 //!
 //! The unified builder [`ScanRequest`] fronts every proposal, fault plan
@@ -25,6 +26,7 @@ pub use baselines as competitors;
 pub use gpu_sim as sim;
 pub use interconnect as fabric;
 pub use scan_core as scan;
+pub use scan_serve as serve;
 pub use skeletons as kernels;
 
 // The unified entry point, flat at the crate root: most callers need
@@ -45,5 +47,6 @@ pub mod prelude {
         scan_sp_faulted, FaultyScanOutput, NodeConfig, PipelinePolicy, ProblemParams, Proposal,
         ScanRequest, TraceHandle, TraceOptions,
     };
+    pub use scan_serve::{Policy, ServeConfig, ServeRequest, Server, WorkloadSpec};
     pub use skeletons::{Add, Max, Min, Mul, ScanOp, SplkTuple};
 }

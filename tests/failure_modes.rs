@@ -209,3 +209,26 @@ fn case1_requires_enough_problems() {
         Err(ScanError::InvalidConfig(_))
     ));
 }
+
+#[test]
+fn duplicate_device_ids_are_invalid_config() {
+    // A devices list naming the same GPU twice must be rejected up front
+    // (InvalidConfig, never a panic deep in the lease planner).
+    let problem = ProblemParams::new(12, 1);
+    let input = vec![1i32; problem.total_elems()];
+    let err = ScanRequest::new(Add, problem)
+        .proposal(Proposal::Mps)
+        .device_ids(&[0, 1, 1, 2])
+        .run(&input)
+        .unwrap_err();
+    match err {
+        ScanError::InvalidConfig(msg) => assert!(msg.contains("duplicate GPU id 1"), "{msg}"),
+        other => panic!("unexpected {other:?}"),
+    }
+    // The valid twin of the same request runs.
+    assert!(ScanRequest::new(Add, problem)
+        .proposal(Proposal::Mps)
+        .device_ids(&[0, 1, 2, 3])
+        .run(&input)
+        .is_ok());
+}

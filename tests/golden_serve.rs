@@ -1,0 +1,124 @@
+//! Golden serving-window regression tests: one pinned workload per policy,
+//! snapshotted completion by completion with every time as f64 hex bits.
+//! Any change to the scheduler, the coalescer, the fleet timeline, or the
+//! cost model shows up as a byte-level diff here.
+//!
+//! To regenerate after an intentional model change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_serve
+//! ```
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use multigpu_scan::prelude::*;
+use multigpu_scan::serve::ServeReport;
+
+/// The acceptance workload: seed 7, with a request count small enough to
+/// keep the snapshot reviewable but large enough to queue, coalesce and
+/// carry deadlines.
+fn pinned_workload() -> Vec<multigpu_scan::serve::ServeRequest> {
+    WorkloadSpec::default_for(7, 60).generate()
+}
+
+fn snapshot(label: &str, report: &ServeReport) -> String {
+    let mut out = String::new();
+    writeln!(out, "# {label}").unwrap();
+    writeln!(out, "# requests: {}  launches: {}", report.completions.len(), report.launches)
+        .unwrap();
+    for c in &report.completions {
+        writeln!(
+            out,
+            "request {} arrival={:016x} dispatched={:016x} started={:016x} finished={:016x} \
+             group={} gpus={:?} checksum={:016x}",
+            c.request.id,
+            c.request.arrival.to_bits(),
+            c.dispatched.to_bits(),
+            c.started.to_bits(),
+            c.finished.to_bits(),
+            c.coalesced,
+            c.gpus,
+            c.checksum,
+        )
+        .unwrap();
+    }
+    writeln!(out, "makespan={:016x}", report.makespan.to_bits()).unwrap();
+    writeln!(out, "coalescing_ratio={:016x}", report.metrics.coalescing_ratio.to_bits()).unwrap();
+    writeln!(out, "p99_latency={:016x}", report.metrics.p99_latency.to_bits()).unwrap();
+    writeln!(
+        out,
+        "deadlines {}/{} missed",
+        report.metrics.deadline_misses, report.metrics.deadline_total
+    )
+    .unwrap();
+    out
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(format!("{name}.txt"))
+}
+
+/// Compare against the stored snapshot, or rewrite it under
+/// `UPDATE_GOLDEN=1`. On mismatch, report the first differing line.
+fn check(name: &str, rendered: String) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, rendered).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden snapshot {path:?} ({e}); run with UPDATE_GOLDEN=1 to create it")
+    });
+    if golden == rendered {
+        return;
+    }
+    for (ln, (want, got)) in golden.lines().zip(rendered.lines()).enumerate() {
+        assert_eq!(
+            want,
+            got,
+            "serving window `{name}` diverges from {path:?} at line {} \
+             (run with UPDATE_GOLDEN=1 if the change is intentional)",
+            ln + 1
+        );
+    }
+    assert_eq!(
+        golden.lines().count(),
+        rendered.lines().count(),
+        "serving window `{name}` has a different completion count than {path:?}"
+    );
+}
+
+#[test]
+fn serving_windows_are_stable_per_policy() {
+    let requests = pinned_workload();
+    for policy in Policy::all() {
+        let report = Server::new(ServeConfig::new(policy, 7)).run(&requests).unwrap();
+        check(
+            &format!("serve_{}_seed7", policy.name()),
+            snapshot(
+                &format!("scan-serve window: policy={} seed=7 60 requests", policy.name()),
+                &report,
+            ),
+        );
+    }
+}
+
+/// The fleet trace of the FIFO window is pinned too (same idiom as the
+/// `trace_*` goldens): phases, tracks and slice timings all byte-stable.
+#[test]
+fn serve_fleet_trace_is_stable() {
+    let requests = pinned_workload();
+    let report = Server::new(ServeConfig::new(Policy::Fifo, 7)).run(&requests).unwrap();
+    let json = report.trace.chrome_trace_json();
+    let path = golden_path("trace_serve_fifo_seed7").with_extension("json");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &json).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden trace {path:?} ({e}); run with UPDATE_GOLDEN=1 to create it")
+    });
+    assert_eq!(golden, json, "fleet trace diverges from {path:?}");
+}
