@@ -7,8 +7,14 @@
 //!         [CMD...]
 //!
 //! CMD: table3 fig1 fig9 fig10 fig11 fig12 fig13 fig14 mw-sweep k-sweep
-//!      ablations trace serve bench-scan all (default: all)
+//!      ablations trace serve bench-scan self all (default: all)
 //! ```
+//!
+//! `self` benchmarks the *simulator itself*: wall-clock throughput of the
+//! serving engine fast path (event-heap scheduler + plan cache + parallel
+//! block simulation) against the retained slow path (reference O(n²)
+//! scheduler, no cache, serial blocks), asserts both produce bit-identical
+//! results, and writes `BENCH_wall.json` to `--out`. See `docs/perf.md`.
 //!
 //! `trace` exports Chrome-trace JSON (`*.trace.json`, loadable in
 //! `chrome://tracing` or Perfetto) for the Fig. 9 Scan-MPS configurations
@@ -87,7 +93,7 @@ fn main() {
                      [--seed N] [--requests N] [--policy fifo|sjf|edf|all] [--pool-gpus N] \
                      [--no-coalesce] [--out DIR] [--workload FILE] \
                      [table3 fig1 fig9 fig10 fig11 fig12 fig13 fig14 mw-sweep k-sweep ablations \
-                     trace serve bench-scan all]"
+                     trace serve bench-scan self all]"
                 );
                 return;
             }
@@ -120,6 +126,7 @@ fn main() {
             "trace" => trace_export(&trace_dir),
             "serve" => serve(&serve_opts, &trace_dir),
             "bench-scan" => bench_scan(&serve_opts.out),
+            "self" => bench_self(&serve_opts),
             "all" => {
                 table3();
                 fig1();
@@ -459,6 +466,207 @@ fn bench_scan(out: &str) {
     );
     std::fs::write(&path, json).expect("write BENCH_scan.json");
     println!("wrote {path}\n");
+}
+
+/// Wall-clock self-benchmark of the serving engine's fast path.
+///
+/// Runs the same seeded workload through the fast path (event-heap
+/// scheduler, plan cache, parallel block simulation — all defaults) and
+/// the retained slow path (reference O(n²) list scheduler, cache off,
+/// blocks forced serial), asserts the two windows are bit-identical, then
+/// times the scheduler alone on a ~20k-node synthetic layered DAG. Writes
+/// `BENCH_wall.json` to `--out`; the committed copy at the repo root is
+/// the CI baseline (the perf-smoke job fails below 0.5x of it).
+///
+/// Wall-clock seconds vary across machines and runs — only the *outputs*
+/// are deterministic, so the JSON is a baseline for ratio gates, not a
+/// byte-stable golden.
+fn bench_self(opts: &ServeOpts) {
+    use interconnect::reference_schedule;
+    use scan_serve::{Policy, ServeConfig, Server, WorkloadSpec};
+    use std::time::Instant;
+
+    println!(
+        "## bench self — {} requests, seed {}: fast path vs retained slow path",
+        opts.requests, opts.seed
+    );
+    let requests = WorkloadSpec::default_for(opts.seed, opts.requests).generate();
+
+    // Fast path: every default (heap scheduler, plan cache, parallel blocks).
+    let t = Instant::now();
+    let fast =
+        Server::new(ServeConfig::new(Policy::Fifo, opts.seed)).run(&requests).expect("fast serve");
+    let fast_s = t.elapsed().as_secs_f64();
+
+    // Steady state: the same window on a warmed server — plan cache and
+    // response memo populated, which is how a long-lived serving engine
+    // actually runs.
+    let warmed = Server::new(ServeConfig::new(Policy::Fifo, opts.seed));
+    warmed.run(&requests).expect("warmup serve");
+    let t = Instant::now();
+    let steady = warmed.run(&requests).expect("steady serve");
+    let steady_s = t.elapsed().as_secs_f64();
+
+    // Slow path: the retained references, for both the baseline timing and
+    // the bit-identity oracle.
+    let mut slow_cfg = ServeConfig::new(Policy::Fifo, opts.seed);
+    slow_cfg.plan_cache = false;
+    slow_cfg.reference_timings = true;
+    gpu_sim::force_serial_blocks(true);
+    let t = Instant::now();
+    let slow = Server::new(slow_cfg).run(&requests).expect("slow serve");
+    let slow_s = t.elapsed().as_secs_f64();
+    gpu_sim::force_serial_blocks(false);
+
+    assert_eq!(fast.completions.len(), slow.completions.len());
+    assert_eq!(
+        fast.makespan.to_bits(),
+        slow.makespan.to_bits(),
+        "fast and slow paths must produce the same fleet schedule"
+    );
+    for (a, b) in fast.completions.iter().zip(&slow.completions) {
+        assert_eq!(a.request.id, b.request.id, "completion order must match");
+        assert_eq!(a.checksum, b.checksum, "request {} output differs", a.request.id);
+        assert_eq!(a.finished.to_bits(), b.finished.to_bits(), "request {} timing", a.request.id);
+    }
+    assert_eq!(steady.completions.len(), slow.completions.len());
+    assert_eq!(steady.makespan.to_bits(), slow.makespan.to_bits());
+    for (a, b) in steady.completions.iter().zip(&slow.completions) {
+        assert_eq!(a.request.id, b.request.id, "steady completion order must match");
+        assert_eq!(a.checksum, b.checksum, "steady request {} output differs", a.request.id);
+        assert_eq!(a.finished.to_bits(), b.finished.to_bits(), "steady request {}", a.request.id);
+    }
+
+    let fast_rps = requests.len() as f64 / fast_s;
+    let slow_rps = requests.len() as f64 / slow_s;
+    let steady_rps = requests.len() as f64 / steady_s;
+    let serve_speedup = slow_s / fast_s;
+    let steady_speedup = slow_s / steady_s;
+    let stats = fast.cache_stats;
+    let responses = warmed.response_stats();
+    let hit_rate = stats.hits as f64 / (stats.hits + stats.misses).max(1) as f64;
+    println!("  serve cold  : {fast_s:>8.3} s  ({fast_rps:>9.1} req/s)  {serve_speedup:>6.2}x");
+    println!(
+        "  serve steady: {steady_s:>8.3} s  ({steady_rps:>9.1} req/s)  {steady_speedup:>6.2}x"
+    );
+    println!("  serve slow  : {slow_s:>8.3} s  ({slow_rps:>9.1} req/s)   1.00x  (pre-PR engine)");
+    println!("  (all three windows bit-identical)");
+    println!(
+        "  plan cache : {} hits / {} misses ({:.1}% hit rate), {} entries",
+        stats.hits,
+        stats.misses,
+        hit_rate * 100.0,
+        stats.entries
+    );
+    println!(
+        "  responses  : {} of {} served from the memo on the steady window",
+        responses.served,
+        requests.len()
+    );
+
+    // Scheduler alone: one wide layered DAG with contended streams, the
+    // shape that separates O(n log n) from O(n²).
+    let graph = synthetic_layered_dag(20_000, 2_000);
+    let nodes = graph.nodes().len();
+    let t = Instant::now();
+    let heap = graph.schedule();
+    let heap_s = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let reference = reference_schedule(&graph);
+    let reference_s = t.elapsed().as_secs_f64();
+    assert_eq!(
+        heap.makespan.to_bits(),
+        reference.makespan.to_bits(),
+        "heap and reference schedules must agree"
+    );
+    assert!(heap.start.iter().zip(&reference.start).all(|(a, b)| a.to_bits() == b.to_bits()));
+
+    let heap_nps = nodes as f64 / heap_s;
+    let reference_nps = nodes as f64 / reference_s;
+    let schedule_speedup = reference_s / heap_s;
+    println!("  schedule heap      : {heap_s:>8.3} s  ({heap_nps:>12.0} nodes/s)");
+    println!("  schedule reference : {reference_s:>8.3} s  ({reference_nps:>12.0} nodes/s)");
+    println!("  speedup            : {schedule_speedup:>8.2}x  ({nodes} nodes)");
+
+    std::fs::create_dir_all(&opts.out).expect("create --out dir");
+    let path = format!("{}/BENCH_wall.json", opts.out);
+    let json = format!(
+        "{{\n  \"seed\": {},\n  \"requests\": {},\n  \"serve\": {{\n    \"fast_s\": {:.6},\n    \
+         \"steady_s\": {:.6},\n    \"slow_s\": {:.6},\n    \"fast_rps\": {:.3},\n    \
+         \"steady_rps\": {:.3},\n    \"slow_rps\": {:.3},\n    \"speedup\": {:.3},\n    \
+         \"steady_speedup\": {:.3}\n  }},\n  \"schedule\": {{\n    \"nodes\": {},\n    \
+         \"heap_s\": {:.6},\n    \"reference_s\": {:.6},\n    \"heap_nodes_per_s\": {:.1},\n    \
+         \"reference_nodes_per_s\": {:.1},\n    \"speedup\": {:.3}\n  }},\n  \"cache\": {{\n    \
+         \"hits\": {},\n    \"misses\": {},\n    \"hit_rate\": {:.4},\n    \
+         \"responses_served\": {}\n  }}\n}}\n",
+        opts.seed,
+        requests.len(),
+        fast_s,
+        steady_s,
+        slow_s,
+        fast_rps,
+        steady_rps,
+        slow_rps,
+        serve_speedup,
+        steady_speedup,
+        nodes,
+        heap_s,
+        reference_s,
+        heap_nps,
+        reference_nps,
+        schedule_speedup,
+        stats.hits,
+        stats.misses,
+        hit_rate,
+        responses.served,
+    );
+    std::fs::write(&path, json).expect("write BENCH_wall.json");
+    println!("wrote {path}\n");
+}
+
+/// A deterministic wide layered DAG: `width` nodes per layer, each
+/// depending on two nodes of the previous layer, 16 contended stream
+/// resources. Durations come from a fixed LCG so the graph (and both
+/// schedules of it) are identical on every run.
+fn synthetic_layered_dag(nodes: usize, width: usize) -> interconnect::ExecGraph {
+    use gpu_sim::EventKind;
+    use interconnect::{ExecGraph, NodeId, Resource};
+
+    let mut g = ExecGraph::new();
+    let mut state = 0x243F_6A88_85A3_08D3u64;
+    let mut rng = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as f64 / (1u64 << 31) as f64
+    };
+    let mut prev: Vec<NodeId> = Vec::new();
+    let mut made = 0;
+    let mut layer = 0usize;
+    while made < nodes {
+        let w = width.min(nodes - made);
+        let label = format!("layer{layer}");
+        let p = g.phase(&label);
+        let cur: Vec<NodeId> = (0..w)
+            .map(|j| {
+                let deps: Vec<NodeId> = if prev.is_empty() {
+                    Vec::new()
+                } else {
+                    vec![prev[j % prev.len()], prev[(j * 7 + 3) % prev.len()]]
+                };
+                g.add(
+                    p,
+                    &label,
+                    EventKind::Kernel,
+                    1.0e-6 + rng() * 1.0e-4,
+                    &deps,
+                    &[Resource::Stream { gpu: j % 8, stream: (j / 8) % 2 }],
+                )
+            })
+            .collect();
+        made += w;
+        prev = cur;
+        layer += 1;
+    }
+    g
 }
 
 /// Counter-level ablations of the §3.1 design choices.

@@ -1,0 +1,675 @@
+//! Plan/graph caching: the serving engine's fast path.
+//!
+//! A scan's *shape* — proposal, problem size, `(s, p, l, K)` tuple, lease,
+//! pipeline policy and element width — fully determines its execution
+//! graph, cost counters, timeline and makespan: the simulator's cost model
+//! is data-independent (durations derive from shape-driven instruction and
+//! transaction counts, never from element values). A serving window
+//! re-submits the same handful of shapes hundreds of times, so rebuilding
+//! and functionally re-executing the pipeline per request is almost pure
+//! redundancy.
+//!
+//! [`PlanCache`] memoizes the built [`PipelineRun`]/[`RunReport`] per
+//! [`CacheKey`]. On a hit the cached graph is replayed and the functional
+//! result is produced by the CPU reference scan — which the simulated
+//! pipelines match exactly (pinned by `verify_batch` and the serving bit-
+//! identity tests). Each entry self-validates on its cold miss: the
+//! simulated output is compared against the reference, and an entry whose
+//! operator does not reproduce the reference bit-for-bit is marked
+//! non-replayable and never serves a hit, so cached and cold outputs are
+//! always bit-identical.
+//!
+//! Keying rules:
+//! * everything the cost model can see is in the key — proposal tag,
+//!   problem `(n, g)`, tuple, scan kind, element width, pipeline policy
+//!   and the device selection (`(W, V, Y, M)`, or a lease's *topological
+//!   shape*: width plus pairwise link classes — raw GPU ids and stream
+//!   ids are remapped on hit, not keyed, so a pool that grants `[2, 3]`
+//!   reuses the plan built on `[0, 1]`);
+//! * the device spec and fabric are folded in *exactly* ([`DeviceKey`],
+//!   [`FabricKey`]: every limit and rate, floats by bit pattern), so two
+//!   clusters that differ in any modelled parameter never share a plan;
+//! * a run under an active `FaultPlan` must **bypass** the cache entirely
+//!   (faults rewrite graphs nondeterministically relative to the shape
+//!   key); bypasses are counted in [`CacheStats`].
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use gpu_sim::DeviceSpec;
+use interconnect::{Fabric, LinkClass, Resource};
+use skeletons::{ScanOp, Scannable, SplkTuple};
+
+use crate::error::ScanResult;
+use crate::exec::{PipelinePolicy, PipelineRun};
+use crate::lease::{scan_on_lease, GpuLease, LeaseRun};
+use crate::params::{ProblemParams, ScanKind};
+use crate::report::RunReport;
+use crate::verify::{expected_batch, expected_batch_exclusive};
+
+/// Exact identity of a [`DeviceSpec`]: every limit and timing-model rate,
+/// floats by bit pattern. Two specs with equal keys are modelled
+/// identically.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DeviceKey {
+    name: &'static str,
+    compute_capability: (u32, u32),
+    limits: [usize; 10],
+    rates: [u64; 6],
+}
+
+impl DeviceKey {
+    /// Fingerprint `device`.
+    pub fn of(device: &DeviceSpec) -> Self {
+        DeviceKey {
+            name: device.name,
+            compute_capability: device.compute_capability,
+            limits: [
+                device.warp_size,
+                device.num_sms,
+                device.max_blocks_per_sm,
+                device.max_warps_per_sm,
+                device.max_threads_per_block,
+                device.registers_per_sm,
+                device.max_regs_per_thread,
+                device.shared_mem_per_sm,
+                device.shared_mem_per_block,
+                device.global_mem_bytes,
+            ],
+            rates: [
+                device.mem_bandwidth.to_bits(),
+                device.launch_overhead.to_bits(),
+                device.instr_throughput.to_bits(),
+                device.shuffle_throughput.to_bits(),
+                device.shared_throughput.to_bits(),
+                device.saturation_occupancy.to_bits(),
+            ],
+        }
+    }
+}
+
+/// Exact identity of a [`Fabric`]: topology dimensions plus every link
+/// parameter of its spec, floats by bit pattern.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FabricKey {
+    nodes: usize,
+    networks_per_node: usize,
+    gpus_per_network: usize,
+    link_bits: [u64; 9],
+}
+
+impl FabricKey {
+    /// Fingerprint `fabric`.
+    pub fn of(fabric: &Fabric) -> Self {
+        let t = fabric.topology();
+        let s = fabric.spec();
+        FabricKey {
+            nodes: t.nodes(),
+            networks_per_node: t.networks_per_node(),
+            gpus_per_network: t.gpus_per_network(),
+            link_bits: [
+                s.p2p.bandwidth.to_bits(),
+                s.p2p.latency.to_bits(),
+                s.host_staged.bandwidth.to_bits(),
+                s.host_staged.latency.to_bits(),
+                s.inter_node.bandwidth.to_bits(),
+                s.inter_node.latency.to_bits(),
+                s.mpi_collective_overhead.to_bits(),
+                s.host_segment_overhead.to_bits(),
+                s.p2p_segment_overhead.to_bits(),
+            ],
+        }
+    }
+}
+
+/// The device-selection half of a [`CacheKey`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum DeviceSel {
+    /// Single-GPU proposals (Scan-SP).
+    Single,
+    /// A `(W, V, Y, M)` node configuration.
+    Node {
+        /// GPUs per problem.
+        w: usize,
+        /// GPUs per node.
+        v: usize,
+        /// PCIe networks per node.
+        y: usize,
+        /// Node count.
+        m: usize,
+    },
+    /// An explicit lease, keyed by *topological shape* rather than raw GPU
+    /// ids: the lease width plus the upper-triangular pairwise
+    /// [`LinkClass`] matrix of the granted GPUs in grant order. Two leases
+    /// with equal shapes produce bit-identical schedules (durations and
+    /// contention depend only on link classes, and the scheduler breaks
+    /// ties by node index), so a plan built on `[0, 1]` is replayed for
+    /// `[2, 3]` with its resources remapped — see
+    /// [`scan_on_lease_cached`]. The stream id is likewise remapped on
+    /// hit, not keyed.
+    Lease {
+        /// Granted GPU count.
+        width: usize,
+        /// `link_class(ids[i], ids[j])` for all `i < j`, row-major.
+        classes: Vec<LinkClass>,
+    },
+}
+
+/// Everything the graph builder and cost model can depend on, hashed into
+/// one lookup key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Proposal tag (`"Sp"`, `"Mps"`, …, or `"Lease"` for the explicit-ids
+    /// path).
+    pub proposal: &'static str,
+    /// Problem shape `(n, g)`.
+    pub problem: ProblemParams,
+    /// The `(s, p, l, K)` tuning tuple.
+    pub tuple: SplkTuple,
+    /// Inclusive or exclusive semantics.
+    pub kind: ScanKind,
+    /// Element width in bytes (transfer sizes and transaction counts
+    /// depend on it).
+    pub elem_bytes: usize,
+    /// Pipeline sub-batch count.
+    pub batches: usize,
+    /// Pipeline communication/compute overlap flag.
+    pub overlap: bool,
+    /// Device selection.
+    pub device: DeviceSel,
+    /// Exact fingerprint of the simulated device.
+    pub spec: DeviceKey,
+    /// Exact fingerprint of the fabric, when the path uses one (`None` for
+    /// the fabric-free Scan-SP path).
+    pub fabric: Option<FabricKey>,
+}
+
+/// One memoized plan: the shape-determined report (graph, timeline,
+/// makespan, counters) and which GPUs the plan settled on.
+#[derive(Debug, Clone)]
+pub struct CachedPlan {
+    /// The run report produced by the cold run (label, timeline, makespan,
+    /// execution graph).
+    pub report: RunReport,
+    /// GPUs the plan actually used (lease paths; empty elsewhere).
+    pub gpus_used: Vec<usize>,
+    /// Whether the cold run's simulated output matched the CPU reference
+    /// bit-for-bit; entries that did not never serve hits.
+    pub(crate) replayable: bool,
+    /// Lease paths: the GPU ids the cold run was granted, in grant order.
+    /// A hit on a topologically equivalent lease derives its resource
+    /// remap from `lease_ids[i] -> actual_ids[i]`. Empty elsewhere.
+    pub(crate) lease_ids: Vec<usize>,
+    /// Lease paths: the stream id the cold run's kernels were issued on.
+    pub(crate) lease_stream: usize,
+}
+
+/// Hit/miss/bypass accounting, exact per lookup.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from a replayable cached plan.
+    pub hits: u64,
+    /// Lookups that ran cold (no entry, or a non-replayable one).
+    pub misses: u64,
+    /// Runs that skipped the cache entirely (active `FaultPlan`).
+    pub bypasses: u64,
+    /// Distinct plans currently stored.
+    pub entries: usize,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<CacheKey, Arc<CachedPlan>>,
+    hits: u64,
+    misses: u64,
+    bypasses: u64,
+}
+
+/// A shared, thread-safe memo of built execution plans.
+///
+/// Interior mutability (a mutex around the map and counters) lets the
+/// serving loop consult the cache through `&self`; the critical sections
+/// are map lookups only, never simulation.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    inner: Mutex<Inner>,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current accounting.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("plan cache poisoned");
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            bypasses: inner.bypasses,
+            entries: inner.map.len(),
+        }
+    }
+
+    /// Record a deliberate cache bypass (a faulted run).
+    pub fn note_bypass(&self) {
+        self.inner.lock().expect("plan cache poisoned").bypasses += 1;
+    }
+
+    /// Look `key` up, counting a hit only when a replayable plan is found
+    /// (anything else is a miss and the caller runs cold).
+    pub(crate) fn lookup(&self, key: &CacheKey) -> Option<Arc<CachedPlan>> {
+        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        let hit = inner.map.get(key).filter(|p| p.replayable).cloned();
+        if hit.is_some() {
+            inner.hits += 1;
+        } else {
+            inner.misses += 1;
+        }
+        hit
+    }
+
+    /// Store the plan a cold run produced. First write wins; a concurrent
+    /// duplicate cold run inserts an identical plan anyway.
+    pub(crate) fn insert(&self, key: CacheKey, plan: CachedPlan) {
+        self.inner
+            .lock()
+            .expect("plan cache poisoned")
+            .map
+            .entry(key)
+            .or_insert_with(|| Arc::new(plan));
+    }
+}
+
+/// The CPU reference result for one batch — the functional output a cache
+/// hit returns (bit-identical to the simulated pipelines, see module docs).
+pub(crate) fn reference_result<T: Scannable, O: ScanOp<T>>(
+    op: O,
+    problem: ProblemParams,
+    input: &[T],
+    kind: ScanKind,
+) -> Vec<T> {
+    match kind {
+        ScanKind::Inclusive => expected_batch(op, problem, input),
+        ScanKind::Exclusive => expected_batch_exclusive(op, problem, input),
+    }
+}
+
+/// The cache key of a lease-path run: the lease enters as its topological
+/// shape (width + pairwise link classes), not its raw GPU ids.
+pub(crate) fn lease_key<T: Scannable>(
+    device: &DeviceSpec,
+    fabric: &Fabric,
+    lease: &GpuLease,
+    problem: ProblemParams,
+    tuple: SplkTuple,
+    kind: ScanKind,
+    policy: &PipelinePolicy,
+) -> CacheKey {
+    let ids = lease.granted();
+    let topo = fabric.topology();
+    let mut classes = Vec::with_capacity(ids.len() * ids.len().saturating_sub(1) / 2);
+    for i in 0..ids.len() {
+        for j in (i + 1)..ids.len() {
+            classes.push(topo.link_class(ids[i], ids[j]));
+        }
+    }
+    CacheKey {
+        proposal: "Lease",
+        problem,
+        tuple,
+        kind,
+        elem_bytes: std::mem::size_of::<T>(),
+        batches: policy.batches,
+        overlap: policy.overlap,
+        device: DeviceSel::Lease { width: ids.len(), classes },
+        spec: DeviceKey::of(device),
+        fabric: Some(FabricKey::of(fabric)),
+    }
+}
+
+/// Retarget a cached lease graph from the GPUs it was built on onto the
+/// GPUs of an equivalent lease, returning the remapped `gpus_used`.
+///
+/// The two leases have equal pairwise link-class matrices (key equality
+/// guarantees it), so `plan.lease_ids[i] -> ids[i]` induces consistent
+/// bijections on PCIe networks, host bridges and IB links: GPUs that share
+/// a network (class `P2P`) map to GPUs that share a network, and likewise
+/// for nodes. Every route resource is a function of its endpoints'
+/// locations, so rewriting through those maps reproduces exactly the
+/// resources a cold build on the actual lease would emit — and the
+/// schedule is invariant because ties break on node index.
+fn retarget(
+    plan: &CachedPlan,
+    fabric: &Fabric,
+    ids: &[usize],
+    stream: usize,
+    graph: &mut interconnect::ExecGraph,
+) -> Vec<usize> {
+    let topo = fabric.topology();
+    let mut gpu_map = HashMap::new();
+    let mut net_map = HashMap::new();
+    let mut node_map = HashMap::new();
+    for (&from, &to) in plan.lease_ids.iter().zip(ids) {
+        let (f, t) = (topo.locate(from), topo.locate(to));
+        gpu_map.insert(from, to);
+        net_map.insert((f.node, f.network), (t.node, t.network));
+        node_map.insert(f.node, t.node);
+    }
+    graph.remap_resources(|r| match *r {
+        Resource::Stream { gpu, stream: _ } => Resource::Stream { gpu: gpu_map[&gpu], stream },
+        Resource::PcieNetwork { node, network } => {
+            let (node, network) = net_map[&(node, network)];
+            Resource::PcieNetwork { node, network }
+        }
+        Resource::HostBridge { node } => Resource::HostBridge { node: node_map[&node] },
+        Resource::IbLink { a, b } => Resource::ib(node_map[&a], node_map[&b]),
+    });
+    plan.gpus_used.iter().map(|g| gpu_map[g]).collect()
+}
+
+/// [`scan_on_lease`] through a [`PlanCache`]: replay the memoized graph
+/// when this shape has run before, otherwise run cold and memoize.
+///
+/// Hit or miss, the returned [`LeaseRun`] is bit-identical to what
+/// [`scan_on_lease`] would produce for the same arguments.
+#[allow(clippy::too_many_arguments)]
+pub fn scan_on_lease_cached<T: Scannable, O: ScanOp<T>>(
+    cache: &PlanCache,
+    op: O,
+    tuple: SplkTuple,
+    device: &DeviceSpec,
+    fabric: &Fabric,
+    lease: &GpuLease,
+    problem: ProblemParams,
+    input: &[T],
+    kind: ScanKind,
+    policy: &PipelinePolicy,
+) -> ScanResult<LeaseRun<T>> {
+    if let Some((run, gpus_used)) =
+        lease_plan_cached::<T>(cache, device, fabric, lease, problem, tuple, kind, policy)
+    {
+        return Ok(LeaseRun { data: reference_result(op, problem, input, kind), run, gpus_used });
+    }
+    run_and_memoize_lease(cache, op, tuple, device, fabric, lease, problem, input, kind, policy)
+}
+
+/// The planning half of [`scan_on_lease_cached`]: look the lease's shape
+/// up and replay the memoized plan — graph (retargeted onto the actual
+/// GPUs and stream), timeline, makespan, GPUs used — without touching any
+/// input data. Counts a hit or a miss; on `None` the caller runs cold
+/// (and should memoize through [`run_and_memoize_lease`] so the next
+/// lookup hits).
+///
+/// The serving engine uses this split to admit a hit's graph into the
+/// fleet before deciding whether the member outputs need computing at all
+/// (memoized response checksums skip the data path entirely).
+#[allow(clippy::too_many_arguments)]
+pub fn lease_plan_cached<T: Scannable>(
+    cache: &PlanCache,
+    device: &DeviceSpec,
+    fabric: &Fabric,
+    lease: &GpuLease,
+    problem: ProblemParams,
+    tuple: SplkTuple,
+    kind: ScanKind,
+    policy: &PipelinePolicy,
+) -> Option<(PipelineRun, Vec<usize>)> {
+    let key = lease_key::<T>(device, fabric, lease, problem, tuple, kind, policy);
+    let plan = cache.lookup(&key)?;
+    let mut graph = plan.report.graph.clone().expect("lease plans always carry a graph");
+    let gpus_used = if plan.lease_ids == lease.granted() && plan.lease_stream == lease.stream() {
+        plan.gpus_used.clone()
+    } else {
+        retarget(&plan, fabric, lease.granted(), lease.stream(), &mut graph)
+    };
+    Some((
+        PipelineRun {
+            graph,
+            timeline: plan.report.timeline.clone(),
+            makespan: plan.report.makespan,
+        },
+        gpus_used,
+    ))
+}
+
+/// The cold half of [`scan_on_lease_cached`]: run [`scan_on_lease`],
+/// self-validate the simulated output against the CPU reference, and
+/// memoize the plan. Performs no lookup of its own — the caller has just
+/// missed through [`lease_plan_cached`] (or chose to bypass it).
+#[allow(clippy::too_many_arguments)]
+pub fn run_and_memoize_lease<T: Scannable, O: ScanOp<T>>(
+    cache: &PlanCache,
+    op: O,
+    tuple: SplkTuple,
+    device: &DeviceSpec,
+    fabric: &Fabric,
+    lease: &GpuLease,
+    problem: ProblemParams,
+    input: &[T],
+    kind: ScanKind,
+    policy: &PipelinePolicy,
+) -> ScanResult<LeaseRun<T>> {
+    let key = lease_key::<T>(device, fabric, lease, problem, tuple, kind, policy);
+    let cold = scan_on_lease(op, tuple, device, fabric, lease, problem, input, kind, policy)?;
+    let replayable = cold.data == reference_result(op, problem, input, kind);
+    let report = RunReport::from_run("Scan-Lease", problem.total_elems(), cold.run.clone());
+    cache.insert(
+        key,
+        CachedPlan {
+            report,
+            gpus_used: cold.gpus_used.clone(),
+            replayable,
+            lease_ids: lease.granted().to_vec(),
+            lease_stream: lease.stream(),
+        },
+    );
+    Ok(cold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skeletons::Add;
+
+    fn pseudo(n: usize) -> Vec<i32> {
+        (0..n).map(|i| ((i as i64 * 48271 + 3) % 199) as i32 - 99).collect()
+    }
+
+    fn run_cached(
+        cache: &PlanCache,
+        problem: ProblemParams,
+        input: &[i32],
+        stream: usize,
+    ) -> LeaseRun<i32> {
+        scan_on_lease_cached(
+            cache,
+            Add,
+            SplkTuple::kepler_premises(0),
+            &DeviceSpec::tesla_k80(),
+            &Fabric::tsubame_kfc(1),
+            &GpuLease::new(vec![0, 1], stream).unwrap(),
+            problem,
+            input,
+            ScanKind::Inclusive,
+            &PipelinePolicy::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn hits_replay_bit_identically_and_accounting_is_exact() {
+        let cache = PlanCache::new();
+        let problem = ProblemParams::new(12, 1);
+        let input = pseudo(problem.total_elems());
+
+        let cold = run_cached(&cache, problem, &input, 0);
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 1, bypasses: 0, entries: 1 });
+
+        let hot = run_cached(&cache, problem, &input, 0);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(hot.data, cold.data);
+        assert_eq!(hot.gpus_used, cold.gpus_used);
+        assert_eq!(hot.run.makespan.to_bits(), cold.run.makespan.to_bits());
+        assert_eq!(hot.run.graph.nodes().len(), cold.run.graph.nodes().len());
+
+        // A different input with the same shape still hits — and still
+        // matches what a cold run would produce.
+        let other = pseudo(problem.total_elems()).iter().map(|v| v * 3 - 1).collect::<Vec<_>>();
+        let hot2 = run_cached(&cache, problem, &other, 0);
+        assert_eq!(cache.stats().hits, 2);
+        let cold2 = crate::lease::scan_on_lease(
+            Add,
+            SplkTuple::kepler_premises(0),
+            &DeviceSpec::tesla_k80(),
+            &Fabric::tsubame_kfc(1),
+            &GpuLease::new(vec![0, 1], 0).unwrap(),
+            problem,
+            &other,
+            ScanKind::Inclusive,
+            &PipelinePolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(hot2.data, cold2.data);
+        assert_eq!(hot2.run.makespan.to_bits(), cold2.run.makespan.to_bits());
+    }
+
+    #[test]
+    fn distinct_shapes_do_not_collide() {
+        let cache = PlanCache::new();
+        let a = ProblemParams::new(12, 1);
+        let b = ProblemParams::new(11, 2);
+        run_cached(&cache, a, &pseudo(a.total_elems()), 0);
+        run_cached(&cache, b, &pseudo(b.total_elems()), 0);
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 2, bypasses: 0, entries: 2 });
+    }
+
+    /// A cold run of `scan_on_lease` with the given lease, for comparison.
+    fn run_cold(
+        problem: ProblemParams,
+        input: &[i32],
+        ids: &[usize],
+        stream: usize,
+    ) -> LeaseRun<i32> {
+        scan_on_lease(
+            Add,
+            SplkTuple::kepler_premises(0),
+            &DeviceSpec::tesla_k80(),
+            &Fabric::tsubame_kfc(1),
+            &GpuLease::new(ids.to_vec(), stream).unwrap(),
+            problem,
+            input,
+            ScanKind::Inclusive,
+            &PipelinePolicy::default(),
+        )
+        .unwrap()
+    }
+
+    fn run_cached_on(
+        cache: &PlanCache,
+        problem: ProblemParams,
+        input: &[i32],
+        ids: &[usize],
+        stream: usize,
+    ) -> LeaseRun<i32> {
+        scan_on_lease_cached(
+            cache,
+            Add,
+            SplkTuple::kepler_premises(0),
+            &DeviceSpec::tesla_k80(),
+            &Fabric::tsubame_kfc(1),
+            &GpuLease::new(ids.to_vec(), stream).unwrap(),
+            problem,
+            input,
+            ScanKind::Inclusive,
+            &PipelinePolicy::default(),
+        )
+        .unwrap()
+    }
+
+    /// The hit must be indistinguishable from a cold run on the actual
+    /// lease, down to every node's resource list.
+    fn assert_replay_matches_cold(hit: &LeaseRun<i32>, cold: &LeaseRun<i32>) {
+        assert_eq!(hit.data, cold.data);
+        assert_eq!(hit.gpus_used, cold.gpus_used);
+        assert_eq!(hit.run.makespan.to_bits(), cold.run.makespan.to_bits());
+        let (h, c) = (hit.run.graph.nodes(), cold.run.graph.nodes());
+        assert_eq!(h.len(), c.len());
+        for (i, (hn, cn)) in h.iter().zip(c).enumerate() {
+            assert_eq!(hn.resources, cn.resources, "node {i} resources");
+            assert_eq!(hn.seconds.to_bits(), cn.seconds.to_bits(), "node {i} duration");
+        }
+    }
+
+    /// Topologically equivalent leases share one plan: `[2, 3]` (same
+    /// PCIe network, like `[0, 1]`) hits the `[0, 1]` entry, and the
+    /// replayed graph's resources are exactly what a cold build on
+    /// `[2, 3]` emits.
+    #[test]
+    fn equivalent_leases_share_a_plan_with_exact_resources() {
+        let cache = PlanCache::new();
+        let problem = ProblemParams::new(12, 1);
+        let input = pseudo(problem.total_elems());
+        run_cached_on(&cache, problem, &input, &[0, 1], 0);
+        let hit = run_cached_on(&cache, problem, &input, &[2, 3], 0);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1, bypasses: 0, entries: 1 });
+        assert_replay_matches_cold(&hit, &run_cold(problem, &input, &[2, 3], 0));
+    }
+
+    /// A host-staged pair (`[0, 4]` spans the KFC node's two PCIe
+    /// networks) does not collide with a P2P pair — but does hit another
+    /// staged pair, with networks and host bridge remapped exactly.
+    #[test]
+    fn link_classes_separate_and_join_leases_correctly() {
+        let cache = PlanCache::new();
+        let problem = ProblemParams::new(12, 1);
+        let input = pseudo(problem.total_elems());
+        run_cached_on(&cache, problem, &input, &[0, 1], 0);
+        run_cached_on(&cache, problem, &input, &[0, 4], 0);
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 2, bypasses: 0, entries: 2 });
+        let hit = run_cached_on(&cache, problem, &input, &[1, 5], 0);
+        assert_eq!(cache.stats().hits, 1);
+        assert_replay_matches_cold(&hit, &run_cold(problem, &input, &[1, 5], 0));
+        // And the swapped-network variant hits too, with the network
+        // bijection reversed.
+        let hit = run_cached_on(&cache, problem, &input, &[6, 2], 0);
+        assert_eq!(cache.stats().hits, 2);
+        assert_replay_matches_cold(&hit, &run_cold(problem, &input, &[6, 2], 0));
+    }
+
+    /// Stream ids are remapped on hit, never keyed: the same lease on a
+    /// different stream replays the plan with its streams retargeted.
+    #[test]
+    fn streams_are_remapped_not_keyed() {
+        let cache = PlanCache::new();
+        let problem = ProblemParams::new(12, 1);
+        let input = pseudo(problem.total_elems());
+        run_cached(&cache, problem, &input, 0);
+        let hit = run_cached(&cache, problem, &input, 3);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1, bypasses: 0, entries: 1 });
+        assert_replay_matches_cold(&hit, &run_cold(problem, &input, &[0, 1], 3));
+    }
+
+    /// Reversed grant order is still equivalent (the class matrix is
+    /// symmetric for a pair) and the remap follows grant order.
+    #[test]
+    fn reversed_grant_order_remaps_by_position() {
+        let cache = PlanCache::new();
+        let problem = ProblemParams::new(12, 1);
+        let input = pseudo(problem.total_elems());
+        run_cached_on(&cache, problem, &input, &[0, 1], 0);
+        let hit = run_cached_on(&cache, problem, &input, &[3, 2], 0);
+        assert_eq!(cache.stats().hits, 1);
+        assert_replay_matches_cold(&hit, &run_cold(problem, &input, &[3, 2], 0));
+    }
+
+    #[test]
+    fn bypasses_are_counted_separately() {
+        let cache = PlanCache::new();
+        cache.note_bypass();
+        cache.note_bypass();
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.bypasses, s.entries), (0, 0, 2, 0));
+    }
+}

@@ -57,6 +57,7 @@
 
 pub mod autotune;
 pub mod breakdown;
+pub mod cache;
 pub mod case1;
 pub mod error;
 pub mod exec;
@@ -80,6 +81,9 @@ pub mod verify;
 
 pub use autotune::{autotune_k, autotune_scan_sp, TuneResult};
 pub use breakdown::{Breakdown, BreakdownRow};
+pub use cache::{
+    lease_plan_cached, run_and_memoize_lease, scan_on_lease_cached, CacheStats, PlanCache,
+};
 pub use case1::scan_case1;
 pub use error::{ScanError, ScanResult};
 pub use exec::{PipelinePolicy, PipelineRun};

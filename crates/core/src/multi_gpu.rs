@@ -54,23 +54,40 @@ pub fn build_workers<T: Scannable>(
     }
     let n = plan.problem.problem_size();
     let g_total = plan.problem.batch();
-    gpu_ids
-        .iter()
-        .enumerate()
-        .map(|(w, &gid)| {
-            let gpu = Gpu::new(gid, device.clone());
-            let mut local = Vec::with_capacity(plan.elems_per_gpu());
-            for g in 0..g_total {
-                let s = g * n + w * plan.portion;
-                local.extend_from_slice(&input[s..s + plan.portion]);
-            }
-            let input_buf = gpu.alloc_from(&local)?;
-            let output = gpu.alloc(local.len())?;
-            let aux = gpu.alloc(plan.aux_local_len())?;
-            let offsets = gpu.alloc(plan.aux_local_len())?;
-            Ok(Worker { gpu, part: w, global_id: gid, input: input_buf, output, aux, offsets })
-        })
-        .collect()
+    // Workers share no state (each builds its own Gpu and copies its own
+    // portions), so they are constructed on one host thread apiece and
+    // merged back in `gpu_ids` order — same result as the old sequential
+    // loop, without serialising the per-GPU portion copies.
+    std::thread::scope(|s| {
+        let handles: Vec<_> = gpu_ids
+            .iter()
+            .enumerate()
+            .map(|(w, &gid)| {
+                s.spawn(move || {
+                    let gpu = Gpu::new(gid, device.clone());
+                    let mut local = Vec::with_capacity(plan.elems_per_gpu());
+                    for g in 0..g_total {
+                        let s = g * n + w * plan.portion;
+                        local.extend_from_slice(&input[s..s + plan.portion]);
+                    }
+                    let input_buf = gpu.alloc_from(&local)?;
+                    let output = gpu.alloc(local.len())?;
+                    let aux = gpu.alloc(plan.aux_local_len())?;
+                    let offsets = gpu.alloc(plan.aux_local_len())?;
+                    Ok(Worker {
+                        gpu,
+                        part: w,
+                        global_id: gid,
+                        input: input_buf,
+                        output,
+                        aux,
+                        offsets,
+                    })
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker builder panicked")).collect()
+    })
 }
 
 /// Run `f` on every worker concurrently (one host thread per GPU) and

@@ -27,10 +27,13 @@
 //! bits) exactly; the free functions remain as thin aliases for existing
 //! call sites.
 
+use std::sync::Arc;
+
 use gpu_sim::DeviceSpec;
 use interconnect::{Fabric, FaultPlan};
 use skeletons::{ScanOp, Scannable, SplkTuple};
 
+use crate::cache::{CacheKey, CachedPlan, DeviceKey, DeviceSel, FabricKey, PlanCache};
 use crate::error::{ScanError, ScanResult};
 use crate::exec::PipelinePolicy;
 use crate::params::{NodeConfig, ProblemParams, ScanKind};
@@ -104,6 +107,7 @@ pub struct ScanRequest<O> {
     policy: Option<PipelinePolicy>,
     faults: Option<FaultPlan>,
     trace: TraceOptions,
+    plan_cache: Option<Arc<PlanCache>>,
 }
 
 impl<O: Copy> ScanRequest<O> {
@@ -122,6 +126,7 @@ impl<O: Copy> ScanRequest<O> {
             policy: None,
             faults: None,
             trace: TraceOptions::none(),
+            plan_cache: None,
         }
     }
 
@@ -205,6 +210,16 @@ impl<O: Copy> ScanRequest<O> {
         self
     }
 
+    /// Consult (and populate) a shared [`PlanCache`]: when this request's
+    /// shape has run before, the memoized execution graph is replayed
+    /// instead of rebuilt and the output is bit-identical to a cold run.
+    /// Requests with an active fault plan bypass the cache entirely (and
+    /// are counted in [`CacheStats`](crate::cache::CacheStats)).
+    pub fn plan_cache(mut self, cache: Arc<PlanCache>) -> Self {
+        self.plan_cache = Some(cache);
+        self
+    }
+
     fn require_cfg(&self) -> ScanResult<NodeConfig> {
         self.cfg.ok_or_else(|| {
             ScanError::InvalidConfig(format!(
@@ -232,6 +247,33 @@ impl<O: Copy> ScanRequest<O> {
             )));
         }
         Ok(())
+    }
+
+    /// The validation the dispatch arms perform, run up front so a cache
+    /// hit can never skip an error a cold run would raise. Returns the node
+    /// config for the proposals that need one (`None` for Sp).
+    fn precheck(&self) -> ScanResult<Option<NodeConfig>> {
+        match self.proposal {
+            Proposal::Sp => {
+                self.reject_policy()?;
+                Ok(None)
+            }
+            Proposal::Mps => Ok(Some(self.require_cfg()?)),
+            Proposal::Mppc => {
+                self.reject_exclusive("Mppc")?;
+                Ok(Some(self.require_cfg()?))
+            }
+            Proposal::MpsMultinode => {
+                self.reject_policy()?;
+                self.reject_exclusive("MpsMultinode")?;
+                Ok(Some(self.require_cfg()?))
+            }
+            Proposal::Case1 => {
+                self.reject_policy()?;
+                self.reject_exclusive("Case1")?;
+                Ok(Some(self.require_cfg()?))
+            }
+        }
     }
 
     /// Execute the request over `input` (problem-major `[g][N]` layout).
@@ -276,17 +318,31 @@ impl<O: Copy> ScanRequest<O> {
             let per_node = Fabric::tsubame_kfc(1).topology().total_gpus();
             let fabric = fabric(needed.div_ceil(per_node));
             let lease = crate::lease::GpuLease::new(ids.clone(), 0)?;
-            let leased = crate::lease::scan_on_lease(
-                self.op,
-                tuple,
-                &device,
-                &fabric,
-                &lease,
-                self.problem,
-                input,
-                self.kind,
-                &policy,
-            )?;
+            let leased = match &self.plan_cache {
+                Some(cache) => crate::cache::scan_on_lease_cached(
+                    cache,
+                    self.op,
+                    tuple,
+                    &device,
+                    &fabric,
+                    &lease,
+                    self.problem,
+                    input,
+                    self.kind,
+                    &policy,
+                )?,
+                None => crate::lease::scan_on_lease(
+                    self.op,
+                    tuple,
+                    &device,
+                    &fabric,
+                    &lease,
+                    self.problem,
+                    input,
+                    self.kind,
+                    &policy,
+                )?,
+            };
             let label = format!("Scan-Lease {} GPUs", leased.gpus_used.len());
             let mut out = ScanOutput::new(
                 leased.data,
@@ -297,6 +353,51 @@ impl<O: Copy> ScanRequest<O> {
             }
             return Ok(out);
         }
+
+        // Consult the plan cache before dispatching. `precheck` raises the
+        // same errors the dispatch arms would, so a hit cannot legitimize an
+        // invalid request; faulted runs bypass the cache entirely.
+        let cached = match (&self.plan_cache, &self.faults) {
+            (Some(cache), None) => {
+                let cfg = self.precheck()?;
+                let key = CacheKey {
+                    proposal: match self.proposal {
+                        Proposal::Sp => "Sp",
+                        Proposal::Mps => "Mps",
+                        Proposal::Mppc => "Mppc",
+                        Proposal::MpsMultinode => "MpsMultinode",
+                        Proposal::Case1 => "Case1",
+                    },
+                    problem: self.problem,
+                    tuple,
+                    kind: self.kind,
+                    elem_bytes: std::mem::size_of::<T>(),
+                    batches: policy.batches,
+                    overlap: policy.overlap,
+                    device: match cfg {
+                        None => DeviceSel::Single,
+                        Some(c) => DeviceSel::Node { w: c.w(), v: c.v(), y: c.y(), m: c.m() },
+                    },
+                    spec: DeviceKey::of(&device),
+                    fabric: cfg.map(|c| FabricKey::of(&fabric(c.m()))),
+                };
+                if let Some(plan) = cache.lookup(&key) {
+                    let data =
+                        crate::cache::reference_result(self.op, self.problem, input, self.kind);
+                    let mut out = ScanOutput::new(data, plan.report.clone());
+                    if self.trace.is_enabled() {
+                        out.trace = out.report.graph.as_ref().map(TraceHandle::from_graph);
+                    }
+                    return Ok(out);
+                }
+                Some((cache, key))
+            }
+            (Some(cache), Some(_)) => {
+                cache.note_bypass();
+                None
+            }
+            _ => None,
+        };
 
         let mut out = match (self.proposal, &self.faults) {
             (Proposal::Sp, None) => {
@@ -401,6 +502,21 @@ impl<O: Copy> ScanRequest<O> {
                     .into(),
             )),
         }?;
+
+        if let Some((cache, key)) = cached {
+            let replayable =
+                out.data == crate::cache::reference_result(self.op, self.problem, input, self.kind);
+            cache.insert(
+                key,
+                CachedPlan {
+                    report: out.report.clone(),
+                    gpus_used: Vec::new(),
+                    replayable,
+                    lease_ids: Vec::new(),
+                    lease_stream: 0,
+                },
+            );
+        }
 
         if self.trace.is_enabled() {
             out.trace = out.report.graph.as_ref().map(TraceHandle::from_graph);

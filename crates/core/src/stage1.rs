@@ -35,26 +35,31 @@ pub fn run_stage1<T: Scannable, O: ScanOp<T>>(
     let cfg = plan.stage1_cfg();
     let portion = plan.portion;
     let chunk = plan.chunk;
-    let bx1 = plan.bx1;
     let k = plan.tuple.iterations();
     let per_iter = plan.tuple.elems_per_iteration();
     let p = plan.tuple.elems_per_thread();
     let warps = plan.warps;
     let per_warp = 32 * p;
 
-    gpu.launch::<T, _>(&cfg, |ctx| {
+    // Blocks are independent (each owns one chunk and writes one aux
+    // entry), so they run on the parallel block engine: block `(c, g)` is
+    // flat block `g·Bx¹ + c`, whose one-element window is exactly aux slot
+    // `g·Bx¹ + c` — addressed block-locally as `out[0]`.
+    debug_assert_eq!(aux.len(), cfg.grid.0 * cfg.grid.1);
+    let input_view = input.host_view();
+    gpu.launch_blocks::<T, _>(&cfg, aux.host_view_mut(), |ctx, out| {
         let (c, g) = ctx.block_idx;
         let base = g * portion + c * chunk;
         let mut cascade = Cascade::new(op);
         for it in 0..k {
             let ibase = base + it * per_iter;
             let tiles: Vec<RegTile<T>> = (0..warps)
-                .map(|w| RegTile::load(ctx, p, input.host_view(), ibase + w * per_warp))
+                .map(|w| RegTile::load(ctx, p, input_view, ibase + w * per_warp))
                 .collect();
             let total = block_reduce_tiles(ctx, op, &tiles);
             cascade.absorb(total);
         }
-        ctx.write_global_one(aux.host_view_mut(), g * bx1 + c, cascade.finish());
+        ctx.write_global_one(out, 0, cascade.finish());
     })
 }
 

@@ -52,10 +52,21 @@ pub fn run_stage3_kind<T: Scannable, O: ScanOp<T>>(
     let p = plan.tuple.elems_per_thread();
     let warps = plan.warps;
 
-    gpu.launch::<T, _>(&cfg, |ctx| {
+    // Blocks are independent (each scans its own chunk seeded by a
+    // precomputed offset), so they run on the parallel block engine: block
+    // `(c, g)` is flat block `g·Bx¹ + c` and its chunk starts at
+    // `g·portion + c·chunk = (g·Bx¹ + c)·chunk` — the engine's row-major
+    // window split. The scan skeletons address input and output through one
+    // shared base, so both are passed block-locally with iteration-relative
+    // offsets; the charged transactions are length-based and unchanged.
+    debug_assert_eq!(portion, bx1 * chunk);
+    let input_view = input.host_view();
+    let offsets_view = offsets.host_view();
+    gpu.launch_blocks::<T, _>(&cfg, output.host_view_mut(), |ctx, out| {
         let (c, g) = ctx.block_idx;
         let base = g * portion + c * chunk;
-        let prefix = ctx.read_global_one(offsets.host_view(), g * bx1 + c);
+        let block_input = &input_view[base..base + chunk];
+        let prefix = ctx.read_global_one(offsets_view, g * bx1 + c);
         let mut cascade = Cascade::with_prefix(op, prefix);
         for it in 0..k {
             let carry = cascade.carry();
@@ -65,9 +76,9 @@ pub fn run_stage3_kind<T: Scannable, O: ScanOp<T>>(
                     op,
                     p,
                     warps,
-                    input.host_view(),
-                    output.host_view_mut(),
-                    base + it * per_iter,
+                    block_input,
+                    out,
+                    it * per_iter,
                     Some(carry),
                 ),
                 ScanKind::Exclusive => block_scan_global_exclusive(
@@ -75,9 +86,9 @@ pub fn run_stage3_kind<T: Scannable, O: ScanOp<T>>(
                     op,
                     p,
                     warps,
-                    input.host_view(),
-                    output.host_view_mut(),
-                    base + it * per_iter,
+                    block_input,
+                    out,
+                    it * per_iter,
                     carry,
                 ),
             };

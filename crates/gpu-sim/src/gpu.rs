@@ -1,6 +1,8 @@
 //! The simulated GPU: device spec + global memory + event timeline +
 //! kernel launch engine.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
 use crate::block::BlockCtx;
 use crate::counters::CostCounters;
 use crate::device::DeviceSpec;
@@ -10,6 +12,21 @@ use crate::grid::LaunchConfig;
 use crate::memory::{DeviceBuffer, DeviceCopy, MemoryTracker};
 use crate::occupancy::{occupancy, Occupancy};
 use crate::timing::{KernelTime, TimingModel};
+
+/// Grids smaller than this run serially in [`Gpu::launch_blocks_on`]: the
+/// thread-spawn overhead dominates tiny launches.
+const PARALLEL_BLOCK_THRESHOLD: usize = 8;
+
+/// Process-wide switch forcing [`Gpu::launch_blocks_on`] onto the serial
+/// path — the `bench self` slow leg uses it to measure the pre-parallel
+/// engine. Results are bit-identical either way; this only moves wall-clock.
+static FORCE_SERIAL_BLOCKS: AtomicBool = AtomicBool::new(false);
+
+/// Force (or release) serial block execution. Benchmark surface only.
+#[doc(hidden)]
+pub fn force_serial_blocks(on: bool) {
+    FORCE_SERIAL_BLOCKS.store(on, Ordering::Relaxed);
+}
 
 /// Statistics returned by one kernel launch.
 #[derive(Debug, Clone)]
@@ -214,6 +231,137 @@ impl Gpu {
             }
         }
 
+        Ok(self.finish_launch(stream, cfg, occ, counters))
+    }
+
+    /// Launch a kernel whose blocks are *independent*, on the default
+    /// stream. See [`Gpu::launch_blocks_on`].
+    pub fn launch_blocks<T, F>(
+        &mut self,
+        cfg: &LaunchConfig,
+        out: &mut [T],
+        kernel: F,
+    ) -> SimResult<KernelStats>
+    where
+        T: DeviceCopy,
+        F: Fn(&mut BlockCtx<'_, T>, &mut [T]) + Sync,
+    {
+        self.launch_blocks_on(DEFAULT_STREAM, cfg, out, kernel)
+    }
+
+    /// Launch a kernel whose blocks are *independent* — no block reads
+    /// another block's output — and may therefore execute on parallel host
+    /// threads.
+    ///
+    /// `out` is the launch's output window, split evenly into one disjoint
+    /// chunk per block in row-major flat block order (block `(bx, by)` gets
+    /// chunk `by·gx + bx`); the kernel receives each block's chunk as its
+    /// second argument and must address it block-locally. Every block gets
+    /// fresh zeroed shared memory and its own counter ledger; ledgers are
+    /// merged in flat block order (field-wise `u64` sums, so the totals
+    /// equal a serial run's exactly) and timing is derived from the merged
+    /// counters — results, counters, events and simulated times are all
+    /// bit-identical to running the same blocks sequentially through
+    /// [`Gpu::launch_on`].
+    ///
+    /// Small grids (or [`force_serial_blocks`] mode) run serially on the
+    /// calling thread; the parallel split only pays for itself when there
+    /// are enough blocks to amortise thread spawns.
+    pub fn launch_blocks_on<T, F>(
+        &mut self,
+        stream: usize,
+        cfg: &LaunchConfig,
+        out: &mut [T],
+        kernel: F,
+    ) -> SimResult<KernelStats>
+    where
+        T: DeviceCopy,
+        F: Fn(&mut BlockCtx<'_, T>, &mut [T]) + Sync,
+    {
+        if self.evicted {
+            return Err(SimError::DeviceLost { gpu: self.id });
+        }
+        cfg.validate(&self.spec, std::mem::size_of::<T>())?;
+        let occ = occupancy(&self.spec, &cfg.block_resources(std::mem::size_of::<T>()));
+
+        let blocks = cfg.grid.0 * cfg.grid.1;
+        if !out.len().is_multiple_of(blocks) {
+            return Err(SimError::InvalidLaunch(format!(
+                "output window of {} elements does not split evenly over {blocks} blocks",
+                out.len()
+            )));
+        }
+        let chunk = out.len() / blocks;
+        let grid = cfg.grid;
+        let run_block = |b: usize, chunk_out: &mut [T]| -> CostCounters {
+            let mut counters = CostCounters::default();
+            let mut shared = vec![T::default(); cfg.shared_elems];
+            let mut ctx = BlockCtx::new(
+                (b % grid.0, b / grid.0),
+                grid,
+                cfg.block,
+                cfg.width,
+                &mut shared,
+                &mut counters,
+            );
+            kernel(&mut ctx, chunk_out);
+            counters
+        };
+
+        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let serial = chunk == 0
+            || blocks < PARALLEL_BLOCK_THRESHOLD
+            || workers < 2
+            || FORCE_SERIAL_BLOCKS.load(Ordering::Relaxed);
+
+        let mut counters = CostCounters { launches: 1, ..Default::default() };
+        if serial {
+            for b in 0..blocks {
+                let lo = b * chunk;
+                counters += run_block(b, &mut out[lo..lo + chunk]);
+            }
+        } else {
+            // Contiguous block ranges per worker; `split_at_mut` hands each
+            // worker exactly its blocks' chunks, so threads share nothing.
+            let per = blocks.div_ceil(workers.min(blocks));
+            let merged: Vec<CostCounters> = std::thread::scope(|s| {
+                let mut handles = Vec::new();
+                let mut rest = &mut *out;
+                let mut b0 = 0usize;
+                while b0 < blocks {
+                    let count = per.min(blocks - b0);
+                    let (mine, tail) = rest.split_at_mut(count * chunk);
+                    rest = tail;
+                    let run_block = &run_block;
+                    handles.push(s.spawn(move || {
+                        let mut acc = CostCounters::default();
+                        for (j, chunk_out) in mine.chunks_mut(chunk).enumerate() {
+                            acc += run_block(b0 + j, chunk_out);
+                        }
+                        acc
+                    }));
+                    b0 += count;
+                }
+                handles.into_iter().map(|h| h.join().expect("block worker panicked")).collect()
+            });
+            for part in merged {
+                counters += part;
+            }
+        }
+
+        Ok(self.finish_launch(stream, cfg, occ, counters))
+    }
+
+    /// Price the merged counters of a finished launch, record the event on
+    /// `stream` and package the stats — the epilogue shared by the serial
+    /// and parallel launch engines.
+    fn finish_launch(
+        &mut self,
+        stream: usize,
+        cfg: &LaunchConfig,
+        occ: Occupancy,
+        counters: CostCounters,
+    ) -> KernelStats {
         let mut time = self.timing.kernel_time(&self.spec, cfg, &occ, &counters);
         if self.throttle != 1.0 {
             // A slow-SM fault stretches every component uniformly, so
@@ -227,7 +375,7 @@ impl Gpu {
         event.stream = stream;
         event.counters = counters;
         self.log.push(event);
-        Ok(KernelStats { label: cfg.label.clone(), counters, occupancy: occ, time })
+        KernelStats { label: cfg.label.clone(), counters, occupancy: occ, time }
     }
 
     /// Charge externally-computed time to this GPU's default stream (memory
@@ -432,6 +580,83 @@ mod tests {
         assert_eq!(err, crate::SimError::DeviceLost { gpu: 0 });
         assert!(err.to_string().contains("GPU 0"));
         assert_eq!(g.elapsed(), before, "a failed launch must not consume time");
+    }
+
+    /// The parallel block engine matches a serial `launch_on` run of the
+    /// same kernel bit for bit: outputs, counters, and simulated time.
+    #[test]
+    fn launch_blocks_matches_serial_launch() {
+        let src: Vec<i32> = (0..4096).collect();
+        let blocks = 32usize;
+        let chunk = src.len() / blocks;
+
+        // Serial engine: blocks write disjoint windows of one output.
+        let mut serial_gpu = gpu();
+        let input = serial_gpu.alloc_from(&src).unwrap();
+        let mut serial_out = serial_gpu.alloc::<i32>(src.len()).unwrap();
+        let cfg = LaunchConfig::new("copy", (blocks, 1), (128, 1)).regs(16);
+        let serial_stats = serial_gpu
+            .launch::<i32, _>(&cfg, |ctx| {
+                let base = ctx.block_idx.0 * chunk;
+                let mut tmp = vec![0i32; chunk];
+                ctx.read_global(input.host_view(), base, &mut tmp);
+                for v in &mut tmp {
+                    *v += 1;
+                }
+                ctx.write_global(serial_out.host_view_mut(), base, &tmp);
+            })
+            .unwrap();
+
+        // Parallel engine: same kernel addressed block-locally.
+        let mut par_gpu = gpu();
+        let input = par_gpu.alloc_from(&src).unwrap();
+        let mut par_out = vec![0i32; src.len()];
+        let par_stats = par_gpu
+            .launch_blocks::<i32, _>(&cfg, &mut par_out, |ctx, out| {
+                let base = ctx.block_idx.0 * chunk;
+                let mut tmp = vec![0i32; chunk];
+                ctx.read_global(input.host_view(), base, &mut tmp);
+                for v in &mut tmp {
+                    *v += 1;
+                }
+                ctx.write_global(out, 0, &tmp);
+            })
+            .unwrap();
+
+        assert_eq!(par_out, serial_out.host_view());
+        assert_eq!(par_stats.counters, serial_stats.counters);
+        assert_eq!(par_stats.counters.launches, 1);
+        assert_eq!(par_stats.seconds().to_bits(), serial_stats.seconds().to_bits());
+
+        // The forced-serial benchmark path is bit-identical too.
+        let mut forced_gpu = gpu();
+        let input = forced_gpu.alloc_from(&src).unwrap();
+        let mut forced_out = vec![0i32; src.len()];
+        force_serial_blocks(true);
+        let forced_stats = forced_gpu
+            .launch_blocks::<i32, _>(&cfg, &mut forced_out, |ctx, out| {
+                let base = ctx.block_idx.0 * chunk;
+                let mut tmp = vec![0i32; chunk];
+                ctx.read_global(input.host_view(), base, &mut tmp);
+                for v in &mut tmp {
+                    *v += 1;
+                }
+                ctx.write_global(out, 0, &tmp);
+            })
+            .unwrap();
+        force_serial_blocks(false);
+        assert_eq!(forced_out, par_out);
+        assert_eq!(forced_stats.counters, par_stats.counters);
+    }
+
+    #[test]
+    fn launch_blocks_rejects_uneven_output_window() {
+        let mut g = gpu();
+        let cfg = LaunchConfig::new("k", (3, 1), (WARP_SIZE, 1)).regs(16);
+        let mut out = vec![0i32; 16]; // 16 % 3 != 0
+        let err = g.launch_blocks::<i32, _>(&cfg, &mut out, |_, _| {}).unwrap_err();
+        assert!(err.to_string().contains("split evenly"));
+        assert_eq!(g.log().events().len(), 0);
     }
 
     /// Two GPUs can run launches on separate host threads.

@@ -27,7 +27,8 @@
 //! `max_g(t + d_g) == t + max_g(d_g)`, and the chain accumulates the phase
 //! maxima in the same order as the timeline's sum.
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 use gpu_sim::{CostCounters, EventKind};
 
@@ -245,6 +246,21 @@ impl ExecGraph {
         &self.phase_labels
     }
 
+    /// Rewrite every node's resource list through `f`, in place.
+    ///
+    /// The schedule is invariant under any *bijective* rewrite (ties are
+    /// broken by node index, never by resource identity), which is what
+    /// lets `scan-core`'s plan cache retarget a memoized graph onto a
+    /// different but topologically equivalent GPU lease.
+    #[doc(hidden)]
+    pub fn remap_resources(&mut self, mut f: impl FnMut(&Resource) -> Resource) {
+        for node in &mut self.nodes {
+            for r in &mut node.resources {
+                *r = f(r);
+            }
+        }
+    }
+
     /// Absorb `other`, remapping its node ids and matching its phase
     /// instances to this graph's **by index** (extending with any extra
     /// phases). Used to combine per-group subgraphs of an MP-PC run, whose
@@ -306,7 +322,7 @@ impl ExecGraph {
     }
 }
 
-/// The shared deterministic list scheduler.
+/// The shared deterministic list scheduler (event-heap implementation).
 ///
 /// Places `nodes` one at a time, earliest-start-first (insertion order on
 /// ties). A node's earliest start is the maximum of `release`, its
@@ -317,6 +333,18 @@ impl ExecGraph {
 /// empty maps, `release = 0` and `offset = 0`, [`FleetTimeline::admit`]
 /// passes its shared maps so graphs admitted later contend for the same
 /// hardware.
+///
+/// Ready nodes sit in a min-heap keyed by `(est bits, node index)` with
+/// *lazy invalidation*: a stored key is the node's earliest start when it
+/// was pushed, and resource availability only ever moves forward, so keys
+/// are lower bounds. On pop the est is recomputed; a stale entry (the true
+/// est grew past the stored key) is re-pushed with its fresh key, and a
+/// fresh entry is by the lower-bound argument the true lexicographic
+/// minimum over all ready nodes — exactly what the O(n²) reference scan
+/// ([`reference_list_schedule`]) selects. Every est is a non-negative
+/// finite f64, for which IEEE-754 bit order equals value order, so the
+/// `(est.to_bits(), index)` heap keys preserve the reference tie-break and
+/// the schedules match bit for bit.
 ///
 /// Returns `(start, finish, pred, makespan)` with `pred` in the caller's
 /// (offset) id space.
@@ -332,6 +360,105 @@ fn list_schedule(
     let mut finish = vec![0.0f64; n];
     // Earliest start imposed by dependencies, folded in as each
     // dependency is placed (the release time before any).
+    let mut dep_ready = vec![release; n];
+    let mut pred: Vec<Option<NodeId>> = vec![None; n];
+    let mut deps_left: Vec<usize> = nodes.iter().map(|d| d.deps.len()).collect();
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, node) in nodes.iter().enumerate() {
+        for d in &node.deps {
+            succs[d.0].push(i);
+        }
+    }
+
+    let est_of = |i: usize, dep_ready: &[f64], avail: &HashMap<Resource, f64>| {
+        let mut est = dep_ready[i];
+        for r in &nodes[i].resources {
+            est = est.max(avail.get(r).copied().unwrap_or(0.0));
+        }
+        est
+    };
+
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::with_capacity(n);
+    for (i, &left) in deps_left.iter().enumerate() {
+        if left == 0 {
+            heap.push(Reverse((est_of(i, &dep_ready, avail).to_bits(), i)));
+        }
+    }
+
+    let mut placed = 0usize;
+    while placed < n {
+        let Some(Reverse((key, i))) = heap.pop() else {
+            panic!("graph has a cycle or dangling dependency");
+        };
+        let est = est_of(i, &dep_ready, avail);
+        debug_assert!(
+            est.is_finite() && est.to_bits() >= key,
+            "earliest starts must be finite, non-negative and monotone"
+        );
+        if est.to_bits() != key {
+            // Stale lower bound: a resource this node needs was claimed
+            // since the key was pushed. Re-queue at the fresh est.
+            heap.push(Reverse((est.to_bits(), i)));
+            continue;
+        }
+        placed += 1;
+
+        // Record which dependency or resource holder determined the
+        // start (for critical-path reporting). A node that starts exactly
+        // at its release time with no determining dependency or holder
+        // keeps `None` — in a fleet timeline that is the admission point.
+        start[i] = est;
+        finish[i] = est + nodes[i].seconds;
+        if est > 0.0 {
+            pred[i] = nodes[i]
+                .deps
+                .iter()
+                .find(|d| finish[d.0] == est)
+                .map(|d| NodeId(d.0 + offset))
+                .or_else(|| {
+                    nodes[i]
+                        .resources
+                        .iter()
+                        .find(|r| avail.get(r).copied().unwrap_or(0.0) == est)
+                        .and_then(|r| holder.get(r).copied())
+                });
+        }
+        for r in &nodes[i].resources {
+            avail.insert(*r, finish[i]);
+            holder.insert(*r, NodeId(i + offset));
+        }
+        for &s in &succs[i] {
+            dep_ready[s] = dep_ready[s].max(finish[i]);
+            deps_left[s] -= 1;
+            if deps_left[s] == 0 {
+                heap.push(Reverse((est_of(s, &dep_ready, avail).to_bits(), s)));
+            }
+        }
+    }
+
+    let makespan = finish.iter().copied().fold(0.0, f64::max);
+    (start, finish, pred, makespan)
+}
+
+/// The retained O(n²) list scheduler the event-heap implementation
+/// replaced: every iteration rescans the whole ready set for the minimum
+/// `(est, index)` pair.
+///
+/// Kept as the executable specification of [`list_schedule`]'s selection
+/// rule — the property tests in `tests/graph_props.rs` assert the two
+/// produce bit-identical schedules on randomized DAGs, and `bench self`
+/// measures the throughput gap. Not part of the public API.
+#[doc(hidden)]
+pub fn reference_list_schedule(
+    nodes: &[ExecNode],
+    release: f64,
+    avail: &mut HashMap<Resource, f64>,
+    holder: &mut HashMap<Resource, NodeId>,
+    offset: usize,
+) -> (Vec<f64>, Vec<f64>, Vec<Option<NodeId>>, f64) {
+    let n = nodes.len();
+    let mut start = vec![0.0f64; n];
+    let mut finish = vec![0.0f64; n];
     let mut dep_ready = vec![release; n];
     let mut pred: Vec<Option<NodeId>> = vec![None; n];
     let mut deps_left: Vec<usize> = nodes.iter().map(|d| d.deps.len()).collect();
@@ -361,10 +488,6 @@ fn list_schedule(
         ready.swap_remove(slot);
         placed[i] = true;
 
-        // Record which dependency or resource holder determined the
-        // start (for critical-path reporting). A node that starts exactly
-        // at its release time with no determining dependency or holder
-        // keeps `None` — in a fleet timeline that is the admission point.
         start[i] = est;
         finish[i] = est + nodes[i].seconds;
         if est > 0.0 {
@@ -397,6 +520,17 @@ fn list_schedule(
 
     let makespan = finish.iter().copied().fold(0.0, f64::max);
     (start, finish, pred, makespan)
+}
+
+/// Schedule `graph` with the retained O(n²) reference scheduler (see
+/// [`reference_list_schedule`]). Test/benchmark surface only.
+#[doc(hidden)]
+pub fn reference_schedule(graph: &ExecGraph) -> Schedule {
+    let mut avail = HashMap::new();
+    let mut holder = HashMap::new();
+    let (start, finish, pred, makespan) =
+        reference_list_schedule(&graph.nodes, 0.0, &mut avail, &mut holder, 0);
+    Schedule { start, finish, pred, makespan }
 }
 
 /// What one [`FleetTimeline::admit`] call scheduled.
@@ -453,12 +587,24 @@ pub struct FleetTimeline {
     makespan: f64,
     last_release: f64,
     admissions: usize,
+    /// When set, admissions run through [`reference_list_schedule`] with no
+    /// resource-map compaction — the pre-heap engine, kept for property
+    /// tests and the `bench self` slow path.
+    reference: bool,
 }
 
 impl FleetTimeline {
     /// An empty timeline: every resource available at time 0.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty timeline whose admissions use the retained O(n²) reference
+    /// scheduler and never compact resource maps — faithfully the engine
+    /// before the event-heap fast path. Test/benchmark surface only.
+    #[doc(hidden)]
+    pub fn reference() -> Self {
+        FleetTimeline { reference: true, ..Self::default() }
     }
 
     /// Admit `graph` at `release`, scheduling it against the fleet's
@@ -480,9 +626,25 @@ impl FleetTimeline {
         self.last_release = release;
         self.admissions += 1;
 
+        if !self.reference {
+            // Compact the resource maps: an entry strictly before `release`
+            // can never again determine an earliest start (every est is
+            // ≥ release) nor match the `avail == est` predecessor lookup,
+            // and releases are non-decreasing, so it is dead weight from
+            // drained admissions. Keeps per-admission work proportional to
+            // the *live* resource set rather than the whole window history.
+            let drained: Vec<Resource> =
+                self.avail.iter().filter(|&(_, &t)| t < release).map(|(&r, _)| r).collect();
+            for r in &drained {
+                self.avail.remove(r);
+                self.holder.remove(r);
+            }
+        }
+
         let offset = self.graph.nodes.len();
+        let schedule_fn = if self.reference { reference_list_schedule } else { list_schedule };
         let (start, finish, pred, makespan) =
-            list_schedule(&graph.nodes, release, &mut self.avail, &mut self.holder, offset);
+            schedule_fn(&graph.nodes, release, &mut self.avail, &mut self.holder, offset);
 
         let phase_map: Vec<usize> = graph
             .phase_labels

@@ -38,6 +38,8 @@ pub use collectives::{
 pub use fault::{
     apply_link_faults, FaultError, FaultEvent, FaultPlan, FaultReport, GpuEviction, LinkFault,
 };
+#[doc(hidden)]
+pub use graph::{reference_list_schedule, reference_schedule};
 pub use graph::{
     Admission, ExecGraph, ExecNode, FleetTimeline, NodeId, NodeMeta, Resource, Schedule,
 };

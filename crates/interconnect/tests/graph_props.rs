@@ -3,7 +3,8 @@
 
 use gpu_sim::EventKind;
 use interconnect::{
-    apply_link_faults, ExecGraph, FaultPlan, FaultReport, NodeId, Resource, Timeline, Trace,
+    apply_link_faults, reference_schedule, ExecGraph, FaultPlan, FaultReport, FleetTimeline,
+    NodeId, Resource, Timeline, Trace,
 };
 use proptest::prelude::*;
 
@@ -116,6 +117,99 @@ proptest! {
         let mut merged = g0;
         merged.merge(g1);
         prop_assert_eq!(merged.makespan().to_bits(), lone.to_bits());
+    }
+}
+
+/// One random node: `(seconds, dep bitmask over the previous 8 nodes,
+/// resource picker)`. Ties, fan-in, fan-out and contended resources all
+/// arise from these draws.
+fn random_node() -> impl Strategy<Value = (f64, u64, u64)> {
+    (0.0f64..2.0, any::<u64>(), any::<u64>())
+}
+
+/// Materialise a random DAG: each node may depend on any of the eight
+/// nodes before it and claims up to two resources from a small shared pool
+/// (four streams, a second stream on GPU 0, and one PCIe network), so
+/// schedules exercise dependency waits, resource contention, exact ties
+/// (duration 0 draws) and holder-based `pred` links.
+fn random_graph(spec: &[(f64, u64, u64)]) -> ExecGraph {
+    let mut g = ExecGraph::new();
+    let p = g.phase("rand");
+    let mut ids: Vec<NodeId> = Vec::new();
+    for (i, &(dur, dep_bits, res_bits)) in spec.iter().enumerate() {
+        let deps: Vec<NodeId> =
+            (0..i.min(8)).filter(|k| dep_bits >> k & 1 == 1).map(|k| ids[i - 1 - k]).collect();
+        let mut resources = Vec::new();
+        for j in 0..(res_bits % 3) as usize {
+            resources.push(match (res_bits >> (8 * (j + 1))) % 6 {
+                pick @ 0..=3 => Resource::Stream { gpu: pick as usize, stream: 0 },
+                4 => Resource::PcieNetwork { node: 0, network: 0 },
+                _ => Resource::Stream { gpu: 0, stream: 1 },
+            });
+        }
+        ids.push(g.add(p, format!("n{i}"), EventKind::Kernel, dur, &deps, &resources));
+    }
+    g
+}
+
+proptest! {
+    /// The event-heap scheduler is bit-identical to the retained O(n²)
+    /// reference on arbitrary DAGs: same starts, finishes, predecessor
+    /// links and makespan.
+    #[test]
+    fn heap_scheduler_matches_reference_on_random_dags(
+        spec in prop::collection::vec(random_node(), 1..40),
+    ) {
+        let g = random_graph(&spec);
+        let fast = g.schedule();
+        let slow = reference_schedule(&g);
+        prop_assert_eq!(
+            fast.start.iter().map(|t| t.to_bits()).collect::<Vec<_>>(),
+            slow.start.iter().map(|t| t.to_bits()).collect::<Vec<_>>()
+        );
+        prop_assert_eq!(
+            fast.finish.iter().map(|t| t.to_bits()).collect::<Vec<_>>(),
+            slow.finish.iter().map(|t| t.to_bits()).collect::<Vec<_>>()
+        );
+        prop_assert_eq!(&fast.pred, &slow.pred);
+        prop_assert_eq!(fast.makespan.to_bits(), slow.makespan.to_bits());
+    }
+
+    /// Fleet admission with the heap scheduler and resource-map compaction
+    /// is bit-identical to the reference timeline across a whole admission
+    /// sequence: graphs admitted at increasing releases contend for the
+    /// same shared streams/links in both, and the accumulated fleet
+    /// schedules match bit for bit.
+    #[test]
+    fn fleet_admissions_match_reference_timeline(
+        spec in prop::collection::vec(random_node(), 4..48),
+        gaps in prop::collection::vec(0.0f64..3.0, 1..8),
+    ) {
+        let mut fast = FleetTimeline::new();
+        let mut slow = FleetTimeline::reference();
+        let chunk = spec.len().div_ceil(gaps.len());
+        let mut release = 0.0f64;
+        for (k, part) in spec.chunks(chunk).enumerate() {
+            release += gaps[k.min(gaps.len() - 1)];
+            let g = random_graph(part);
+            let a = fast.admit(&g, release, &format!("r{k}:"));
+            let b = slow.admit(&g, release, &format!("r{k}:"));
+            prop_assert_eq!(a.start.to_bits(), b.start.to_bits());
+            prop_assert_eq!(a.finish.to_bits(), b.finish.to_bits());
+            prop_assert_eq!(&a.nodes, &b.nodes);
+        }
+        let fs = fast.schedule();
+        let ss = slow.schedule();
+        prop_assert_eq!(
+            fs.start.iter().map(|t| t.to_bits()).collect::<Vec<_>>(),
+            ss.start.iter().map(|t| t.to_bits()).collect::<Vec<_>>()
+        );
+        prop_assert_eq!(
+            fs.finish.iter().map(|t| t.to_bits()).collect::<Vec<_>>(),
+            ss.finish.iter().map(|t| t.to_bits()).collect::<Vec<_>>()
+        );
+        prop_assert_eq!(&fs.pred, &ss.pred);
+        prop_assert_eq!(fs.makespan.to_bits(), ss.makespan.to_bits());
     }
 }
 

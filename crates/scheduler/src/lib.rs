@@ -49,5 +49,5 @@ pub use metrics::FleetMetrics;
 pub use policy::Policy;
 pub use pool::{DevicePool, PoolLease};
 pub use request::ServeRequest;
-pub use serve::{Completion, ServeConfig, ServeReport, Server};
+pub use serve::{Completion, ResponseStats, ServeConfig, ServeReport, Server};
 pub use workload::{request_input, requests_from_json, requests_to_json, WorkloadSpec};

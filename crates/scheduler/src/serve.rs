@@ -7,7 +7,9 @@
 //!    the head leases GPUs from the [`DevicePool`] (a partial grant is
 //!    planned with the degraded-mode subset rule), compatible neighbours
 //!    are coalesced into its launch ([`crate::coalesce`]), the batch is
-//!    *functionally executed* through `scan_core::scan_on_lease`, and the
+//!    *functionally executed* through `scan_core::scan_on_lease` (via the
+//!    shared [`PlanCache`] by default, which replays the memoized graph
+//!    bit-identically for repeated shapes — see `docs/perf.md`), and the
 //!    resulting graph is admitted into one shared [`FleetTimeline`] — so
 //!    cross-request contention serialises exactly like intra-request
 //!    contention.
@@ -24,10 +26,16 @@
 //! a fleet of mixed operator types would need per-type launch queues for
 //! no modelling benefit.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
 use gpu_sim::DeviceSpec;
 use interconnect::{Fabric, FleetTimeline, Trace};
-use scan_core::{scan_on_lease, PipelinePolicy, ProblemParams, ScanKind, ScanResult};
-use skeletons::{Add, SplkTuple};
+use scan_core::{
+    lease_plan_cached, run_and_memoize_lease, scan_on_lease, CacheStats, PipelinePolicy, PlanCache,
+    ProblemParams, ScanKind, ScanResult,
+};
+use skeletons::{Add, ScanOp, SplkTuple};
 
 use crate::coalesce;
 use crate::metrics::FleetMetrics;
@@ -51,13 +59,30 @@ pub struct ServeConfig {
     /// Keep every request's full output in its completion record (tests);
     /// off for benchmarking, where the checksum suffices.
     pub keep_outputs: bool,
+    /// Memoize built execution plans across launches (on by default): a
+    /// launch whose shape (problem, lease, tuple, policy) has run before
+    /// replays the cached graph bit-identically instead of rebuilding it.
+    pub plan_cache: bool,
+    /// Use the retained O(n²) reference list scheduler for fleet
+    /// admissions. Benchmark baseline only — outputs are bit-identical
+    /// either way, just slower.
+    #[doc(hidden)]
+    pub reference_timings: bool,
 }
 
 impl ServeConfig {
-    /// Defaults: one TSUBAME-KFC node (8 GPUs), coalescing on, outputs
-    /// dropped after checksumming.
+    /// Defaults: one TSUBAME-KFC node (8 GPUs), coalescing on, plan cache
+    /// on, outputs dropped after checksumming.
     pub fn new(policy: Policy, input_seed: u64) -> Self {
-        ServeConfig { pool_gpus: 8, policy, coalesce: true, input_seed, keep_outputs: false }
+        ServeConfig {
+            pool_gpus: 8,
+            policy,
+            coalesce: true,
+            input_seed,
+            keep_outputs: false,
+            plan_cache: true,
+            reference_timings: false,
+        }
     }
 }
 
@@ -75,8 +100,9 @@ pub struct Completion {
     pub finished: f64,
     /// Members in its launch (1 = ran alone).
     pub coalesced: usize,
-    /// GPUs the launch actually ran on.
-    pub gpus: Vec<usize>,
+    /// GPUs the launch actually ran on (shared by every completion of one
+    /// launch rather than cloned per member).
+    pub gpus: Arc<[usize]>,
     /// FNV-1a checksum of the request's output slice.
     pub checksum: u64,
     /// The output slice itself, when [`ServeConfig::keep_outputs`] is set.
@@ -112,6 +138,10 @@ pub struct ServeReport {
     pub queue_samples: Vec<(f64, usize)>,
     /// Fleet-level metrics derived from the above.
     pub metrics: FleetMetrics,
+    /// Plan-cache accounting for the window (all zeros when
+    /// [`ServeConfig::plan_cache`] is off). Kept out of [`FleetMetrics`]
+    /// so benchmark summaries are unchanged by caching.
+    pub cache_stats: CacheStats,
 }
 
 struct Launch {
@@ -121,12 +151,34 @@ struct Launch {
     completions: Vec<Completion>,
 }
 
+/// Response-memo accounting: how many completions were served without
+/// recomputing their output, and how many checksums are stored.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResponseStats {
+    /// Completions whose checksum came from the memo (no input generated,
+    /// no scan executed, no bytes hashed).
+    pub served: u64,
+    /// Distinct `(request id, shape)` checksums stored.
+    pub entries: usize,
+}
+
+#[derive(Debug, Default)]
+struct ResponseMemo {
+    /// `(request id, n, g)` → FNV-1a checksum of the request's output.
+    /// Valid for the server's lifetime because `input_seed` is fixed, so
+    /// the same id and shape always yield the same input and output.
+    sums: HashMap<(usize, u32, u32), u64>,
+    served: u64,
+}
+
 /// The multi-tenant scheduler.
 pub struct Server {
     config: ServeConfig,
     device: DeviceSpec,
     tuple: SplkTuple,
     fabric: Fabric,
+    cache: PlanCache,
+    responses: Mutex<ResponseMemo>,
 }
 
 impl Server {
@@ -141,7 +193,22 @@ impl Server {
             device: DeviceSpec::tesla_k80(),
             tuple: SplkTuple::kepler_premises(0),
             fabric,
+            cache: PlanCache::new(),
+            responses: Mutex::new(ResponseMemo::default()),
         }
+    }
+
+    /// Plan-cache accounting so far (across every window this server ran).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Response-memo accounting so far (across every window this server
+    /// ran). A warmed server re-serving known request shapes skips the
+    /// whole data path — see `docs/perf.md`.
+    pub fn response_stats(&self) -> ResponseStats {
+        let memo = self.responses.lock().expect("response memo poisoned");
+        ResponseStats { served: memo.served, entries: memo.sums.len() }
     }
 
     /// Serve `requests` (sorted by arrival) to completion.
@@ -151,8 +218,15 @@ impl Server {
             "requests must be sorted by arrival"
         );
         let mut pool = DevicePool::new(self.config.pool_gpus);
-        let mut fleet = FleetTimeline::new();
-        let mut queue: Vec<ServeRequest> = Vec::new();
+        let mut fleet = if self.config.reference_timings {
+            FleetTimeline::reference()
+        } else {
+            FleetTimeline::new()
+        };
+        // The queue holds indices into `requests`; payloads are borrowed in
+        // place and cloned exactly once, into their completion record.
+        let mut queue: Vec<usize> = Vec::new();
+        let mut refs: Vec<&ServeRequest> = Vec::new();
         let mut running: Vec<Launch> = Vec::new();
         let mut completions: Vec<Completion> = Vec::new();
         let mut queue_samples: Vec<(f64, usize)> = Vec::new();
@@ -162,7 +236,7 @@ impl Server {
 
         loop {
             while next < requests.len() && requests[next].arrival <= now {
-                queue.push(requests[next].clone());
+                queue.push(next);
                 next += 1;
             }
 
@@ -170,11 +244,12 @@ impl Server {
             // pool runs dry. No backfilling: a head that cannot lease
             // blocks everything behind it (see docs/serving.md).
             while !queue.is_empty() {
-                queue.sort_by_key(|r| self.config.policy.key(r));
-                let Some(lease) = pool.lease(queue[0].gpus_wanted) else { break };
-                let refs: Vec<&ServeRequest> = queue.iter().collect();
+                queue.sort_by_key(|&i| self.config.policy.key(&requests[i]));
+                let Some(lease) = pool.lease(requests[queue[0]].gpus_wanted) else { break };
+                refs.clear();
+                refs.extend(queue.iter().map(|&i| &requests[i]));
                 let plan = coalesce::plan(&refs, self.config.coalesce);
-                let members: Vec<ServeRequest> = plan
+                let members: Vec<usize> = plan
                     .members
                     .iter()
                     .rev() // remove back-to-front so positions stay valid
@@ -183,8 +258,15 @@ impl Server {
                     .into_iter()
                     .rev()
                     .collect();
-                let launch =
-                    self.launch(launches, &mut fleet, lease, members, plan.g_combined, now)?;
+                let launch = self.launch(
+                    launches,
+                    &mut fleet,
+                    lease,
+                    requests,
+                    &members,
+                    plan.g_combined,
+                    now,
+                )?;
                 launches += 1;
                 running.push(launch);
             }
@@ -232,76 +314,195 @@ impl Server {
             &trace,
             &queue_samples,
         );
-        Ok(ServeReport { completions, launches, makespan, trace, queue_samples, metrics })
+        Ok(ServeReport {
+            completions,
+            launches,
+            makespan,
+            trace,
+            queue_samples,
+            metrics,
+            cache_stats: self.cache.stats(),
+        })
     }
 
     /// Execute one (possibly coalesced) launch and admit it to the fleet.
+    /// `members` are indices into `requests`.
+    #[allow(clippy::too_many_arguments)]
     fn launch(
         &self,
         seq: usize,
         fleet: &mut FleetTimeline,
         lease: PoolLease,
-        members: Vec<ServeRequest>,
+        requests: &[ServeRequest],
+        members: &[usize],
         g_combined: u32,
         now: f64,
     ) -> ScanResult<Launch> {
-        let head = &members[0];
+        let head = &requests[members[0]];
         let problem = ProblemParams::new(head.n, g_combined);
-        let mut input = Vec::with_capacity(problem.total_elems());
-        for m in &members {
-            input.extend(request_input(self.config.input_seed, m.id, m.total_elems()));
-        }
-        debug_assert_eq!(input.len(), problem.total_elems());
+        let gpu_lease = lease.to_gpu_lease();
+        let policy = PipelinePolicy::default();
 
-        let leased = scan_on_lease(
-            Add,
-            self.tuple,
-            &self.device,
-            &self.fabric,
-            &lease.to_gpu_lease(),
-            problem,
-            &input,
-            ScanKind::Inclusive,
-            &PipelinePolicy::default(),
-        )?;
+        // Plan-cache hit: the replayed graph is all the fleet needs, so
+        // the data path runs per member (each member's batches are
+        // scanned independently) — and a memoized response checksum
+        // skips a member's data work entirely.
+        let plan = if self.config.plan_cache {
+            lease_plan_cached::<i32>(
+                &self.cache,
+                &self.device,
+                &self.fabric,
+                &gpu_lease,
+                problem,
+                self.tuple,
+                ScanKind::Inclusive,
+                &policy,
+            )
+        } else {
+            None
+        };
+
+        // Per member: `(checksum, output if kept)`.
+        let (run, gpus_used, outputs) = match plan {
+            Some((run, gpus_used)) => {
+                let keep = self.config.keep_outputs;
+                let mut memo = self.responses.lock().expect("response memo poisoned");
+                let outputs: Vec<(u64, Option<Vec<i32>>)> = members
+                    .iter()
+                    .map(|&m| {
+                        let m = &requests[m];
+                        let key = (m.id, m.n, m.g);
+                        match (!keep).then(|| memo.sums.get(&key).copied()).flatten() {
+                            Some(sum) => {
+                                memo.served += 1;
+                                (sum, None)
+                            }
+                            None => {
+                                let input =
+                                    request_input(self.config.input_seed, m.id, m.total_elems());
+                                let (sum, out) =
+                                    scanned_checksum(&input, m.problem().problem_size(), keep);
+                                memo.sums.insert(key, sum);
+                                (sum, out)
+                            }
+                        }
+                    })
+                    .collect();
+                (run, gpus_used, outputs)
+            }
+            None => {
+                let mut input = Vec::with_capacity(problem.total_elems());
+                for &m in members {
+                    let m = &requests[m];
+                    input.extend(request_input(self.config.input_seed, m.id, m.total_elems()));
+                }
+                debug_assert_eq!(input.len(), problem.total_elems());
+                let leased = if self.config.plan_cache {
+                    run_and_memoize_lease(
+                        &self.cache,
+                        Add,
+                        self.tuple,
+                        &self.device,
+                        &self.fabric,
+                        &gpu_lease,
+                        problem,
+                        &input,
+                        ScanKind::Inclusive,
+                        &policy,
+                    )?
+                } else {
+                    scan_on_lease(
+                        Add,
+                        self.tuple,
+                        &self.device,
+                        &self.fabric,
+                        &gpu_lease,
+                        problem,
+                        &input,
+                        ScanKind::Inclusive,
+                        &policy,
+                    )?
+                };
+                let mut memo = self
+                    .config
+                    .plan_cache
+                    .then(|| self.responses.lock().expect("response memo poisoned"));
+                let mut offset = 0;
+                let outputs: Vec<(u64, Option<Vec<i32>>)> = members
+                    .iter()
+                    .map(|&m| {
+                        let m = &requests[m];
+                        let slice = &leased.data[offset..offset + m.total_elems()];
+                        offset += m.total_elems();
+                        let sum = fnv1a(slice);
+                        if let Some(memo) = memo.as_deref_mut() {
+                            memo.sums.insert((m.id, m.n, m.g), sum);
+                        }
+                        (sum, self.config.keep_outputs.then(|| slice.to_vec()))
+                    })
+                    .collect();
+                (leased.run, leased.gpus_used, outputs)
+            }
+        };
 
         let prefix = if members.len() == 1 {
             format!("r{}:", head.id)
         } else {
             format!("r{}+{}:", head.id, members.len() - 1)
         };
-        let admission = fleet.admit(&leased.run.graph, now, &prefix);
+        let admission = fleet.admit(&run.graph, now, &prefix);
 
         let group = members.len();
+        let gpus: Arc<[usize]> = gpus_used.into();
         let mut completions = Vec::with_capacity(group);
-        let mut offset = 0;
-        for m in members {
-            let len = m.total_elems();
-            let slice = &leased.data[offset..offset + len];
-            offset += len;
+        for (&m, (checksum, output)) in members.iter().zip(outputs) {
             completions.push(Completion {
                 dispatched: now,
                 started: admission.start,
                 finished: admission.finish,
                 coalesced: group,
-                gpus: leased.gpus_used.clone(),
-                checksum: fnv1a(slice),
-                output: self.config.keep_outputs.then(|| slice.to_vec()),
-                request: m,
+                gpus: gpus.clone(),
+                checksum,
+                output,
+                request: requests[m].clone(),
             });
         }
         Ok(Launch { seq, lease, finish: admission.finish, completions })
     }
 }
 
+/// Inclusive-scan `input` row by row (rows of `n` elements, the serving
+/// operator's wrapping `Add`) and FNV-1a the scanned values in order —
+/// the same bits as `fnv1a(&expected_output)` without materializing the
+/// output (unless `keep` asks for it).
+fn scanned_checksum(input: &[i32], n: usize, keep: bool) -> (u64, Option<Vec<i32>>) {
+    debug_assert_eq!(input.len() % n, 0);
+    let mut hash = FNV_OFFSET;
+    let mut out = keep.then(|| Vec::with_capacity(input.len()));
+    for row in input.chunks_exact(n) {
+        let mut acc = Add.identity();
+        for &v in row {
+            acc = Add.combine(acc, v);
+            hash = fnv1a_push(hash, acc);
+            if let Some(out) = out.as_mut() {
+                out.push(acc);
+            }
+        }
+    }
+    (hash, out)
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
 /// FNV-1a over the little-endian bytes of the output values.
 fn fnv1a(values: &[i32]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for v in values {
-        for byte in v.to_le_bytes() {
-            hash ^= byte as u64;
-            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-        }
+    values.iter().fold(FNV_OFFSET, |hash, &v| fnv1a_push(hash, v))
+}
+
+fn fnv1a_push(mut hash: u64, v: i32) -> u64 {
+    for byte in v.to_le_bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
     }
     hash
 }
@@ -371,6 +572,25 @@ mod tests {
         let launches_seen: std::collections::BTreeSet<&str> =
             labels.iter().filter_map(|l| l.split(':').next()).collect();
         assert_eq!(launches_seen.len(), report.launches);
+    }
+
+    #[test]
+    fn repeat_windows_are_bit_identical_and_served_from_memo() {
+        let requests = small_workload(3, 12);
+        let server = Server::new(ServeConfig::new(Policy::Fifo, 3));
+        let first = server.run(&requests).unwrap();
+        assert_eq!(server.response_stats().served, 0, "a cold window computes every output");
+        let second = server.run(&requests).unwrap();
+        assert_eq!(first.completions.len(), second.completions.len());
+        for (a, b) in first.completions.iter().zip(&second.completions) {
+            assert_eq!(a.request.id, b.request.id);
+            assert_eq!(a.checksum, b.checksum, "request {} checksum", a.request.id);
+            assert_eq!(a.finished.to_bits(), b.finished.to_bits(), "request {}", a.request.id);
+        }
+        assert_eq!(first.makespan.to_bits(), second.makespan.to_bits());
+        let stats = server.response_stats();
+        assert_eq!(stats.entries, 12);
+        assert_eq!(stats.served, 12, "a warm window serves every response from the memo");
     }
 
     #[test]
@@ -473,6 +693,6 @@ mod tests {
         let mut config = ServeConfig::new(Policy::Fifo, 3);
         config.pool_gpus = 2;
         let report = Server::new(config).run(&requests).unwrap();
-        assert_eq!(report.completions[0].gpus, vec![0, 1]);
+        assert_eq!(&*report.completions[0].gpus, &[0, 1]);
     }
 }

@@ -31,7 +31,7 @@ pub use skeletons as kernels;
 
 // The unified entry point, flat at the crate root: most callers need
 // nothing beyond `multigpu_scan::{ScanRequest, Proposal}`.
-pub use scan_core::{Proposal, ScanRequest, TraceHandle, TraceOptions};
+pub use scan_core::{CacheStats, PlanCache, Proposal, ScanRequest, TraceHandle, TraceOptions};
 
 /// The most common entry points, re-exported flat.
 pub mod prelude {
@@ -44,8 +44,8 @@ pub mod prelude {
     pub use scan_core::{
         premises, scan_case1, scan_mppc, scan_mppc_faulted, scan_mppc_with, scan_mps,
         scan_mps_faulted, scan_mps_multinode, scan_mps_multinode_faulted, scan_mps_with, scan_sp,
-        scan_sp_faulted, FaultyScanOutput, NodeConfig, PipelinePolicy, ProblemParams, Proposal,
-        ScanRequest, TraceHandle, TraceOptions,
+        scan_sp_faulted, CacheStats, FaultyScanOutput, NodeConfig, PipelinePolicy, PlanCache,
+        ProblemParams, Proposal, ScanRequest, TraceHandle, TraceOptions,
     };
     pub use scan_serve::{Policy, ServeConfig, ServeRequest, Server, WorkloadSpec};
     pub use skeletons::{Add, Max, Min, Mul, ScanOp, SplkTuple};

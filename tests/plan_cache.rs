@@ -1,0 +1,204 @@
+//! Plan-cache integration tests: a `ScanRequest` routed through a shared
+//! [`PlanCache`] must behave exactly like an uncached one — same data bits,
+//! same schedule bits, same errors — for every proposal, with exact
+//! hit/miss accounting. See `docs/perf.md` for the keying rules.
+
+use std::sync::Arc;
+
+use multigpu_scan::prelude::*;
+use multigpu_scan::scan::ScanError;
+use multigpu_scan::PlanCache;
+
+fn pseudo(n: usize) -> Vec<i32> {
+    (0..n).map(|i| ((i as i64 * 16807 + 11) % 211) as i32 - 105).collect()
+}
+
+fn assert_identical<T: PartialEq + std::fmt::Debug>(
+    cold: &multigpu_scan::scan::ScanOutput<T>,
+    cached: &multigpu_scan::scan::ScanOutput<T>,
+) {
+    assert_eq!(cached.data, cold.data, "data must match bit-for-bit");
+    assert_eq!(
+        cached.report.makespan.to_bits(),
+        cold.report.makespan.to_bits(),
+        "schedules must match bit-for-bit"
+    );
+    assert_eq!(cached.report.label, cold.report.label);
+    assert_eq!(cached.report.elements, cold.report.elements);
+    assert_eq!(
+        cached.report.graph.as_ref().map(|g| g.nodes().len()),
+        cold.report.graph.as_ref().map(|g| g.nodes().len()),
+        "cached graphs keep the cold run's shape"
+    );
+}
+
+/// Every proposal: the first cached run misses (and matches an uncached
+/// run), the second hits (and still matches).
+#[test]
+fn cached_runs_are_bit_identical_across_all_proposals() {
+    let cases: Vec<(Proposal, Option<NodeConfig>, ProblemParams)> = vec![
+        (Proposal::Sp, None, ProblemParams::new(13, 2)),
+        (Proposal::Mps, Some(NodeConfig::new(4, 4, 1, 1).unwrap()), ProblemParams::new(13, 2)),
+        (Proposal::Mppc, Some(NodeConfig::new(4, 2, 2, 1).unwrap()), ProblemParams::new(13, 2)),
+        (
+            Proposal::MpsMultinode,
+            Some(NodeConfig::new(4, 4, 1, 2).unwrap()),
+            ProblemParams::new(14, 1),
+        ),
+        (Proposal::Case1, Some(NodeConfig::new(4, 4, 1, 1).unwrap()), ProblemParams::new(13, 3)),
+    ];
+    let cache = Arc::new(PlanCache::new());
+    for (i, (proposal, cfg, problem)) in cases.iter().enumerate() {
+        let input = pseudo(problem.total_elems());
+        let build = || {
+            let mut req = ScanRequest::new(Add, *problem).proposal(*proposal);
+            if let Some(cfg) = cfg {
+                req = req.devices(*cfg);
+            }
+            req
+        };
+        let cold = build().run(&input).unwrap();
+        let miss = build().plan_cache(cache.clone()).run(&input).unwrap();
+        let hit = build().plan_cache(cache.clone()).run(&input).unwrap();
+        assert_identical(&cold, &miss);
+        assert_identical(&cold, &hit);
+        let stats = cache.stats();
+        assert_eq!(
+            (stats.hits, stats.misses, stats.entries),
+            (i as u64 + 1, i as u64 + 1, i + 1),
+            "one miss then one hit per proposal ({proposal:?})"
+        );
+    }
+    assert_eq!(cache.stats().bypasses, 0);
+}
+
+/// The explicit-ids lease path shares the cache machinery.
+#[test]
+fn device_ids_lease_path_hits_the_cache() {
+    let cache = Arc::new(PlanCache::new());
+    let problem = ProblemParams::new(12, 2);
+    let input = pseudo(problem.total_elems());
+    let build = || {
+        ScanRequest::new(Add, problem)
+            .proposal(Proposal::Mps)
+            .device_ids(&[0, 1])
+            .plan_cache(cache.clone())
+    };
+    let cold = ScanRequest::new(Add, problem)
+        .proposal(Proposal::Mps)
+        .device_ids(&[0, 1])
+        .run(&input)
+        .unwrap();
+    let miss = build().run(&input).unwrap();
+    let hit = build().run(&input).unwrap();
+    assert_identical(&cold, &miss);
+    assert_identical(&cold, &hit);
+    let stats = cache.stats();
+    assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+}
+
+/// Same shape, different data: the hit must track the new input, not replay
+/// the old output.
+#[test]
+fn hits_recompute_for_fresh_inputs() {
+    let cache = Arc::new(PlanCache::new());
+    let problem = ProblemParams::new(12, 3);
+    let a = pseudo(problem.total_elems());
+    let b: Vec<i32> = a.iter().map(|v| v.wrapping_mul(7) - 3).collect();
+    let req = ScanRequest::new(Add, problem).plan_cache(cache.clone());
+    req.run(&a).unwrap();
+    let hit = req.run(&b).unwrap();
+    let cold = ScanRequest::new(Add, problem).run(&b).unwrap();
+    assert_identical(&cold, &hit);
+    assert_eq!(cache.stats().hits, 1);
+}
+
+/// Exclusive semantics key separately from inclusive.
+#[test]
+fn scan_kind_is_part_of_the_key() {
+    let cache = Arc::new(PlanCache::new());
+    let problem = ProblemParams::new(12, 2);
+    let input = pseudo(problem.total_elems());
+    let incl = ScanRequest::new(Add, problem).plan_cache(cache.clone()).run(&input).unwrap();
+    let excl =
+        ScanRequest::new(Add, problem).exclusive().plan_cache(cache.clone()).run(&input).unwrap();
+    assert_ne!(incl.data, excl.data);
+    let stats = cache.stats();
+    assert_eq!((stats.hits, stats.misses, stats.entries), (0, 2, 2));
+    // And each replays its own entry.
+    let cold = ScanRequest::new(Add, problem).exclusive().run(&input).unwrap();
+    let hit =
+        ScanRequest::new(Add, problem).exclusive().plan_cache(cache.clone()).run(&input).unwrap();
+    assert_identical(&cold, &hit);
+}
+
+/// Floating-point runs stay correct through the cache: the self-validation
+/// on the cold miss decides whether the shape is replayable, and either way
+/// a later run is bit-identical to a cold one.
+#[test]
+fn float_runs_stay_bit_identical_to_cold_runs() {
+    let cache = Arc::new(PlanCache::new());
+    let problem = ProblemParams::new(12, 2);
+    let input: Vec<f32> =
+        (0..problem.total_elems()).map(|i| (i % 17) as f32 * 0.25 - 2.0).collect();
+    let cold = ScanRequest::new(Add, problem).run(&input).unwrap();
+    let first = ScanRequest::new(Add, problem).plan_cache(cache.clone()).run(&input).unwrap();
+    let second = ScanRequest::new(Add, problem).plan_cache(cache.clone()).run(&input).unwrap();
+    let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(bits(&first.data), bits(&cold.data));
+    assert_eq!(bits(&second.data), bits(&cold.data));
+    assert_eq!(second.report.makespan.to_bits(), cold.report.makespan.to_bits());
+}
+
+/// A cache hit must not paper over a request that would error cold: the
+/// validation runs before the lookup.
+#[test]
+fn invalid_requests_still_error_after_a_warm_cache() {
+    let cache = Arc::new(PlanCache::new());
+    let problem = ProblemParams::new(12, 1);
+    let input = pseudo(problem.total_elems());
+    // Warm the Sp default-policy shape.
+    ScanRequest::new(Add, problem).plan_cache(cache.clone()).run(&input).unwrap();
+    // An explicit policy on Sp is invalid even though its key fields match
+    // the cached entry's.
+    let err = ScanRequest::new(Add, problem)
+        .pipeline(PipelinePolicy::default())
+        .plan_cache(cache.clone())
+        .run(&input)
+        .unwrap_err();
+    assert!(matches!(err, ScanError::InvalidConfig(_)));
+    // A multi-GPU proposal without devices errors, not hits.
+    let err = ScanRequest::new(Add, problem)
+        .proposal(Proposal::Mps)
+        .plan_cache(cache.clone())
+        .run(&input)
+        .unwrap_err();
+    assert!(matches!(err, ScanError::InvalidConfig(_)));
+    assert_eq!(cache.stats().hits, 0);
+}
+
+/// Tracing works identically on hits: the replayed graph supports
+/// critical-path attribution with the cold run's makespan.
+#[test]
+fn trace_capture_works_on_cache_hits() {
+    let cache = Arc::new(PlanCache::new());
+    let problem = ProblemParams::new(12, 2);
+    let input = pseudo(problem.total_elems());
+    let cfg = NodeConfig::new(2, 2, 1, 1).unwrap();
+    let build = || {
+        ScanRequest::new(Add, problem)
+            .proposal(Proposal::Mps)
+            .devices(cfg)
+            .trace(TraceOptions::full())
+            .plan_cache(cache.clone())
+    };
+    let cold = build().run(&input).unwrap();
+    let hit = build().run(&input).unwrap();
+    assert_eq!(cache.stats().hits, 1);
+    let cold_trace = cold.trace.expect("tracing requested");
+    let hit_trace = hit.trace.expect("tracing survives a hit");
+    assert_eq!(
+        hit_trace.critical_path().total_seconds().to_bits(),
+        cold_trace.critical_path().total_seconds().to_bits()
+    );
+}
