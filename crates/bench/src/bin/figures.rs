@@ -4,7 +4,7 @@
 //! figures [--total-log2 N] [--n-lo N] [--no-verify] [--trace-dir DIR]
 //!         [--seed N] [--requests N] [--policy fifo|sjf|edf|all]
 //!         [--pool-gpus N] [--no-coalesce] [--out DIR] [--workload FILE]
-//!         [CMD...]
+//!         [--op-mix] [CMD...]
 //!
 //! CMD: table3 fig1 fig9 fig10 fig11 fig12 fig13 fig14 mw-sweep k-sweep
 //!      ablations trace serve bench-scan self all (default: all)
@@ -26,7 +26,10 @@
 //! workload — or a JSON trace via `--workload` — under every policy,
 //! prints p50/p99 latency, throughput and the coalescing ratio, writes
 //! `BENCH_serve.json` into `--out` (default `.`) and one fleet-wide
-//! Chrome trace per selected policy into `--trace-dir`.
+//! Chrome trace per selected policy into `--trace-dir`. `--op-mix`
+//! switches the generated workload to the mixed-operator mix (i32 sum,
+//! f64 max, segmented sum, gated recurrence) — point `--out` somewhere
+//! else then, as the committed `BENCH_serve.json` pins the default mix.
 //!
 //! `bench-scan` runs a pinned set of single-scan configurations
 //! (independent of the sweep flags, so the output is byte-stable) and
@@ -87,11 +90,12 @@ fn main() {
                 i += 1;
                 serve_opts.workload = Some(args[i].clone());
             }
+            "--op-mix" => serve_opts.op_mix = true,
             "--help" | "-h" => {
                 println!(
                     "figures [--total-log2 N] [--n-lo N] [--no-verify] [--trace-dir DIR] \
                      [--seed N] [--requests N] [--policy fifo|sjf|edf|all] [--pool-gpus N] \
-                     [--no-coalesce] [--out DIR] [--workload FILE] \
+                     [--no-coalesce] [--out DIR] [--workload FILE] [--op-mix] \
                      [table3 fig1 fig9 fig10 fig11 fig12 fig13 fig14 mw-sweep k-sweep ablations \
                      trace serve bench-scan self all]"
                 );
@@ -342,6 +346,7 @@ struct ServeOpts {
     coalesce: bool,
     out: String,
     workload: Option<String>,
+    op_mix: bool,
 }
 
 impl Default for ServeOpts {
@@ -354,6 +359,7 @@ impl Default for ServeOpts {
             coalesce: true,
             out: String::from("."),
             workload: None,
+            op_mix: false,
         }
     }
 }
@@ -372,15 +378,25 @@ fn serve(opts: &ServeOpts, trace_dir: &str) {
             let text = std::fs::read_to_string(path).expect("read --workload file");
             requests_from_json(&text).expect("parse --workload JSON")
         }
+        None if opts.op_mix => WorkloadSpec::mixed_ops_for(opts.seed, opts.requests).generate(),
         None => WorkloadSpec::default_for(opts.seed, opts.requests).generate(),
     };
     println!(
-        "## scan-serve — {} requests, seed {}, pool of {} GPUs, coalescing {}",
+        "## scan-serve — {} requests, seed {}, pool of {} GPUs, coalescing {}{}",
         requests.len(),
         opts.seed,
         opts.pool_gpus,
-        if opts.coalesce { "on" } else { "off" }
+        if opts.coalesce { "on" } else { "off" },
+        if opts.op_mix { ", mixed operators" } else { "" }
     );
+    if opts.op_mix {
+        let mut counts = std::collections::BTreeMap::new();
+        for r in &requests {
+            *counts.entry(r.op.as_str()).or_insert(0usize) += 1;
+        }
+        let mix: Vec<String> = counts.iter().map(|(k, c)| format!("{k}={c}")).collect();
+        println!("operator mix: {}", mix.join(" "));
+    }
 
     let selected: Vec<Policy> = if opts.policy == "all" {
         Policy::all().to_vec()

@@ -171,6 +171,14 @@ pub struct CacheKey {
     /// Element width in bytes (transfer sizes and transaction counts
     /// depend on it).
     pub elem_bytes: usize,
+    /// Operator fingerprint (`type_name` of the `ScanOp` impl). Two
+    /// operators on the same lease shape must not share a retargeted plan:
+    /// the memoized `replayable` verdict and the serving layer's response
+    /// memo are both operator-dependent.
+    pub op: &'static str,
+    /// Element-type fingerprint (`type_name` of `T`). `elem_bytes` alone
+    /// would alias e.g. `i32` and `f32`, whose replayability differs.
+    pub elem: &'static str,
     /// Pipeline sub-batch count.
     pub batches: usize,
     /// Pipeline communication/compute overlap flag.
@@ -297,8 +305,9 @@ pub(crate) fn reference_result<T: Scannable, O: ScanOp<T>>(
 }
 
 /// The cache key of a lease-path run: the lease enters as its topological
-/// shape (width + pairwise link classes), not its raw GPU ids.
-pub(crate) fn lease_key<T: Scannable>(
+/// shape (width + pairwise link classes), not its raw GPU ids. The
+/// operator and element type are part of the key — see [`CacheKey::op`].
+pub(crate) fn lease_key<T: Scannable, O: ScanOp<T>>(
     device: &DeviceSpec,
     fabric: &Fabric,
     lease: &GpuLease,
@@ -321,6 +330,8 @@ pub(crate) fn lease_key<T: Scannable>(
         tuple,
         kind,
         elem_bytes: std::mem::size_of::<T>(),
+        op: std::any::type_name::<O>(),
+        elem: std::any::type_name::<T>(),
         batches: policy.batches,
         overlap: policy.overlap,
         device: DeviceSel::Lease { width: ids.len(), classes },
@@ -388,7 +399,7 @@ pub fn scan_on_lease_cached<T: Scannable, O: ScanOp<T>>(
     policy: &PipelinePolicy,
 ) -> ScanResult<LeaseRun<T>> {
     if let Some((run, gpus_used)) =
-        lease_plan_cached::<T>(cache, device, fabric, lease, problem, tuple, kind, policy)
+        lease_plan_cached::<T, O>(cache, device, fabric, lease, problem, tuple, kind, policy)
     {
         return Ok(LeaseRun { data: reference_result(op, problem, input, kind), run, gpus_used });
     }
@@ -406,7 +417,7 @@ pub fn scan_on_lease_cached<T: Scannable, O: ScanOp<T>>(
 /// fleet before deciding whether the member outputs need computing at all
 /// (memoized response checksums skip the data path entirely).
 #[allow(clippy::too_many_arguments)]
-pub fn lease_plan_cached<T: Scannable>(
+pub fn lease_plan_cached<T: Scannable, O: ScanOp<T>>(
     cache: &PlanCache,
     device: &DeviceSpec,
     fabric: &Fabric,
@@ -416,7 +427,7 @@ pub fn lease_plan_cached<T: Scannable>(
     kind: ScanKind,
     policy: &PipelinePolicy,
 ) -> Option<(PipelineRun, Vec<usize>)> {
-    let key = lease_key::<T>(device, fabric, lease, problem, tuple, kind, policy);
+    let key = lease_key::<T, O>(device, fabric, lease, problem, tuple, kind, policy);
     let plan = cache.lookup(&key)?;
     let mut graph = plan.report.graph.clone().expect("lease plans always carry a graph");
     let gpus_used = if plan.lease_ids == lease.granted() && plan.lease_stream == lease.stream() {
@@ -451,7 +462,7 @@ pub fn run_and_memoize_lease<T: Scannable, O: ScanOp<T>>(
     kind: ScanKind,
     policy: &PipelinePolicy,
 ) -> ScanResult<LeaseRun<T>> {
-    let key = lease_key::<T>(device, fabric, lease, problem, tuple, kind, policy);
+    let key = lease_key::<T, O>(device, fabric, lease, problem, tuple, kind, policy);
     let cold = scan_on_lease(op, tuple, device, fabric, lease, problem, input, kind, policy)?;
     let replayable = cold.data == reference_result(op, problem, input, kind);
     let report = RunReport::from_run("Scan-Lease", problem.total_elems(), cold.run.clone());

@@ -372,6 +372,8 @@ impl<O: Copy> ScanRequest<O> {
                     tuple,
                     kind: self.kind,
                     elem_bytes: std::mem::size_of::<T>(),
+                    op: std::any::type_name::<O>(),
+                    elem: std::any::type_name::<T>(),
                     batches: policy.batches,
                     overlap: policy.overlap,
                     device: match cfg {

@@ -14,8 +14,10 @@ use crate::error::{SimError, SimResult};
 /// Marker trait for element types that can live in simulated device memory.
 ///
 /// Blanket-implemented for every `Copy + Send + Sync + Default + Debug`
-/// type, covering the integer and float element types the scan library
-/// supports.
+/// type: the integer and float primitives, and the struct pair elements
+/// the operator-generic pipeline scans (segmented head-flag pairs, the
+/// gated recurrence's affine pairs) — any plain-old-data type a CUDA
+/// kernel could hold in registers.
 pub trait DeviceCopy: Copy + Send + Sync + Default + PartialEq + std::fmt::Debug + 'static {}
 impl<T: Copy + Send + Sync + Default + PartialEq + std::fmt::Debug + 'static> DeviceCopy for T {}
 

@@ -3,8 +3,9 @@
 //! Figures 11–13 show that G small scans in one batched launch beat G
 //! separate invocations, and §5's library comparison attributes the gap to
 //! per-invocation overhead. The server exploits this across tenants: when
-//! several queued requests are *compatible* — same problem size `N`,
-//! single-GPU (the Scan-SP / Case-1 shape, no cross-GPU layout to
+//! several queued requests are *compatible* — same problem size `N`, same
+//! operator/element kind (one launch runs one monoid over one element
+//! type), single-GPU (the Scan-SP / Case-1 shape, no cross-GPU layout to
 //! reconcile) — their batches are concatenated into one launch.
 //!
 //! The rule is a longest-prefix scan of the policy-ordered queue, so
@@ -49,7 +50,7 @@ pub fn plan(queue: &[&ServeRequest], enabled: bool) -> CoalescePlan {
     let mut problems = 1usize << head.g;
     let mut best: Option<(Vec<usize>, usize)> = None;
     for (pos, r) in queue.iter().enumerate().skip(1) {
-        if r.gpus_wanted != 1 || r.n != head.n {
+        if r.gpus_wanted != 1 || r.n != head.n || r.op != head.op {
             break;
         }
         members.push(pos);
@@ -69,6 +70,7 @@ pub fn plan(queue: &[&ServeRequest], enabled: bool) -> CoalescePlan {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::request::OpKind;
 
     fn req(id: usize, n: u32, g: u32, gpus: usize) -> ServeRequest {
         ServeRequest {
@@ -79,6 +81,7 @@ mod tests {
             gpus_wanted: gpus,
             priority: 0,
             deadline: None,
+            op: OpKind::AddI32,
         }
     }
 
@@ -123,6 +126,21 @@ mod tests {
         let p = plan_of(&reqs);
         assert_eq!(p.members, vec![0]);
         assert_eq!(p.g_combined, 1);
+    }
+
+    #[test]
+    fn different_operators_never_share_a_launch() {
+        // Same shape throughout, but request 1 runs a different monoid:
+        // the prefix stops there even though request 2 matches the head.
+        let mut reqs = [req(0, 10, 0, 1), req(1, 10, 0, 1), req(2, 10, 0, 1)];
+        reqs[1].op = OpKind::GatedF64;
+        assert_eq!(plan_of(&reqs).members, vec![0]);
+        // A uniform non-default kind coalesces normally.
+        let mut reqs = [req(0, 10, 1, 1), req(1, 10, 0, 1), req(2, 10, 0, 1)];
+        for r in &mut reqs {
+            r.op = OpKind::MaxF64;
+        }
+        assert_eq!(plan_of(&reqs).members, vec![0, 1, 2]);
     }
 
     #[test]

@@ -13,6 +13,11 @@
 //! * **coalesces** compatible small scans into one batched Scan-SP launch
 //!   (the paper's Fig. 11–13 batching insight applied across tenants),
 //!   bit-identically to serving each request alone;
+//! * **mixes operators** in one window: each request names an
+//!   [`OpKind`] — i32 sum (default), f64 max, segmented sum, or the gated
+//!   first-order recurrence as an affine-pair monoid — and dispatch,
+//!   coalescing, plan-cache keys and response checksums all respect the
+//!   operator boundary (see `docs/operators.md`);
 //! * **executes** every launch's `ExecGraph` against one shared
 //!   `interconnect::FleetTimeline`, so cross-request contention
 //!   serialises exactly like intra-request contention, and the whole
@@ -48,6 +53,9 @@ pub use json::Json;
 pub use metrics::FleetMetrics;
 pub use policy::Policy;
 pub use pool::{DevicePool, PoolLease};
-pub use request::ServeRequest;
-pub use serve::{Completion, ResponseStats, ServeConfig, ServeReport, Server};
-pub use workload::{request_input, requests_from_json, requests_to_json, WorkloadSpec};
+pub use request::{OpKind, ServeRequest};
+pub use serve::{Completion, ResponseStats, ServeConfig, ServeReport, ServedOutput, Server};
+pub use workload::{
+    request_input, request_input_f64, request_input_gated, request_input_seg, requests_from_json,
+    requests_to_json, WorkloadSpec,
+};

@@ -69,7 +69,16 @@ mod tests {
     use super::*;
 
     fn req(id: usize, arrival: f64, g: u32, deadline: Option<f64>) -> ServeRequest {
-        ServeRequest { id, arrival, n: 10, g, gpus_wanted: 1, priority: 0, deadline }
+        ServeRequest {
+            id,
+            arrival,
+            n: 10,
+            g,
+            gpus_wanted: 1,
+            priority: 0,
+            deadline,
+            op: crate::request::OpKind::AddI32,
+        }
     }
 
     fn order(policy: Policy, mut reqs: Vec<ServeRequest>) -> Vec<usize> {

@@ -21,10 +21,18 @@
 //! arithmetic, queue orders are total, and completions are processed in
 //! `(finish-time bits, launch sequence)` order.
 //!
-//! The served operator is pinned to inclusive `Add` over `i32` — the
-//! paper's evaluation workload. Generic operators stay in `scan_core`;
-//! a fleet of mixed operator types would need per-type launch queues for
-//! no modelling benefit.
+//! One window serves a *mixed-operator* workload: each request names an
+//! [`OpKind`] — inclusive `Add` over `i32` (the paper's evaluation
+//! workload and the default), `Max` over `f64`, segmented sum over
+//! head-flag pairs, or the gated first-order recurrence over `f64` affine
+//! pairs — and the dispatcher instantiates the fully typed pipeline for
+//! its launch. Requests of different kinds never coalesce, and plan-cache
+//! and response-memo entries are keyed by kind, so operators cannot
+//! cross-contaminate. Served outputs and checksums are computed in the
+//! canonical sequential reference order per tenant, so every completion
+//! is bit-equal to an isolated CPU-reference run of the same request —
+//! for any operator, including the non-exactly-associative float kinds
+//! (see `docs/operators.md`).
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -35,14 +43,16 @@ use scan_core::{
     lease_plan_cached, run_and_memoize_lease, scan_on_lease, CacheStats, PipelinePolicy, PlanCache,
     ProblemParams, ScanKind, ScanResult,
 };
-use skeletons::{Add, ScanOp, SplkTuple};
+use skeletons::{
+    Add, AffinePair, GatedOp, Max, ScanOp, Scannable, SegPair, SegmentedAdd, SplkTuple,
+};
 
 use crate::coalesce;
 use crate::metrics::FleetMetrics;
 use crate::policy::Policy;
 use crate::pool::{DevicePool, PoolLease};
-use crate::request::ServeRequest;
-use crate::workload::request_input;
+use crate::request::{OpKind, ServeRequest};
+use crate::workload::{request_input, request_input_f64, request_input_gated, request_input_seg};
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -103,10 +113,142 @@ pub struct Completion {
     /// GPUs the launch actually ran on (shared by every completion of one
     /// launch rather than cloned per member).
     pub gpus: Arc<[usize]>,
-    /// FNV-1a checksum of the request's output slice.
+    /// FNV-1a checksum of the request's output slice, over each value's
+    /// little-endian byte encoding (see [`ServedOutput`] for the per-type
+    /// encodings).
     pub checksum: u64,
     /// The output slice itself, when [`ServeConfig::keep_outputs`] is set.
-    pub output: Option<Vec<i32>>,
+    pub output: Option<ServedOutput>,
+}
+
+/// One request's kept output, typed by its [`OpKind`].
+///
+/// Checksum byte encodings: `i32` hashes as 4 little-endian bytes, `f64`
+/// as the 8 little-endian bytes of its bit pattern, a [`SegPair`] as its
+/// value followed by one flag byte, an [`AffinePair`] as `a` then `b`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServedOutput {
+    /// [`OpKind::AddI32`] — running wrapping sums.
+    I32(Vec<i32>),
+    /// [`OpKind::MaxF64`] — running maxima.
+    F64(Vec<f64>),
+    /// [`OpKind::SegSumI32`] — running segmented sums (flags carried
+    /// through).
+    SegI32(Vec<SegPair<i32>>),
+    /// [`OpKind::GatedF64`] — composed affine maps; the recurrence's
+    /// solution is each pair's `b` component.
+    GatedF64(Vec<AffinePair<f64>>),
+}
+
+impl ServedOutput {
+    /// Elements in the output.
+    pub fn len(&self) -> usize {
+        match self {
+            ServedOutput::I32(v) => v.len(),
+            ServedOutput::F64(v) => v.len(),
+            ServedOutput::SegI32(v) => v.len(),
+            ServedOutput::GatedF64(v) => v.len(),
+        }
+    }
+
+    /// Whether the output is empty (never, for a valid request).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `i32` sum-scan output, if this is an [`OpKind::AddI32`]
+    /// completion.
+    pub fn as_i32(&self) -> Option<&[i32]> {
+        match self {
+            ServedOutput::I32(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The `f64` max-scan output, if this is an [`OpKind::MaxF64`]
+    /// completion.
+    pub fn as_f64(&self) -> Option<&[f64]> {
+        match self {
+            ServedOutput::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The segmented-sum output, if this is an [`OpKind::SegSumI32`]
+    /// completion.
+    pub fn as_seg_i32(&self) -> Option<&[SegPair<i32>]> {
+        match self {
+            ServedOutput::SegI32(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The gated-recurrence output, if this is an [`OpKind::GatedF64`]
+    /// completion.
+    pub fn as_gated_f64(&self) -> Option<&[AffinePair<f64>]> {
+        match self {
+            ServedOutput::GatedF64(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// An element type the serving engine hosts: how to fetch a tenant's
+/// deterministic input stream, hash an output value into the response
+/// checksum, and box a kept output.
+trait ServedElem: Scannable {
+    fn fetch(seed: u64, id: usize, len: usize) -> Vec<Self>;
+    fn push(hash: u64, v: Self) -> u64;
+    fn wrap(out: Vec<Self>) -> ServedOutput;
+}
+
+impl ServedElem for i32 {
+    fn fetch(seed: u64, id: usize, len: usize) -> Vec<i32> {
+        request_input(seed, id, len)
+    }
+    fn push(hash: u64, v: i32) -> u64 {
+        fnv1a_push(hash, v)
+    }
+    fn wrap(out: Vec<i32>) -> ServedOutput {
+        ServedOutput::I32(out)
+    }
+}
+
+impl ServedElem for f64 {
+    fn fetch(seed: u64, id: usize, len: usize) -> Vec<f64> {
+        request_input_f64(seed, id, len)
+    }
+    fn push(hash: u64, v: f64) -> u64 {
+        fnv1a_bytes(hash, &v.to_bits().to_le_bytes())
+    }
+    fn wrap(out: Vec<f64>) -> ServedOutput {
+        ServedOutput::F64(out)
+    }
+}
+
+impl ServedElem for SegPair<i32> {
+    fn fetch(seed: u64, id: usize, len: usize) -> Vec<SegPair<i32>> {
+        request_input_seg(seed, id, len)
+    }
+    fn push(hash: u64, v: SegPair<i32>) -> u64 {
+        fnv1a_bytes(fnv1a_push(hash, v.v), &[v.reset as u8])
+    }
+    fn wrap(out: Vec<SegPair<i32>>) -> ServedOutput {
+        ServedOutput::SegI32(out)
+    }
+}
+
+impl ServedElem for AffinePair<f64> {
+    fn fetch(seed: u64, id: usize, len: usize) -> Vec<AffinePair<f64>> {
+        request_input_gated(seed, id, len)
+    }
+    fn push(hash: u64, v: AffinePair<f64>) -> u64 {
+        let hash = fnv1a_bytes(hash, &v.a.to_bits().to_le_bytes());
+        fnv1a_bytes(hash, &v.b.to_bits().to_le_bytes())
+    }
+    fn wrap(out: Vec<AffinePair<f64>>) -> ServedOutput {
+        ServedOutput::GatedF64(out)
+    }
 }
 
 impl Completion {
@@ -155,19 +297,22 @@ struct Launch {
 /// recomputing their output, and how many checksums are stored.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ResponseStats {
-    /// Completions whose checksum came from the memo (no input generated,
-    /// no scan executed, no bytes hashed).
+    /// Completions whose checksum came from the memo: no reference scan,
+    /// no bytes hashed — and on a plan-cache hit, no input generated
+    /// either.
     pub served: u64,
-    /// Distinct `(request id, shape)` checksums stored.
+    /// Distinct `(request id, shape, operator kind)` checksums stored.
     pub entries: usize,
 }
 
 #[derive(Debug, Default)]
 struct ResponseMemo {
-    /// `(request id, n, g)` → FNV-1a checksum of the request's output.
+    /// `(request id, n, g, op)` → FNV-1a checksum of the request's output.
     /// Valid for the server's lifetime because `input_seed` is fixed, so
-    /// the same id and shape always yield the same input and output.
-    sums: HashMap<(usize, u32, u32), u64>,
+    /// the same id, shape and operator always yield the same input and
+    /// output. The operator is part of the key: the same id served under
+    /// two kinds has two distinct checksums.
+    sums: HashMap<(usize, u32, u32, OpKind), u64>,
     served: u64,
 }
 
@@ -325,11 +470,48 @@ impl Server {
         })
     }
 
-    /// Execute one (possibly coalesced) launch and admit it to the fleet.
+    /// Execute one (possibly coalesced) launch and admit it to the fleet:
+    /// dispatch on the head's [`OpKind`] to the fully typed instantiation.
+    /// Every member shares the head's kind (the coalescer never mixes).
     /// `members` are indices into `requests`.
     #[allow(clippy::too_many_arguments)]
     fn launch(
         &self,
+        seq: usize,
+        fleet: &mut FleetTimeline,
+        lease: PoolLease,
+        requests: &[ServeRequest],
+        members: &[usize],
+        g_combined: u32,
+        now: f64,
+    ) -> ScanResult<Launch> {
+        debug_assert!(members.iter().all(|&m| requests[m].op == requests[members[0]].op));
+        match requests[members[0]].op {
+            OpKind::AddI32 => self
+                .launch_typed::<i32, _>(Add, seq, fleet, lease, requests, members, g_combined, now),
+            OpKind::MaxF64 => self
+                .launch_typed::<f64, _>(Max, seq, fleet, lease, requests, members, g_combined, now),
+            OpKind::SegSumI32 => self.launch_typed::<SegPair<i32>, _>(
+                SegmentedAdd,
+                seq,
+                fleet,
+                lease,
+                requests,
+                members,
+                g_combined,
+                now,
+            ),
+            OpKind::GatedF64 => self.launch_typed::<AffinePair<f64>, _>(
+                GatedOp, seq, fleet, lease, requests, members, g_combined, now,
+            ),
+        }
+    }
+
+    /// The typed body of [`Server::launch`].
+    #[allow(clippy::too_many_arguments)]
+    fn launch_typed<T: ServedElem, O: ScanOp<T>>(
+        &self,
+        op: O,
         seq: usize,
         fleet: &mut FleetTimeline,
         lease: PoolLease,
@@ -346,9 +528,10 @@ impl Server {
         // Plan-cache hit: the replayed graph is all the fleet needs, so
         // the data path runs per member (each member's batches are
         // scanned independently) — and a memoized response checksum
-        // skips a member's data work entirely.
+        // skips a member's data work entirely. The key carries `T` and
+        // `O`, so a hit can only come from this operator's own entries.
         let plan = if self.config.plan_cache {
-            lease_plan_cached::<i32>(
+            lease_plan_cached::<T, O>(
                 &self.cache,
                 &self.device,
                 &self.fabric,
@@ -362,28 +545,30 @@ impl Server {
             None
         };
 
-        // Per member: `(checksum, output if kept)`.
+        // Per member: `(checksum, output if kept)`. Both paths compute the
+        // member's response in canonical sequential reference order, so a
+        // completion is bit-equal to an isolated CPU-reference run — and
+        // hit and cold paths agree bit-for-bit, for floats included.
         let (run, gpus_used, outputs) = match plan {
             Some((run, gpus_used)) => {
                 let keep = self.config.keep_outputs;
                 let mut memo = self.responses.lock().expect("response memo poisoned");
-                let outputs: Vec<(u64, Option<Vec<i32>>)> = members
+                let outputs: Vec<(u64, Option<ServedOutput>)> = members
                     .iter()
                     .map(|&m| {
                         let m = &requests[m];
-                        let key = (m.id, m.n, m.g);
+                        let key = (m.id, m.n, m.g, m.op);
                         match (!keep).then(|| memo.sums.get(&key).copied()).flatten() {
                             Some(sum) => {
                                 memo.served += 1;
                                 (sum, None)
                             }
                             None => {
-                                let input =
-                                    request_input(self.config.input_seed, m.id, m.total_elems());
+                                let input = T::fetch(self.config.input_seed, m.id, m.total_elems());
                                 let (sum, out) =
-                                    scanned_checksum(&input, m.problem().problem_size(), keep);
+                                    scanned_checksum(op, &input, m.problem().problem_size(), keep);
                                 memo.sums.insert(key, sum);
-                                (sum, out)
+                                (sum, out.map(T::wrap))
                             }
                         }
                     })
@@ -394,13 +579,13 @@ impl Server {
                 let mut input = Vec::with_capacity(problem.total_elems());
                 for &m in members {
                     let m = &requests[m];
-                    input.extend(request_input(self.config.input_seed, m.id, m.total_elems()));
+                    input.extend(T::fetch(self.config.input_seed, m.id, m.total_elems()));
                 }
                 debug_assert_eq!(input.len(), problem.total_elems());
                 let leased = if self.config.plan_cache {
                     run_and_memoize_lease(
                         &self.cache,
-                        Add,
+                        op,
                         self.tuple,
                         &self.device,
                         &self.fabric,
@@ -412,7 +597,7 @@ impl Server {
                     )?
                 } else {
                     scan_on_lease(
-                        Add,
+                        op,
                         self.tuple,
                         &self.device,
                         &self.fabric,
@@ -423,22 +608,43 @@ impl Server {
                         &policy,
                     )?
                 };
+                // Responses are hashed from the reference-order scan of
+                // each member's own input slice rather than from
+                // `leased.data`: for the integer kinds the two are
+                // bit-identical (the cache layer self-validates the
+                // simulated output), and for float kinds the reference
+                // order is the canonical answer the hit path reproduces.
                 let mut memo = self
                     .config
                     .plan_cache
                     .then(|| self.responses.lock().expect("response memo poisoned"));
+                let keep = self.config.keep_outputs;
                 let mut offset = 0;
-                let outputs: Vec<(u64, Option<Vec<i32>>)> = members
+                let outputs: Vec<(u64, Option<ServedOutput>)> = members
                     .iter()
                     .map(|&m| {
                         let m = &requests[m];
-                        let slice = &leased.data[offset..offset + m.total_elems()];
+                        let slice = &input[offset..offset + m.total_elems()];
                         offset += m.total_elems();
-                        let sum = fnv1a(slice);
+                        let key = (m.id, m.n, m.g, m.op);
+                        // Even on a plan miss (e.g. float kinds whose
+                        // simulated bits aren't replayable, so their plans
+                        // are never cached) the response itself memoizes:
+                        // skip the reference scan and hashing when warm.
                         if let Some(memo) = memo.as_deref_mut() {
-                            memo.sums.insert((m.id, m.n, m.g), sum);
+                            if !keep {
+                                if let Some(sum) = memo.sums.get(&key).copied() {
+                                    memo.served += 1;
+                                    return (sum, None);
+                                }
+                            }
                         }
-                        (sum, self.config.keep_outputs.then(|| slice.to_vec()))
+                        let (sum, out) =
+                            scanned_checksum(op, slice, m.problem().problem_size(), keep);
+                        if let Some(memo) = memo.as_deref_mut() {
+                            memo.sums.insert(key, sum);
+                        }
+                        (sum, out.map(T::wrap))
                     })
                     .collect();
                 (leased.run, leased.gpus_used, outputs)
@@ -471,19 +677,24 @@ impl Server {
     }
 }
 
-/// Inclusive-scan `input` row by row (rows of `n` elements, the serving
-/// operator's wrapping `Add`) and FNV-1a the scanned values in order —
+/// Inclusive-scan `input` row by row (rows of `n` elements) in canonical
+/// sequential order and FNV-1a the scanned values as they are produced —
 /// the same bits as `fnv1a(&expected_output)` without materializing the
 /// output (unless `keep` asks for it).
-fn scanned_checksum(input: &[i32], n: usize, keep: bool) -> (u64, Option<Vec<i32>>) {
+fn scanned_checksum<T: ServedElem, O: ScanOp<T>>(
+    op: O,
+    input: &[T],
+    n: usize,
+    keep: bool,
+) -> (u64, Option<Vec<T>>) {
     debug_assert_eq!(input.len() % n, 0);
     let mut hash = FNV_OFFSET;
     let mut out = keep.then(|| Vec::with_capacity(input.len()));
     for row in input.chunks_exact(n) {
-        let mut acc = Add.identity();
+        let mut acc = op.identity();
         for &v in row {
-            acc = Add.combine(acc, v);
-            hash = fnv1a_push(hash, acc);
+            acc = op.combine(acc, v);
+            hash = T::push(hash, acc);
             if let Some(out) = out.as_mut() {
                 out.push(acc);
             }
@@ -494,13 +705,20 @@ fn scanned_checksum(input: &[i32], n: usize, keep: bool) -> (u64, Option<Vec<i32
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 
-/// FNV-1a over the little-endian bytes of the output values.
-fn fnv1a(values: &[i32]) -> u64 {
-    values.iter().fold(FNV_OFFSET, |hash, &v| fnv1a_push(hash, v))
+/// FNV-1a over the byte encoding of the output values (see
+/// [`ServedOutput`] for per-type encodings). Test-only: the serving paths
+/// hash outputs incrementally through [`scanned_checksum`].
+#[cfg(test)]
+fn fnv1a<T: ServedElem>(values: &[T]) -> u64 {
+    values.iter().fold(FNV_OFFSET, |hash, &v| T::push(hash, v))
 }
 
-fn fnv1a_push(mut hash: u64, v: i32) -> u64 {
-    for byte in v.to_le_bytes() {
+fn fnv1a_push(hash: u64, v: i32) -> u64 {
+    fnv1a_bytes(hash, &v.to_le_bytes())
+}
+
+fn fnv1a_bytes(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &byte in bytes {
         hash ^= byte as u64;
         hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
     }
@@ -550,7 +768,7 @@ mod tests {
         let report = Server::new(config).run(&requests).unwrap();
         for c in &report.completions {
             let input = request_input(9, c.request.id, c.request.total_elems());
-            let output = c.output.as_ref().expect("keep_outputs");
+            let output = c.output.as_ref().expect("keep_outputs").as_i32().expect("i32 window");
             let n = c.request.problem().problem_size();
             for g in 0..c.request.problem().batch() {
                 let expected = reference_inclusive(Add, &input[g * n..(g + 1) * n]);
@@ -558,6 +776,111 @@ mod tests {
             }
             assert_eq!(c.checksum, fnv1a(output));
         }
+    }
+
+    #[test]
+    fn mixed_operator_window_serves_reference_exact_outputs() {
+        // One window mixing all four kinds: every completion's output must
+        // be bit-equal to an isolated CPU-reference run of its own request,
+        // and per-kind checksums must never collide across kinds for the
+        // same id and shape.
+        let requests = {
+            let mut spec = WorkloadSpec::mixed_ops_for(11, 24);
+            spec.n_range = (10, 11);
+            spec.g_range = (0, 2);
+            spec.generate()
+        };
+        let kinds: std::collections::BTreeSet<&str> =
+            requests.iter().map(|r| r.op.as_str()).collect();
+        assert!(kinds.len() >= 3, "workload must actually mix kinds, got {kinds:?}");
+        let mut config = ServeConfig::new(Policy::Fifo, 9);
+        config.keep_outputs = true;
+        let report = Server::new(config).run(&requests).unwrap();
+        assert_eq!(report.completions.len(), 24);
+        for c in &report.completions {
+            let id = c.request.id;
+            let len = c.request.total_elems();
+            let n = c.request.problem().problem_size();
+            let output = c.output.as_ref().expect("keep_outputs");
+            let row_refs = |g: usize| (g * n, (g + 1) * n);
+            match c.request.op {
+                OpKind::AddI32 => {
+                    let input = request_input(9, id, len);
+                    let out = output.as_i32().unwrap();
+                    for g in 0..c.request.problem().batch() {
+                        let (a, b) = row_refs(g);
+                        assert_eq!(&out[a..b], &reference_inclusive(Add, &input[a..b])[..]);
+                    }
+                    assert_eq!(c.checksum, fnv1a(out));
+                }
+                OpKind::MaxF64 => {
+                    let input = request_input_f64(9, id, len);
+                    let out = output.as_f64().unwrap();
+                    for g in 0..c.request.problem().batch() {
+                        let (a, b) = row_refs(g);
+                        let expected = reference_inclusive(Max, &input[a..b]);
+                        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                        assert_eq!(bits(&out[a..b]), bits(&expected));
+                    }
+                    assert_eq!(c.checksum, fnv1a(out));
+                }
+                OpKind::SegSumI32 => {
+                    let input = request_input_seg(9, id, len);
+                    let out = output.as_seg_i32().unwrap();
+                    for g in 0..c.request.problem().batch() {
+                        let (a, b) = row_refs(g);
+                        assert_eq!(
+                            &out[a..b],
+                            &reference_inclusive(SegmentedAdd, &input[a..b])[..]
+                        );
+                    }
+                    assert_eq!(c.checksum, fnv1a(out));
+                }
+                OpKind::GatedF64 => {
+                    let input = request_input_gated(9, id, len);
+                    let out = output.as_gated_f64().unwrap();
+                    for g in 0..c.request.problem().batch() {
+                        let (a, b) = row_refs(g);
+                        let expected = reference_inclusive(GatedOp, &input[a..b]);
+                        let bits = |v: &[AffinePair<f64>]| {
+                            v.iter()
+                                .flat_map(|p| [p.a.to_bits(), p.b.to_bits()])
+                                .collect::<Vec<_>>()
+                        };
+                        assert_eq!(bits(&out[a..b]), bits(&expected));
+                        // The recurrence solution x[t] matches the naive
+                        // sequential loop exactly for the first row.
+                        if g == 0 {
+                            let mut x = 0.0f64;
+                            for (p, o) in input[a..b].iter().zip(&out[a..b]) {
+                                x = p.a * x + p.b;
+                                assert_eq!(x.to_bits(), o.b.to_bits());
+                            }
+                        }
+                    }
+                    assert_eq!(c.checksum, fnv1a(out));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repeat_mixed_windows_hit_the_memo_per_kind() {
+        let requests = {
+            let mut spec = WorkloadSpec::mixed_ops_for(11, 16);
+            spec.n_range = (10, 11);
+            spec.g_range = (0, 1);
+            spec.generate()
+        };
+        let server = Server::new(ServeConfig::new(Policy::Fifo, 9));
+        let first = server.run(&requests).unwrap();
+        let second = server.run(&requests).unwrap();
+        for (a, b) in first.completions.iter().zip(&second.completions) {
+            assert_eq!(a.request.id, b.request.id);
+            assert_eq!(a.checksum, b.checksum);
+            assert_eq!(a.finished.to_bits(), b.finished.to_bits());
+        }
+        assert_eq!(server.response_stats().served, 16, "warm window serves from the memo");
     }
 
     #[test]
@@ -631,6 +954,7 @@ mod tests {
                 gpus_wanted: 1,
                 priority: 0,
                 deadline: None,
+                op: OpKind::AddI32,
             })
             .collect();
         let mut config = ServeConfig::new(Policy::Fifo, 3);
@@ -666,6 +990,7 @@ mod tests {
             gpus_wanted: 1,
             priority: 0,
             deadline,
+            op: OpKind::AddI32,
         };
         let requests = vec![mk(0, None), mk(1, None), mk(2, Some(1e-3))];
         let mut config = ServeConfig::new(Policy::Edf, 3);
@@ -689,6 +1014,7 @@ mod tests {
             gpus_wanted: 8,
             priority: 0,
             deadline: None,
+            op: OpKind::AddI32,
         }];
         let mut config = ServeConfig::new(Policy::Fifo, 3);
         config.pool_gpus = 2;

@@ -9,8 +9,10 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use skeletons::{AffinePair, SegPair};
+
 use crate::json::Json;
-use crate::request::ServeRequest;
+use crate::request::{OpKind, ServeRequest};
 
 /// Parameters of the seeded workload generator.
 ///
@@ -44,6 +46,13 @@ pub struct WorkloadSpec {
     pub burst_per_256: u32,
     /// Requests per burst (the opener included).
     pub burst_len: usize,
+    /// Weighted operator mix. A single-entry mix (the default, pure
+    /// `AddI32`) draws nothing from the RNG, so every pre-existing
+    /// workload — golden snapshots included — is bit-identical to the
+    /// i32-only generator. Multi-entry mixes draw one weighted `OpKind`
+    /// per request (one per *burst*: a tenant's batch submission is one
+    /// computation).
+    pub op_mix: Vec<(OpKind, u32)>,
 }
 
 impl WorkloadSpec {
@@ -65,6 +74,43 @@ impl WorkloadSpec {
             slack_us: (40, 400),
             burst_per_256: 48,
             burst_len: 4,
+            op_mix: vec![(OpKind::AddI32, 1)],
+        }
+    }
+
+    /// The default spec with the issue's mixed-operator serving mix:
+    /// mostly sum-scans, with max, segmented-sum and gated-recurrence
+    /// tenants sharing the window.
+    pub fn mixed_ops_for(seed: u64, requests: usize) -> Self {
+        WorkloadSpec {
+            op_mix: vec![
+                (OpKind::AddI32, 3),
+                (OpKind::MaxF64, 2),
+                (OpKind::SegSumI32, 1),
+                (OpKind::GatedF64, 2),
+            ],
+            ..Self::default_for(seed, requests)
+        }
+    }
+
+    /// Draw one operator from the mix. Single-entry mixes (and the empty
+    /// mix, treated as pure `AddI32`) leave the RNG untouched.
+    fn draw_op(&self, rng: &mut StdRng) -> OpKind {
+        match self.op_mix.as_slice() {
+            [] => OpKind::AddI32,
+            [(op, _)] => *op,
+            mix => {
+                let total: u32 = mix.iter().map(|(_, w)| w).sum();
+                assert!(total > 0, "op_mix weights must not all be zero");
+                let mut t = rng.gen_range(0..total);
+                for &(op, w) in mix {
+                    if t < w {
+                        return op;
+                    }
+                    t -= w;
+                }
+                unreachable!("weighted draw within total")
+            }
         }
     }
 
@@ -83,9 +129,11 @@ impl WorkloadSpec {
                 // One tenant's batch submission: identical small single-GPU
                 // shapes, one priority, back-to-back arrivals. Equal `g`
                 // keeps every prefix's batch sum a power of two, so the
-                // coalescer can absorb the whole burst.
+                // coalescer can absorb the whole burst. One operator for
+                // the whole burst — it is one tenant's computation.
                 let g = rng.gen_range(self.g_range.0..=self.g_range.1).min(1);
                 let priority = rng.gen_range(0..4u64) as u8;
+                let op = self.draw_op(&mut rng);
                 for i in 0..self.burst_len {
                     if out.len() == self.requests {
                         break;
@@ -101,6 +149,7 @@ impl WorkloadSpec {
                         gpus_wanted: 1,
                         priority,
                         deadline: None,
+                        op,
                     });
                 }
             } else {
@@ -113,6 +162,7 @@ impl WorkloadSpec {
                 } else {
                     None
                 };
+                let op = self.draw_op(&mut rng);
                 out.push(ServeRequest {
                     id: out.len(),
                     arrival: us_to_s(arrival_us),
@@ -121,6 +171,7 @@ impl WorkloadSpec {
                     gpus_wanted,
                     priority,
                     deadline,
+                    op,
                 });
             }
         }
@@ -138,15 +189,56 @@ fn us_to_s(us: u64) -> f64 {
 /// whether it runs alone or inside a coalesced batch — the bit-identity
 /// property tests depend on this.
 pub fn request_input(seed: u64, id: usize, len: usize) -> Vec<i32> {
-    let mut rng = StdRng::seed_from_u64(seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut rng = request_rng(seed, id);
     (0..len).map(|_| rng.gen_range(-100..=100)).collect()
+}
+
+fn request_rng(seed: u64, id: usize) -> StdRng {
+    StdRng::seed_from_u64(seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// [`request_input`] for `f64` tenants ([`OpKind::MaxF64`]): quarter-integer
+/// values on `[-100, 100]`, exactly representable so max-scans are
+/// bit-reproducible under any combine order.
+pub fn request_input_f64(seed: u64, id: usize, len: usize) -> Vec<f64> {
+    let mut rng = request_rng(seed, id);
+    (0..len).map(|_| rng.gen_range(-400i32..=400) as f64 * 0.25).collect()
+}
+
+/// [`request_input`] for segmented-sum tenants ([`OpKind::SegSumI32`]):
+/// the same value range as the plain-sum stream, with roughly one element
+/// in eight opening a new segment.
+pub fn request_input_seg(seed: u64, id: usize, len: usize) -> Vec<SegPair<i32>> {
+    let mut rng = request_rng(seed, id);
+    (0..len)
+        .map(|_| {
+            let v = rng.gen_range(-100..=100);
+            SegPair::new(v, rng.gen_range(0..8u32) == 0)
+        })
+        .collect()
+}
+
+/// [`request_input`] for gated-recurrence tenants ([`OpKind::GatedF64`]):
+/// each element is the affine pair `(gate[t], token[t])`. Gates sit on
+/// `0.999 + 0.001·u` with `u` uniform on `[0, 1]` — the near-1 decay the
+/// SSM workloads use — and tokens are dyadic rationals on `[-1, 1]`.
+pub fn request_input_gated(seed: u64, id: usize, len: usize) -> Vec<AffinePair<f64>> {
+    let mut rng = request_rng(seed, id);
+    (0..len)
+        .map(|_| {
+            let gate = 0.999 + 0.001 * (rng.gen_range(0..=1000u32) as f64 / 1000.0);
+            let token = rng.gen_range(-128i32..=128) as f64 / 128.0;
+            AffinePair::new(gate, token)
+        })
+        .collect()
 }
 
 /// Read a request trace from JSON.
 ///
 /// Format — one object with a `requests` array; each entry carries
 /// `arrival` (seconds), `n`, `g`, and optionally `gpus` (default 1),
-/// `priority` (default 0) and `deadline` (absolute seconds):
+/// `priority` (default 0), `deadline` (absolute seconds) and `op`
+/// (an [`OpKind`] name, default `"add_i32"`):
 ///
 /// ```json
 /// {"requests": [
@@ -187,6 +279,15 @@ pub fn requests_from_json(text: &str) -> Result<Vec<ServeRequest>, String> {
                 Some(v.as_f64().ok_or(format!("request {id}: \"deadline\" must be a number"))?)
             }
         };
+        let op = match entry.get("op") {
+            None | Some(Json::Null) => OpKind::AddI32,
+            Some(v) => {
+                let name = v
+                    .as_str()
+                    .ok_or(format!("request {id}: \"op\" must be an operator-name string"))?;
+                OpKind::parse(name).ok_or(format!("request {id}: unknown op \"{name}\""))?
+            }
+        };
         out.push(ServeRequest {
             id,
             arrival,
@@ -195,6 +296,7 @@ pub fn requests_from_json(text: &str) -> Result<Vec<ServeRequest>, String> {
             gpus_wanted: opt_int("gpus")?.unwrap_or(1),
             priority: opt_int("priority")?.unwrap_or(0) as u8,
             deadline,
+            op,
         });
     }
     for pair in out.windows(2) {
@@ -219,6 +321,9 @@ pub fn requests_to_json(requests: &[ServeRequest]) -> String {
         ));
         if let Some(d) = r.deadline {
             out.push_str(&format!(", \"deadline\": {d}"));
+        }
+        if r.op != OpKind::AddI32 {
+            out.push_str(&format!(", \"op\": \"{}\"", r.op));
         }
         out.push('}');
         if i + 1 < requests.len() {
@@ -267,6 +372,51 @@ mod tests {
         let reqs = WorkloadSpec::default_for(11, 20).generate();
         let parsed = requests_from_json(&requests_to_json(&reqs)).unwrap();
         assert_eq!(parsed, reqs);
+    }
+
+    #[test]
+    fn default_workload_is_pure_i32_sum() {
+        let reqs = WorkloadSpec::default_for(7, 100).generate();
+        assert!(reqs.iter().all(|r| r.op == OpKind::AddI32));
+    }
+
+    #[test]
+    fn mixed_workload_draws_every_kind_deterministically() {
+        let spec = WorkloadSpec::mixed_ops_for(7, 200);
+        let a = spec.generate();
+        assert_eq!(a, spec.generate());
+        for kind in OpKind::all() {
+            assert!(a.iter().any(|r| r.op == kind), "mix must exercise {kind} in 200 draws");
+        }
+    }
+
+    #[test]
+    fn json_round_trips_operators() {
+        let reqs = WorkloadSpec::mixed_ops_for(13, 30).generate();
+        let text = requests_to_json(&reqs);
+        assert_eq!(requests_from_json(&text).unwrap(), reqs);
+        // The default op is omitted from the rendering; others are named.
+        assert!(!text.contains("add_i32"));
+        assert!(text.contains("\"op\""));
+        assert!(requests_from_json(
+            r#"{"requests": [{"arrival": 0.0, "n": 10, "g": 0, "op": "nope"}]}"#
+        )
+        .unwrap_err()
+        .contains("unknown op"));
+    }
+
+    #[test]
+    fn typed_inputs_are_stable_per_id() {
+        assert_eq!(request_input_f64(7, 3, 64), request_input_f64(7, 3, 64));
+        assert_eq!(request_input_seg(7, 3, 64), request_input_seg(7, 3, 64));
+        assert_eq!(request_input_gated(7, 3, 64), request_input_gated(7, 3, 64));
+        assert_ne!(request_input_gated(7, 3, 64), request_input_gated(7, 4, 64));
+        assert!(request_input_gated(7, 3, 256)
+            .iter()
+            .all(|p| (0.999..=1.0).contains(&p.a) && (-1.0..=1.0).contains(&p.b)));
+        let segs = request_input_seg(7, 5, 4096);
+        let resets = segs.iter().filter(|p| p.reset).count();
+        assert!(resets > 256 && resets < 1024, "~1/8 resets, got {resets}");
     }
 
     #[test]

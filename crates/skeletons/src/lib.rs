@@ -38,8 +38,9 @@ pub use block_scan::{
 };
 pub use cascade::Cascade;
 pub use op::{
-    reference_exclusive, reference_inclusive, reference_reduce, Add, BitAnd, BitOr, BitPrimitive,
-    BitXor, Max, Min, Mul, Numeric, ScanOp, Scannable,
+    reference_exclusive, reference_inclusive, reference_reduce, Add, AffinePair, BitAnd, BitOr,
+    BitPrimitive, BitXor, GatedOp, Max, Min, Mul, Numeric, ScanOp, Scannable, SegPair,
+    SegmentedAdd,
 };
 pub use reg_scan::RegTile;
 pub use tuple::{SplkTuple, TupleError, MAX_S_WITH_SHUFFLES};

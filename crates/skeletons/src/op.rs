@@ -39,6 +39,12 @@ pub trait ScanOp<T>: Copy + Send + Sync + 'static {
 ///
 /// `wadd`/`wmul` wrap for integers and are plain arithmetic for floats.
 pub trait Numeric: DeviceCopy + PartialOrd {
+    /// Whether `wsub` exactly inverts `wadd` for every value. True for the
+    /// integers (arithmetic mod 2^n is a ring), false for floats, where
+    /// `(a + b) - b` rounds: an operator must not report itself invertible
+    /// over a float element type, or the §3.1 exclusive trick silently
+    /// corrupts low bits.
+    fn exact_inverse() -> bool;
     /// Additive identity.
     fn zero() -> Self;
     /// Multiplicative identity.
@@ -58,6 +64,7 @@ pub trait Numeric: DeviceCopy + PartialOrd {
 macro_rules! impl_numeric_int {
     ($($t:ty),*) => {$(
         impl Numeric for $t {
+            fn exact_inverse() -> bool { true }
             fn zero() -> Self { 0 }
             fn one() -> Self { 1 }
             fn min_value() -> Self { <$t>::MIN }
@@ -73,6 +80,7 @@ impl_numeric_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize);
 macro_rules! impl_numeric_float {
     ($($t:ty),*) => {$(
         impl Numeric for $t {
+            fn exact_inverse() -> bool { false }
             fn zero() -> Self { 0.0 }
             fn one() -> Self { 1.0 }
             fn min_value() -> Self { <$t>::NEG_INFINITY }
@@ -97,7 +105,7 @@ impl<T: Numeric> ScanOp<T> for Add {
         a.wadd(b)
     }
     fn uncombine(&self, a: T, b: T) -> Option<T> {
-        Some(a.wsub(b))
+        T::exact_inverse().then(|| a.wsub(b))
     }
 }
 
@@ -209,6 +217,86 @@ impl<T: BitPrimitive> ScanOp<T> for BitXor {
     }
     fn uncombine(&self, a: T, b: T) -> Option<T> {
         Some(a ^ b)
+    }
+}
+
+/// An affine map `x ↦ a·x + b`, the element type of the gated first-order
+/// recurrence `x[t] = gate[t]·x[t-1] + token[t]` solved as a scan
+/// (Blelloch §1.4; accelerated-scan runs the same trick for SSM layers).
+/// Each input element is the pair `(gate[t], token[t])`; the inclusive
+/// scan under [`GatedOp`] leaves the recurrence's solution in `b`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AffinePair<T> {
+    /// Multiplicative coefficient (the accumulated gate product).
+    pub a: T,
+    /// Additive term (the recurrence state after applying this map to the
+    /// identity).
+    pub b: T,
+}
+
+impl<T> AffinePair<T> {
+    /// Pair constructor, `x ↦ a·x + b`.
+    pub fn new(a: T, b: T) -> Self {
+        Self { a, b }
+    }
+}
+
+/// Composition of affine maps — the monoid that turns the gated recurrence
+/// into a scan. `combine(l, r)` is "apply `l`, then `r`":
+/// `r(l(x)) = r.a·(l.a·x + l.b) + r.b`, i.e. `(r.a·l.a, r.a·l.b + r.b)`.
+///
+/// Over the integers (wrapping arithmetic is a ring mod 2^n) composition
+/// is *exactly* associative, so integer affine scans are bit-reproducible
+/// under any combine tree. Over floats it is associative only up to
+/// rounding — see `docs/operators.md`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GatedOp;
+
+impl<T: Numeric> ScanOp<AffinePair<T>> for GatedOp {
+    fn identity(&self) -> AffinePair<T> {
+        AffinePair::new(T::one(), T::zero())
+    }
+    fn combine(&self, l: AffinePair<T>, r: AffinePair<T>) -> AffinePair<T> {
+        AffinePair::new(r.a.wmul(l.a), r.a.wmul(l.b).wadd(r.b))
+    }
+}
+
+/// One element of a segmented scan: a value plus a flag marking the start
+/// of a new segment.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SegPair<T> {
+    /// The payload value.
+    pub v: T,
+    /// True if this element opens a new segment (the running sum restarts
+    /// here).
+    pub reset: bool,
+}
+
+impl<T> SegPair<T> {
+    /// Pair constructor.
+    pub fn new(v: T, reset: bool) -> Self {
+        Self { v, reset }
+    }
+}
+
+/// Segmented sum — the classic head-flag monoid (Blelloch §1.5): a reset
+/// on the right operand discards everything accumulated to its left, so an
+/// inclusive scan restarts at every flagged element. Associative but not
+/// commutative, which the skeletons' strict left-to-right combine order
+/// handles by construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SegmentedAdd;
+
+impl<T: Numeric> ScanOp<SegPair<T>> for SegmentedAdd {
+    fn identity(&self) -> SegPair<T> {
+        SegPair::new(T::zero(), false)
+    }
+    fn combine(&self, l: SegPair<T>, r: SegPair<T>) -> SegPair<T> {
+        if r.reset {
+            r
+        } else {
+            SegPair::new(l.v.wadd(r.v), l.reset)
+        }
     }
 }
 
@@ -332,6 +420,87 @@ mod tests {
     fn xor_is_self_inverse() {
         assert_eq!(ScanOp::<u64>::uncombine(&BitXor, 0b1010, 0b0110), Some(0b1100));
         assert_eq!(ScanOp::<u32>::uncombine(&BitOr, 1, 1), None);
+    }
+
+    #[test]
+    fn float_add_is_not_invertible() {
+        // (a + b) - b rounds for floats; reporting invertibility would let
+        // the §3.1 exclusive trick corrupt low bits, so `uncombine` must
+        // decline and force the shifted-propagation fallback.
+        assert_eq!(ScanOp::<f64>::uncombine(&Add, 10.0, 4.0), None);
+        assert_eq!(ScanOp::<f32>::uncombine(&Add, 1.0, 0.1), None);
+        // Integers keep the fast path.
+        assert_eq!(ScanOp::<i64>::uncombine(&Add, 10, 4), Some(6));
+    }
+
+    #[test]
+    fn gated_scan_solves_the_recurrence() {
+        // x[t] = gate[t]·x[t-1] + token[t], x[-1] = 0 — the scanned `b`
+        // component must match the naive sequential loop exactly (integer
+        // arithmetic, so bit-exact).
+        let gates: Vec<i64> = vec![3, -2, 5, 1, 0, 7, 2];
+        let tokens: Vec<i64> = vec![4, 1, -3, 9, 2, 5, -1];
+        let pairs: Vec<AffinePair<i64>> =
+            gates.iter().zip(&tokens).map(|(&a, &b)| AffinePair::new(a, b)).collect();
+        let scanned = reference_inclusive(GatedOp, &pairs);
+        let mut x = 0i64;
+        for (t, p) in scanned.iter().enumerate() {
+            x = gates[t].wrapping_mul(x).wrapping_add(tokens[t]);
+            assert_eq!(p.b, x, "element {t}");
+        }
+    }
+
+    #[test]
+    fn gated_op_is_exactly_associative_over_integers() {
+        let vals = [
+            AffinePair::new(3i32, 7),
+            AffinePair::new(-2, i32::MAX),
+            AffinePair::new(i32::MIN, 11),
+        ];
+        let [p, q, r] = vals;
+        let op = GatedOp;
+        assert_eq!(op.combine(op.combine(p, q), r), op.combine(p, op.combine(q, r)));
+        for v in vals {
+            assert_eq!(op.combine(op.identity(), v), v);
+            assert_eq!(op.combine(v, op.identity()), v);
+        }
+    }
+
+    #[test]
+    fn segmented_scan_restarts_at_flags() {
+        let data = [
+            SegPair::new(3i32, true),
+            SegPair::new(1, false),
+            SegPair::new(7, false),
+            SegPair::new(0, true),
+            SegPair::new(4, false),
+            SegPair::new(1, true),
+            SegPair::new(6, false),
+        ];
+        let out = reference_inclusive(SegmentedAdd, &data);
+        let sums: Vec<i32> = out.iter().map(|p| p.v).collect();
+        assert_eq!(sums, vec![3, 4, 11, 0, 4, 1, 7]);
+    }
+
+    #[test]
+    fn segmented_op_is_associative() {
+        let vals = [
+            SegPair::new(5i32, false),
+            SegPair::new(-3, true),
+            SegPair::new(8, false),
+            SegPair::new(2, true),
+        ];
+        let op = SegmentedAdd;
+        for &p in &vals {
+            for &q in &vals {
+                for &r in &vals {
+                    assert_eq!(op.combine(op.combine(p, q), r), op.combine(p, op.combine(q, r)));
+                }
+            }
+        }
+        for v in vals {
+            assert_eq!(op.combine(op.identity(), v), v);
+        }
     }
 
     #[test]

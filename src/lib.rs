@@ -47,6 +47,10 @@ pub mod prelude {
         scan_sp_faulted, CacheStats, FaultyScanOutput, NodeConfig, PipelinePolicy, PlanCache,
         ProblemParams, Proposal, ScanRequest, TraceHandle, TraceOptions,
     };
-    pub use scan_serve::{Policy, ServeConfig, ServeRequest, Server, WorkloadSpec};
-    pub use skeletons::{Add, Max, Min, Mul, ScanOp, SplkTuple};
+    pub use scan_serve::{
+        OpKind, Policy, ServeConfig, ServeRequest, ServedOutput, Server, WorkloadSpec,
+    };
+    pub use skeletons::{
+        Add, AffinePair, GatedOp, Max, Min, Mul, ScanOp, SegPair, SegmentedAdd, SplkTuple,
+    };
 }

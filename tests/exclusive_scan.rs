@@ -92,6 +92,78 @@ fn exclusive_works_with_non_invertible_max() {
     assert_eq!(out.data[n], i32::MIN);
 }
 
+/// The multi-GPU pipeline also takes the shifted-propagation path for
+/// non-invertible operators: an exclusive max-scan across four GPUs must
+/// match `reference_exclusive`, seeding every problem with the identity.
+#[test]
+fn exclusive_mps_works_with_non_invertible_max() {
+    let fabric = Fabric::tsubame_kfc(1);
+    let problem = ProblemParams::new(13, 2);
+    let input = pseudo(problem.total_elems(), 17);
+    let cfg = NodeConfig::new(4, 4, 1, 1).unwrap();
+    let out =
+        scan_mps_exclusive(Max, tuple_for(&problem, 4), &device(), &fabric, cfg, problem, &input)
+            .unwrap();
+    verify_batch_kind(Max, problem, &input, &out.data, ScanKind::Exclusive)
+        .unwrap_or_else(|m| panic!("{m}"));
+    let n = problem.problem_size();
+    for g in 0..problem.batch() {
+        assert_eq!(out.data[g * n], i32::MIN, "problem {g} starts at the max identity");
+    }
+}
+
+/// Float addition is invertible only approximately: `(a + b) - b` can
+/// differ from `a` in the low bits, so the §3.1 subtract-the-element
+/// trick would corrupt an exclusive f64 scan. The pipeline must instead
+/// shift-propagate. Within one cascade pass (no chunk boundary) that
+/// makes the exclusive scan *bit-equal* to the shifted inclusive scan —
+/// not merely close — which is exactly what the uncombine trick breaks.
+#[test]
+fn exclusive_f64_is_bit_equal_to_shifted_inclusive_within_a_pass() {
+    let problem = ProblemParams::new(10, 2);
+    // 0.1 is inexact in binary; sums of these provoke low-bit rounding.
+    let input: Vec<f64> =
+        (0..problem.total_elems()).map(|i| ((i % 97) as f64 - 48.0) * 0.1 + 0.001).collect();
+    let t = tuple_for(&problem, 1);
+    let inc = scan_sp(Add, t, &device(), problem, &input).unwrap();
+    let exc = scan_sp_exclusive(Add, t, &device(), problem, &input).unwrap();
+    let n = problem.problem_size();
+    for g in 0..problem.batch() {
+        assert_eq!(exc.data[g * n].to_bits(), 0f64.to_bits(), "identity head");
+        for i in 1..n {
+            assert_eq!(
+                exc.data[g * n + i].to_bits(),
+                inc.data[g * n + i - 1].to_bits(),
+                "problem {g} element {i}: exclusive must be the shifted inclusive, bit-for-bit"
+            );
+        }
+    }
+}
+
+/// Across cascade chunk boundaries the carry folds warp totals in a
+/// different association than the inclusive data path, so float bits may
+/// legitimately differ there — but the exclusive scan must still match
+/// the sequential reference within rounding, and every problem must
+/// start at exactly `0.0`.
+#[test]
+fn exclusive_f64_matches_reference_within_rounding_across_passes() {
+    let problem = ProblemParams::new(13, 1);
+    let input: Vec<f64> =
+        (0..problem.total_elems()).map(|i| ((i % 97) as f64 - 48.0) * 0.1 + 0.001).collect();
+    let exc = scan_sp_exclusive(Add, tuple_for(&problem, 1), &device(), problem, &input).unwrap();
+    let n = problem.problem_size();
+    for g in 0..problem.batch() {
+        assert_eq!(exc.data[g * n].to_bits(), 0f64.to_bits(), "identity head");
+        let expected = multigpu_scan::kernels::reference_exclusive(Add, &input[g * n..(g + 1) * n]);
+        for (i, (&got, &want)) in exc.data[g * n..(g + 1) * n].iter().zip(&expected).enumerate() {
+            assert!(
+                (got - want).abs() <= 1e-9 * want.abs().max(1.0),
+                "problem {g} element {i}: {got} vs {want}"
+            );
+        }
+    }
+}
+
 #[test]
 fn exclusive_costs_match_inclusive_traffic() {
     // The exclusive form must not add memory passes.

@@ -74,6 +74,62 @@ fn f32_scan_total_is_stable_across_k() {
     }
 }
 
+/// The gated recurrence `x[t] = gate[t]·x[t-1] + token[t]` as an
+/// affine-pair scan over f64: the pipeline's tree order agrees with the
+/// naive sequential loop within rounding. Gates sit near 1.0 (the
+/// SSM-style regime), so products stay well conditioned across the
+/// whole problem.
+#[test]
+fn gated_f64_recurrence_matches_naive_loop_within_rounding() {
+    let problem = ProblemParams::new(12, 1);
+    let input: Vec<AffinePair<f64>> = (0..problem.total_elems())
+        .map(|i| {
+            let r = (i as u64).wrapping_mul(6364136223846793005).wrapping_add(1);
+            let gate = 0.999 + 0.001 * ((r % 1000) as f64 / 1000.0);
+            let token = ((r >> 10) % 257) as f64 / 128.0 - 1.0;
+            AffinePair::new(gate, token)
+        })
+        .collect();
+    let out = scan_sp(GatedOp, tuple_for(&problem), &device(), problem, &input).unwrap();
+    let n = problem.problem_size();
+    for g in 0..problem.batch() {
+        let mut x = 0.0f64;
+        for t in 0..n {
+            let p = input[g * n + t];
+            x = p.a * x + p.b;
+            let got = out.data[g * n + t].b;
+            assert!(
+                (got - x).abs() <= 1e-9 * x.abs().max(1.0),
+                "problem {g} step {t}: {got} vs naive {x}"
+            );
+        }
+    }
+}
+
+/// Over integers the same affine composition is exactly associative, so
+/// the gated scan is bit-identical to the sequential recurrence even
+/// when the wrapping products overflow.
+#[test]
+fn gated_integer_recurrence_is_exact() {
+    let problem = ProblemParams::new(12, 2);
+    let input: Vec<AffinePair<i64>> = (0..problem.total_elems())
+        .map(|i| {
+            let r = (i as u64).wrapping_mul(2862933555777941757).wrapping_add(9);
+            AffinePair::new((r % 1000) as i64 - 500, ((r >> 16) % 1000) as i64 - 500)
+        })
+        .collect();
+    let out = scan_sp(GatedOp, tuple_for(&problem), &device(), problem, &input).unwrap();
+    let n = problem.problem_size();
+    for g in 0..problem.batch() {
+        let mut x = 0i64;
+        for t in 0..n {
+            let p = input[g * n + t];
+            x = p.a.wrapping_mul(x).wrapping_add(p.b);
+            assert_eq!(out.data[g * n + t].b, x, "problem {g} step {t}");
+        }
+    }
+}
+
 #[test]
 fn integer_scans_are_exact_regardless_of_order() {
     // The wrapping-integer contract: tree order == sequential order, bit

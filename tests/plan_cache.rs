@@ -177,6 +177,108 @@ fn invalid_requests_still_error_after_a_warm_cache() {
     assert_eq!(cache.stats().hits, 0);
 }
 
+/// Operators never share cache entries: the same shape scanned under
+/// `Add` and `Max` must key separately, and each later run must replay
+/// its own operator's plan bit-identically. Before the key carried an
+/// operator fingerprint this was the plan-cache poisoning bug — a warm
+/// `Add` entry would serve a `Max` request.
+#[test]
+fn operators_never_share_cache_entries() {
+    let cache = Arc::new(PlanCache::new());
+    let problem = ProblemParams::new(12, 2);
+    let input = pseudo(problem.total_elems());
+    let sum = ScanRequest::new(Add, problem).plan_cache(cache.clone()).run(&input).unwrap();
+    let max = ScanRequest::new(Max, problem).plan_cache(cache.clone()).run(&input).unwrap();
+    assert_ne!(sum.data, max.data, "the two operators disagree on this input");
+    let stats = cache.stats();
+    assert_eq!(
+        (stats.hits, stats.misses, stats.entries),
+        (0, 2, 2),
+        "same shape, different operator: two distinct entries"
+    );
+    // Each operator hits its own entry and stays bit-identical to cold.
+    let cold_max = ScanRequest::new(Max, problem).run(&input).unwrap();
+    let hit_max = ScanRequest::new(Max, problem).plan_cache(cache.clone()).run(&input).unwrap();
+    assert_identical(&cold_max, &hit_max);
+    let cold_sum = ScanRequest::new(Add, problem).run(&input).unwrap();
+    let hit_sum = ScanRequest::new(Add, problem).plan_cache(cache.clone()).run(&input).unwrap();
+    assert_identical(&cold_sum, &hit_sum);
+    assert_eq!(cache.stats().hits, 2);
+}
+
+/// Element types key separately even when the same width: an `i32` plan
+/// must never be replayed for `f32` data (both 4 bytes — a byte-size key
+/// would alias them).
+#[test]
+fn element_types_with_equal_widths_key_separately() {
+    let cache = Arc::new(PlanCache::new());
+    let problem = ProblemParams::new(12, 2);
+    let ints = pseudo(problem.total_elems());
+    let floats: Vec<f32> = ints.iter().map(|&v| v as f32 * 0.5).collect();
+    ScanRequest::new(Add, problem).plan_cache(cache.clone()).run(&ints).unwrap();
+    ScanRequest::new(Add, problem).plan_cache(cache.clone()).run(&floats).unwrap();
+    let stats = cache.stats();
+    assert_eq!(
+        (stats.hits, stats.misses, stats.entries),
+        (0, 2, 2),
+        "i32 and f32 are both 4 bytes wide but must not share an entry"
+    );
+}
+
+/// At the serving layer: two requests with the same shape on the same
+/// lease but different operator kinds get distinct plans, launches and
+/// checksums — the window's shared cache never crosses the operator
+/// boundary.
+#[test]
+fn operator_kinds_get_distinct_plans_and_checksums_on_one_lease() {
+    let mk = |id, op| ServeRequest {
+        id,
+        arrival: 0.0,
+        n: 11,
+        g: 1,
+        gpus_wanted: 1,
+        priority: 0,
+        deadline: None,
+        op,
+    };
+    // Two identical shapes, different operators: two launches (the
+    // coalescer must not merge across the operator boundary) and two
+    // distinct cache entries, zero hits.
+    let requests = vec![mk(0, OpKind::AddI32), mk(1, OpKind::MaxF64)];
+    let report = Server::new(ServeConfig::new(Policy::Fifo, 4)).run(&requests).unwrap();
+    assert_eq!(report.completions.len(), 2);
+    assert_eq!(
+        report.metrics.launches, 2,
+        "different operator kinds must not coalesce into one launch"
+    );
+    let sums: Vec<_> = report.completions.iter().map(|c| c.checksum).collect();
+    assert_ne!(sums[0], sums[1], "identical shapes, different operators, different checksums");
+    let stats = report.cache_stats;
+    assert_eq!(
+        (stats.hits, stats.misses, stats.entries),
+        (0, 2, 2),
+        "same shape and pool, different operator: two cache entries"
+    );
+    // Repeat each kind (coalescing off so every request launches alone):
+    // each kind hits its own warm entry, never the other's.
+    let mut cfg = ServeConfig::new(Policy::Fifo, 4);
+    cfg.coalesce = false;
+    let warm = vec![
+        mk(0, OpKind::AddI32),
+        mk(1, OpKind::MaxF64),
+        mk(2, OpKind::AddI32),
+        mk(3, OpKind::MaxF64),
+    ];
+    let report = Server::new(cfg).run(&warm).unwrap();
+    assert_eq!(report.metrics.launches, 4);
+    let stats = report.cache_stats;
+    assert_eq!(
+        (stats.hits, stats.misses, stats.entries),
+        (2, 2, 2),
+        "the repeat of each kind hits its own entry"
+    );
+}
+
 /// Tracing works identically on hits: the replayed graph supports
 /// critical-path attribution with the cold run's makespan.
 #[test]
