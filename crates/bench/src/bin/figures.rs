@@ -3,8 +3,8 @@
 //! ```text
 //! figures [--total-log2 N] [--n-lo N] [--no-verify] [--trace-dir DIR]
 //!         [--seed N] [--requests N] [--policy fifo|sjf|edf|all]
-//!         [--pool-gpus N] [--no-coalesce] [--out DIR] [--workload FILE]
-//!         [--op-mix] [CMD...]
+//!         [--pool-gpus N] [--no-coalesce] [--shards N] [--out DIR]
+//!         [--workload FILE] [--op-mix] [CMD...]
 //!
 //! CMD: table3 fig1 fig9 fig10 fig11 fig12 fig13 fig14 mw-sweep k-sweep
 //!      ablations trace serve bench-scan self all (default: all)
@@ -30,6 +30,11 @@
 //! switches the generated workload to the mixed-operator mix (i32 sum,
 //! f64 max, segmented sum, gated recurrence) — point `--out` somewhere
 //! else then, as the committed `BENCH_serve.json` pins the default mix.
+//! `--shards N` (N > 1) additionally serves the workload through the
+//! sharded front-end router (N shards of `--pool-gpus` GPUs each, hash
+//! placement, work stealing on) and appends a `"sharded"` section to the
+//! JSON — the unsharded section stays byte-identical, so point `--out`
+//! elsewhere to keep the committed golden. See `docs/sharding.md`.
 //!
 //! `bench-scan` runs a pinned set of single-scan configurations
 //! (independent of the sweep flags, so the output is byte-stable) and
@@ -82,6 +87,10 @@ fn main() {
                 serve_opts.pool_gpus = args[i].parse().expect("--pool-gpus takes an integer");
             }
             "--no-coalesce" => serve_opts.coalesce = false,
+            "--shards" => {
+                i += 1;
+                serve_opts.shards = args[i].parse().expect("--shards takes an integer");
+            }
             "--out" => {
                 i += 1;
                 serve_opts.out = args[i].clone();
@@ -95,7 +104,7 @@ fn main() {
                 println!(
                     "figures [--total-log2 N] [--n-lo N] [--no-verify] [--trace-dir DIR] \
                      [--seed N] [--requests N] [--policy fifo|sjf|edf|all] [--pool-gpus N] \
-                     [--no-coalesce] [--out DIR] [--workload FILE] [--op-mix] \
+                     [--no-coalesce] [--shards N] [--out DIR] [--workload FILE] [--op-mix] \
                      [table3 fig1 fig9 fig10 fig11 fig12 fig13 fig14 mw-sweep k-sweep ablations \
                      trace serve bench-scan self all]"
                 );
@@ -344,6 +353,7 @@ struct ServeOpts {
     policy: String,
     pool_gpus: usize,
     coalesce: bool,
+    shards: usize,
     out: String,
     workload: Option<String>,
     op_mix: bool,
@@ -357,6 +367,7 @@ impl Default for ServeOpts {
             policy: "edf".into(),
             pool_gpus: 8,
             coalesce: true,
+            shards: 1,
             out: String::from("."),
             workload: None,
             op_mix: false,
@@ -371,7 +382,8 @@ impl Default for ServeOpts {
 /// the flag only selects which summaries print and which fleet traces are
 /// exported.
 fn serve(opts: &ServeOpts, trace_dir: &str) {
-    use scan_serve::{requests_from_json, Policy, ServeConfig, Server, WorkloadSpec};
+    use bench::{bench_serve_json, serve_windows, sharded_windows};
+    use scan_serve::{requests_from_json, Policy, WorkloadSpec};
 
     let requests = match &opts.workload {
         Some(path) => {
@@ -382,12 +394,17 @@ fn serve(opts: &ServeOpts, trace_dir: &str) {
         None => WorkloadSpec::default_for(opts.seed, opts.requests).generate(),
     };
     println!(
-        "## scan-serve — {} requests, seed {}, pool of {} GPUs, coalescing {}{}",
+        "## scan-serve — {} requests, seed {}, pool of {} GPUs, coalescing {}{}{}",
         requests.len(),
         opts.seed,
         opts.pool_gpus,
         if opts.coalesce { "on" } else { "off" },
-        if opts.op_mix { ", mixed operators" } else { "" }
+        if opts.op_mix { ", mixed operators" } else { "" },
+        if opts.shards > 1 {
+            format!(", {} shards x {} GPUs", opts.shards, opts.pool_gpus)
+        } else {
+            String::new()
+        }
     );
     if opts.op_mix {
         let mut counts = std::collections::BTreeMap::new();
@@ -406,13 +423,9 @@ fn serve(opts: &ServeOpts, trace_dir: &str) {
     std::fs::create_dir_all(&opts.out).expect("create --out dir");
     std::fs::create_dir_all(trace_dir).expect("create trace dir");
 
-    let mut entries = Vec::new();
-    for policy in Policy::all() {
-        let mut config = ServeConfig::new(policy, opts.seed);
-        config.pool_gpus = opts.pool_gpus;
-        config.coalesce = opts.coalesce;
-        let report = Server::new(config).run(&requests).expect("serve the window");
-        if selected.contains(&policy) {
+    let windows = serve_windows(&requests, opts.seed, opts.pool_gpus, opts.coalesce);
+    for (policy, report) in &windows {
+        if selected.contains(policy) {
             println!("{}", report.metrics.summary());
             let path = format!("{trace_dir}/serve_{}_seed{}.trace.json", policy.name(), opts.seed);
             report.trace.write_chrome_trace(&path).expect("write fleet trace");
@@ -422,19 +435,42 @@ fn serve(opts: &ServeOpts, trace_dir: &str) {
                 report.trace.graph().nodes().len()
             );
         }
-        let metrics = report.metrics.to_json().replace('\n', "\n    ");
-        entries.push(format!("    \"{}\": {metrics}", policy.name()));
+    }
+
+    // `--shards N` (N > 1): serve the same workload through the sharded
+    // router as well, and append a "sharded" section to the JSON. The
+    // unsharded section — and so the committed default golden — is
+    // unaffected.
+    let sharded = (opts.shards > 1)
+        .then(|| sharded_windows(&requests, opts.seed, opts.shards, opts.pool_gpus, opts.coalesce));
+    if let Some(sharded) = &sharded {
+        for (policy, report) in sharded {
+            if selected.contains(policy) {
+                println!("{}", report.metrics.summary());
+                let path = format!(
+                    "{trace_dir}/serve_sharded{}_{}_seed{}.trace.json",
+                    opts.shards,
+                    policy.name(),
+                    opts.seed
+                );
+                report.trace.write_chrome_trace(&path).expect("write merged fleet trace");
+                println!(
+                    "wrote {path} ({} shards, {} nodes)",
+                    report.shards.len(),
+                    report.trace.graph().nodes().len()
+                );
+            }
+        }
     }
 
     let path = format!("{}/BENCH_serve.json", opts.out);
-    let json = format!(
-        "{{\n  \"seed\": {},\n  \"requests\": {},\n  \"pool_gpus\": {},\n  \
-         \"coalesce\": {},\n  \"policies\": {{\n{}\n  }}\n}}\n",
+    let json = bench_serve_json(
         opts.seed,
         requests.len(),
         opts.pool_gpus,
         opts.coalesce,
-        entries.join(",\n")
+        &windows,
+        sharded.as_ref().map(|s| (opts.shards, opts.pool_gpus, s.as_slice())),
     );
     std::fs::write(&path, json).expect("write BENCH_serve.json");
     println!("wrote {path}\n");
@@ -447,40 +483,20 @@ fn serve(opts: &ServeOpts, trace_dir: &str) {
 /// `bench-scan` always produce byte-identical JSON — the CI artifact and
 /// regression baseline.
 fn bench_scan(out: &str) {
-    let h = Harness { total_log2: 20, ..Harness::default() };
-    let runs: Vec<(&str, Option<scan_core::ScanOutput<i32>>)> = vec![
-        ("sp_n20", h.run_sp(20)),
-        ("mps_w2_n18", h.run_mps(18, 2, 2, 1)),
-        ("mps_w4_n16", h.run_mps(16, 4, 4, 1)),
-        ("mps_w8_n14", h.run_mps(14, 8, 4, 2)),
-        ("mppc_m2w4_n16", h.run_mppc(16, 4, 4, 1, 2)),
-        ("mppc_m4w2_n15", h.run_mppc(15, 2, 2, 1, 4)),
-    ];
-
-    println!("## bench-scan — pinned configs at 2^{} elements", h.total_log2);
-    let mut entries = Vec::new();
-    for (name, out) in &runs {
-        let out = out.as_ref().unwrap_or_else(|| panic!("pinned config {name} must run"));
+    let rows = bench::bench_scan_rows();
+    println!("## bench-scan — pinned configs at 2^20 elements");
+    for r in &rows {
         println!(
-            "  {name:>14}: {:>10.3} ms  {:>9.2} Melem/s",
-            out.report.seconds() * 1e3,
-            out.report.throughput() / 1e6
+            "  {:>14}: {:>10.3} ms  {:>9.2} Melem/s",
+            r.name,
+            r.makespan_s * 1e3,
+            r.melems_per_s
         );
-        entries.push(format!(
-            "    {{\"name\": \"{name}\", \"makespan_s\": {}, \"melems_per_s\": {}}}",
-            out.report.seconds(),
-            out.report.throughput() / 1e6
-        ));
     }
 
     std::fs::create_dir_all(out).expect("create --out dir");
     let path = format!("{out}/BENCH_scan.json");
-    let json = format!(
-        "{{\n  \"total_log2\": {},\n  \"configs\": [\n{}\n  ]\n}}\n",
-        h.total_log2,
-        entries.join(",\n")
-    );
-    std::fs::write(&path, json).expect("write BENCH_scan.json");
+    std::fs::write(&path, bench::bench_scan_json(&rows)).expect("write BENCH_scan.json");
     println!("wrote {path}\n");
 }
 

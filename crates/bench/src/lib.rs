@@ -14,7 +14,11 @@
 
 pub mod experiments;
 pub mod series;
+pub mod serve_json;
 pub mod workload;
 
 pub use experiments::Harness;
 pub use series::{average_speedups, geomean, mean, render_table, Series};
+pub use serve_json::{
+    bench_scan_json, bench_scan_rows, bench_serve_json, serve_windows, sharded_windows, ScanRow,
+};

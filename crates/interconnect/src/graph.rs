@@ -719,6 +719,52 @@ impl FleetTimeline {
     }
 }
 
+/// Concatenate independently scheduled fleet parts into one graph and
+/// schedule — the sharded serving window's merged trace.
+///
+/// Each part is one shard's `(graph, schedule, prefix)`: node and phase
+/// labels get the shard's `prefix` (e.g. `"s1:"`), dependency and
+/// predecessor ids shift into the merged id space, and the merged makespan
+/// is the latest part's. Start/finish times are carried over verbatim, NOT
+/// rescheduled: the caller must have remapped each part's resources into
+/// disjoint domains (distinct GPU/node ids per shard), so the parts could
+/// never have contended and the concatenation *is* the schedule one global
+/// scheduler would have produced.
+///
+/// # Panics
+/// Panics if a part's schedule does not cover its graph.
+pub fn merge_fleet_parts(parts: Vec<(ExecGraph, Schedule, String)>) -> (ExecGraph, Schedule) {
+    let mut graph = ExecGraph::new();
+    let mut start = Vec::new();
+    let mut finish = Vec::new();
+    let mut pred: Vec<Option<NodeId>> = Vec::new();
+    let mut makespan = 0.0f64;
+    for (part, schedule, prefix) in parts {
+        assert_eq!(
+            schedule.start.len(),
+            part.nodes.len(),
+            "part schedule does not cover its graph"
+        );
+        let offset = graph.nodes.len();
+        let phase_map: Vec<usize> =
+            part.phase_labels.iter().map(|label| graph.phase(format!("{prefix}{label}"))).collect();
+        for node in &part.nodes {
+            let mut node = node.clone();
+            node.label = format!("{prefix}{}", node.label);
+            node.phase = phase_map[node.phase];
+            for d in &mut node.deps {
+                d.0 += offset;
+            }
+            graph.nodes.push(node);
+        }
+        start.extend_from_slice(&schedule.start);
+        finish.extend_from_slice(&schedule.finish);
+        pred.extend(schedule.pred.iter().map(|p| p.map(|n| NodeId(n.0 + offset))));
+        makespan = makespan.max(schedule.makespan);
+    }
+    (graph, Schedule { start, finish, pred, makespan })
+}
+
 /// Result of scheduling an [`ExecGraph`]: per-node start/finish times and
 /// the makespan.
 #[derive(Debug, Clone)]

@@ -38,11 +38,12 @@ pub use collectives::{
 pub use fault::{
     apply_link_faults, FaultError, FaultEvent, FaultPlan, FaultReport, GpuEviction, LinkFault,
 };
+pub use graph::{
+    merge_fleet_parts, Admission, ExecGraph, ExecNode, FleetTimeline, NodeId, NodeMeta, Resource,
+    Schedule,
+};
 #[doc(hidden)]
 pub use graph::{reference_list_schedule, reference_schedule};
-pub use graph::{
-    Admission, ExecGraph, ExecNode, FleetTimeline, NodeId, NodeMeta, Resource, Schedule,
-};
 pub use link::{FabricSpec, LinkParams};
 pub use mpi::{MpiComm, MpiCost};
 pub use timeline::{Phase, Timeline};

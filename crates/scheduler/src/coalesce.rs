@@ -80,6 +80,7 @@ mod tests {
             g,
             gpus_wanted: gpus,
             priority: 0,
+            tenant: 0,
             deadline: None,
             op: OpKind::AddI32,
         }

@@ -23,8 +23,16 @@
 //!   serialises exactly like intra-request contention, and the whole
 //!   window exports as a single Perfetto trace.
 //!
+//! One server is one shard: the [`Router`] scales the same loop out to
+//! N shards on one shared simulated clock — pluggable [`Placement`],
+//! bounded admission with deterministic redirect/reject, per-tenant SLO
+//! escalation ([`SloConfig`]), and cross-shard work stealing costed as
+//! an explicit InfiniBand transfer (see `docs/sharding.md`).
+//!
 //! Everything is bit-deterministic from the workload seed; golden
-//! snapshots pin one window per policy. See `docs/serving.md`.
+//! snapshots pin one window per policy (and one sharded window), and a
+//! 1-shard router is byte-equal to the unsharded [`Server::run`]. See
+//! `docs/serving.md`.
 //!
 //! ## Quickstart
 //!
@@ -45,15 +53,20 @@ pub mod metrics;
 pub mod policy;
 pub mod pool;
 pub mod request;
+pub mod router;
 pub mod serve;
+mod shard;
 pub mod workload;
 
 pub use coalesce::CoalescePlan;
 pub use json::Json;
-pub use metrics::FleetMetrics;
+pub use metrics::{FleetMetrics, ShardedMetrics};
 pub use policy::Policy;
 pub use pool::{DevicePool, PoolLease};
 pub use request::{OpKind, ServeRequest};
+pub use router::{
+    Placement, Rejection, Router, RouterConfig, ShardReport, ShardedReport, SloConfig,
+};
 pub use serve::{Completion, ResponseStats, ServeConfig, ServeReport, ServedOutput, Server};
 pub use workload::{
     request_input, request_input_f64, request_input_gated, request_input_seg, requests_from_json,

@@ -162,6 +162,159 @@ impl FleetMetrics {
     }
 }
 
+/// Fleet-wide rollup of one sharded serving window: everything the
+/// per-shard [`FleetMetrics`] cannot see — admission-control outcomes,
+/// cross-shard steals, and latency percentiles over the union of all
+/// shards' completions.
+///
+/// Like [`FleetMetrics`], all quantities derive deterministically from
+/// completion records, and [`ShardedMetrics::to_json`] prints floats with
+/// shortest round-trip formatting for byte-stable reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedMetrics {
+    /// Queue discipline every shard ran.
+    pub policy: &'static str,
+    /// Shard-placement policy the router used.
+    pub placement: &'static str,
+    /// Number of shards.
+    pub shards: usize,
+    /// Requests completed, fleet-wide.
+    pub requests: usize,
+    /// Requests rejected by admission control (offered − completed).
+    pub rejected: usize,
+    /// Admitted requests redirected off their primary shard.
+    pub redirected: usize,
+    /// Requests served by a shard other than the one that admitted them.
+    pub steals: usize,
+    /// Launches issued across all shards.
+    pub launches: usize,
+    /// Latest shard makespan, seconds (shards share one clock).
+    pub makespan: f64,
+    /// Median latency over all shards' completions, seconds.
+    pub p50_latency: f64,
+    /// 99th-percentile latency (nearest-rank), seconds.
+    pub p99_latency: f64,
+    /// Mean latency, seconds.
+    pub mean_latency: f64,
+    /// Scanned elements per simulated second, fleet-wide.
+    pub throughput_elems_per_sec: f64,
+    /// Completed requests per simulated second, fleet-wide.
+    pub requests_per_sec: f64,
+    /// `steals / requests` (0.0 when nothing completed).
+    pub steal_rate: f64,
+    /// `rejected / offered` where offered = completed + rejected.
+    pub reject_rate: f64,
+    /// Completed requests that carried a deadline.
+    pub deadline_total: usize,
+    /// Of those, how many finished late.
+    pub deadline_misses: usize,
+}
+
+impl ShardedMetrics {
+    /// Derive the fleet-wide rollup of one finished sharded window.
+    #[allow(clippy::too_many_arguments)]
+    pub fn compute(
+        policy: Policy,
+        placement: &'static str,
+        shard_completions: &[&[Completion]],
+        launches: usize,
+        steals: usize,
+        rejected: usize,
+        redirected: usize,
+        makespan: f64,
+    ) -> ShardedMetrics {
+        let completions: Vec<&Completion> =
+            shard_completions.iter().flat_map(|s| s.iter()).collect();
+        let mut latencies: Vec<f64> = completions.iter().map(|c| Completion::latency(c)).collect();
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let total_elems: usize = completions.iter().map(|c| c.request.total_elems()).sum();
+        let with_deadline: Vec<&&Completion> =
+            completions.iter().filter(|c| c.request.deadline.is_some()).collect();
+        let offered = completions.len() + rejected;
+
+        let div = |num: f64| if makespan > 0.0 { num / makespan } else { 0.0 };
+        let frac = |num: usize, den: usize| if den > 0 { num as f64 / den as f64 } else { 0.0 };
+        ShardedMetrics {
+            policy: policy.name(),
+            placement,
+            shards: shard_completions.len(),
+            requests: completions.len(),
+            rejected,
+            redirected,
+            steals,
+            launches,
+            makespan,
+            p50_latency: percentile(&latencies, 50),
+            p99_latency: percentile(&latencies, 99),
+            mean_latency: if latencies.is_empty() {
+                0.0
+            } else {
+                latencies.iter().sum::<f64>() / latencies.len() as f64
+            },
+            throughput_elems_per_sec: div(total_elems as f64),
+            requests_per_sec: div(completions.len() as f64),
+            steal_rate: frac(steals, completions.len()),
+            reject_rate: frac(rejected, offered),
+            deadline_total: with_deadline.len(),
+            deadline_misses: with_deadline.iter().filter(|c| c.missed_deadline()).count(),
+        }
+    }
+
+    /// Render as a JSON object (shortest round-trip float formatting, so
+    /// byte-stable across equal runs).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"policy\": \"{}\",\n  \"placement\": \"{}\",\n  \"shards\": {},\n  \
+             \"requests\": {},\n  \"rejected\": {},\n  \"redirected\": {},\n  \
+             \"steals\": {},\n  \"launches\": {},\n  \"makespan_s\": {},\n  \
+             \"p50_latency_s\": {},\n  \"p99_latency_s\": {},\n  \"mean_latency_s\": {},\n  \
+             \"throughput_elems_per_s\": {},\n  \"requests_per_s\": {},\n  \
+             \"steal_rate\": {},\n  \"reject_rate\": {},\n  \"deadline_total\": {},\n  \
+             \"deadline_misses\": {}\n}}",
+            self.policy,
+            self.placement,
+            self.shards,
+            self.requests,
+            self.rejected,
+            self.redirected,
+            self.steals,
+            self.launches,
+            self.makespan,
+            self.p50_latency,
+            self.p99_latency,
+            self.mean_latency,
+            self.throughput_elems_per_sec,
+            self.requests_per_sec,
+            self.steal_rate,
+            self.reject_rate,
+            self.deadline_total,
+            self.deadline_misses,
+        )
+    }
+
+    /// One-line human summary (the `bench serve --shards` console output).
+    pub fn summary(&self) -> String {
+        format!(
+            "{}/{} x{}: {} served, {} rejected, {} redirected, {} stolen | {} launches | \
+             p50 {:.3} ms, p99 {:.3} ms | {:.2} Melem/s, {:.1} req/s | deadlines {}/{} missed",
+            self.policy,
+            self.placement,
+            self.shards,
+            self.requests,
+            self.rejected,
+            self.redirected,
+            self.steals,
+            self.launches,
+            self.p50_latency * 1e3,
+            self.p99_latency * 1e3,
+            self.throughput_elems_per_sec / 1e6,
+            self.requests_per_sec,
+            self.deadline_misses,
+            self.deadline_total,
+        )
+    }
+}
+
 /// Nearest-rank percentile of an ascending-sorted slice.
 fn percentile(sorted: &[f64], p: usize) -> f64 {
     if sorted.is_empty() {

@@ -76,6 +76,7 @@ mod tests {
             g,
             gpus_wanted: 1,
             priority: 0,
+            tenant: 0,
             deadline,
             op: crate::request::OpKind::AddI32,
         }

@@ -44,6 +44,18 @@ impl OpKind {
     pub fn parse(s: &str) -> Option<OpKind> {
         OpKind::all().into_iter().find(|k| k.as_str() == s)
     }
+
+    /// In-memory bytes per element of this kind's payload — what a
+    /// cross-shard steal moves over the fabric (`i32` = 4, `f64` = 8, a
+    /// `SegPair<i32>` = 8 with its padded flag, an `AffinePair<f64>` = 16).
+    pub fn elem_bytes(self) -> usize {
+        match self {
+            OpKind::AddI32 => 4,
+            OpKind::MaxF64 => 8,
+            OpKind::SegSumI32 => 8,
+            OpKind::GatedF64 => 16,
+        }
+    }
 }
 
 impl std::fmt::Display for OpKind {
@@ -74,6 +86,10 @@ pub struct ServeRequest {
     /// Smaller is more urgent. Only breaks ties within a policy's primary
     /// key; it never overrides it.
     pub priority: u8,
+    /// Tenant (user) id: the unit of hash placement and per-tenant SLO
+    /// accounting in the sharded router. The default workload stamps
+    /// every request tenant 0; single-server scheduling ignores it.
+    pub tenant: u8,
     /// Absolute completion deadline, seconds (EDF's key; `None` = none).
     pub deadline: Option<f64>,
     /// Which operator/element-type instantiation to run.
@@ -105,6 +121,7 @@ mod tests {
             g: 3,
             gpus_wanted: 2,
             priority: 0,
+            tenant: 0,
             deadline: None,
             op: OpKind::AddI32,
         };

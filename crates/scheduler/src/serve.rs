@@ -4,7 +4,7 @@
 //!
 //! 1. **Admit** — requests whose arrival time has passed join the queue.
 //! 2. **Dispatch** — the queue is ordered by the configured [`Policy`];
-//!    the head leases GPUs from the [`DevicePool`] (a partial grant is
+//!    the head leases GPUs from the [`crate::DevicePool`] (a partial grant is
 //!    planned with the degraded-mode subset rule), compatible neighbours
 //!    are coalesced into its launch ([`crate::coalesce`]), the batch is
 //!    *functionally executed* through `scan_core::scan_on_lease` (via the
@@ -50,8 +50,9 @@ use skeletons::{
 use crate::coalesce;
 use crate::metrics::FleetMetrics;
 use crate::policy::Policy;
-use crate::pool::{DevicePool, PoolLease};
+use crate::pool::PoolLease;
 use crate::request::{OpKind, ServeRequest};
+use crate::shard::{self, Launch, ShardState};
 use crate::workload::{request_input, request_input_f64, request_input_gated, request_input_seg};
 
 /// Server configuration.
@@ -286,13 +287,6 @@ pub struct ServeReport {
     pub cache_stats: CacheStats,
 }
 
-struct Launch {
-    seq: usize,
-    lease: PoolLease,
-    finish: f64,
-    completions: Vec<Completion>,
-}
-
 /// Response-memo accounting: how many completions were served without
 /// recomputing their output, and how many checksums are stored.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -362,68 +356,28 @@ impl Server {
             requests.windows(2).all(|w| w[0].arrival <= w[1].arrival),
             "requests must be sorted by arrival"
         );
-        let mut pool = DevicePool::new(self.config.pool_gpus);
-        let mut fleet = if self.config.reference_timings {
-            FleetTimeline::reference()
-        } else {
-            FleetTimeline::new()
-        };
-        // The queue holds indices into `requests`; payloads are borrowed in
-        // place and cloned exactly once, into their completion record.
-        let mut queue: Vec<usize> = Vec::new();
-        let mut refs: Vec<&ServeRequest> = Vec::new();
-        let mut running: Vec<Launch> = Vec::new();
-        let mut completions: Vec<Completion> = Vec::new();
-        let mut queue_samples: Vec<(f64, usize)> = Vec::new();
+        // One shard's worth of state is the whole server here; the sharded
+        // router drives N of these with the same dispatch/sample/retire
+        // methods, which is what makes its 1-shard path byte-equal.
+        let mut state = ShardState::new(0, self.config.pool_gpus, self.config.reference_timings);
         let mut next = 0; // index into `requests`
-        let mut launches = 0usize;
         let mut now = 0.0f64;
 
         loop {
             while next < requests.len() && requests[next].arrival <= now {
-                queue.push(next);
+                state.enqueue(next);
                 next += 1;
             }
 
-            // Dispatch in strict policy order until the queue drains or the
-            // pool runs dry. No backfilling: a head that cannot lease
-            // blocks everything behind it (see docs/serving.md).
-            while !queue.is_empty() {
-                queue.sort_by_key(|&i| self.config.policy.key(&requests[i]));
-                let Some(lease) = pool.lease(requests[queue[0]].gpus_wanted) else { break };
-                refs.clear();
-                refs.extend(queue.iter().map(|&i| &requests[i]));
-                let plan = coalesce::plan(&refs, self.config.coalesce);
-                let members: Vec<usize> = plan
-                    .members
-                    .iter()
-                    .rev() // remove back-to-front so positions stay valid
-                    .map(|&pos| queue.remove(pos))
-                    .collect::<Vec<_>>()
-                    .into_iter()
-                    .rev()
-                    .collect();
-                let launch = self.launch(
-                    launches,
-                    &mut fleet,
-                    lease,
-                    requests,
-                    &members,
-                    plan.g_combined,
-                    now,
-                )?;
-                launches += 1;
-                running.push(launch);
-            }
-            queue_samples.push((now, queue.len()));
+            self.dispatch(&mut state, requests, now, None)?;
+            state.sample(now);
 
             // Advance the clock to the next event.
-            let next_completion =
-                running.iter().map(|l| (l.finish.to_bits(), l.seq)).min().map(|(f, _)| f);
+            let next_completion = state.next_finish();
             let next_arrival = (next < requests.len()).then(|| requests[next].arrival);
             now = match (next_completion, next_arrival) {
                 (None, None) => {
-                    assert!(queue.is_empty(), "idle pool with a non-empty queue");
+                    assert!(state.queue.is_empty(), "idle pool with a non-empty queue");
                     break;
                 }
                 (Some(f), None) => f64::from_bits(f),
@@ -431,22 +385,87 @@ impl Server {
                 (Some(f), Some(a)) => f64::from_bits(f).min(a),
             };
 
-            // Retire every launch finishing at or before the new time, in
-            // (finish, launch-sequence) order.
-            loop {
-                let done = running
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, l)| l.finish <= now)
-                    .min_by_key(|(_, l)| (l.finish.to_bits(), l.seq))
-                    .map(|(i, _)| i);
-                let Some(i) = done else { break };
-                let launch = running.remove(i);
-                pool.release(launch.lease);
-                completions.extend(launch.completions);
-            }
+            state.retire(now);
         }
 
+        Ok(self.report(state))
+    }
+
+    /// Dispatch in strict policy order until the queue drains or the pool
+    /// runs dry. No backfilling: a head that cannot lease blocks
+    /// everything behind it (see docs/serving.md). `escalate` carries the
+    /// router's over-SLO-budget tenants (EDF priority escalation); the
+    /// unsharded server passes `None`.
+    pub(crate) fn dispatch(
+        &self,
+        state: &mut ShardState,
+        requests: &[ServeRequest],
+        now: f64,
+        escalate: Option<&std::collections::BTreeSet<u8>>,
+    ) -> ScanResult<()> {
+        let mut refs: Vec<&ServeRequest> = Vec::new();
+        while !state.queue.is_empty() {
+            state.queue.sort_by_key(|e| self.config.policy.key(&requests[e.idx]));
+            if let Some(over) = escalate {
+                shard::escalate_urgent(&mut state.queue, requests, over);
+            }
+            let head = state.queue[0];
+            let Some(lease) = state.pool.lease(requests[head.idx].gpus_wanted) else { break };
+            let (members, g_combined) = match head.stolen_from {
+                // A stolen request always launches solo: its payload is
+                // crossing the steal fabric, and coalescing it with local
+                // requests would couple their latencies to the transfer.
+                Some(victim) => {
+                    state.queue.remove(0);
+                    let r = &requests[head.idx];
+                    state.stolen_ids.push(r.id);
+                    shard::admit_steal_transfer(
+                        &mut state.fleet,
+                        &lease,
+                        r,
+                        victim,
+                        state.shard,
+                        now,
+                    );
+                    (vec![head.idx], r.g)
+                }
+                None => {
+                    // Stolen entries behind the head break the coalescing
+                    // prefix the same way an incompatible request would.
+                    let local = state.queue.iter().take_while(|e| e.stolen_from.is_none()).count();
+                    refs.clear();
+                    refs.extend(state.queue[..local].iter().map(|e| &requests[e.idx]));
+                    let plan = coalesce::plan(&refs, self.config.coalesce);
+                    let members: Vec<usize> = plan
+                        .members
+                        .iter()
+                        .rev() // remove back-to-front so positions stay valid
+                        .map(|&pos| state.queue.remove(pos).idx)
+                        .collect::<Vec<_>>()
+                        .into_iter()
+                        .rev()
+                        .collect();
+                    (members, plan.g_combined)
+                }
+            };
+            let launch = self.launch(
+                state.launches,
+                &mut state.fleet,
+                lease,
+                requests,
+                &members,
+                g_combined,
+                now,
+            )?;
+            state.launches += 1;
+            state.running.push(launch);
+        }
+        Ok(())
+    }
+
+    /// Finalize one serve loop's state into its report.
+    pub(crate) fn report(&self, state: ShardState) -> ServeReport {
+        let ShardState { fleet, completions, queue_samples, launches, .. } = state;
         let makespan = fleet.makespan();
         let (graph, schedule) = fleet.into_parts();
         let trace = Trace::from_parts(graph, schedule);
@@ -459,7 +478,7 @@ impl Server {
             &trace,
             &queue_samples,
         );
-        Ok(ServeReport {
+        ServeReport {
             completions,
             launches,
             makespan,
@@ -467,7 +486,7 @@ impl Server {
             queue_samples,
             metrics,
             cache_stats: self.cache.stats(),
-        })
+        }
     }
 
     /// Execute one (possibly coalesced) launch and admit it to the fleet:
@@ -953,6 +972,7 @@ mod tests {
                 g: 0,
                 gpus_wanted: 1,
                 priority: 0,
+                tenant: 0,
                 deadline: None,
                 op: OpKind::AddI32,
             })
@@ -989,6 +1009,7 @@ mod tests {
             g: 1,
             gpus_wanted: 1,
             priority: 0,
+            tenant: 0,
             deadline,
             op: OpKind::AddI32,
         };
@@ -1013,6 +1034,7 @@ mod tests {
             g: 2,
             gpus_wanted: 8,
             priority: 0,
+            tenant: 0,
             deadline: None,
             op: OpKind::AddI32,
         }];

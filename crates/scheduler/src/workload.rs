@@ -53,7 +53,20 @@ pub struct WorkloadSpec {
     /// per request (one per *burst*: a tenant's batch submission is one
     /// computation).
     pub op_mix: Vec<(OpKind, u32)>,
+    /// Distinct tenants stamped on requests (ids `0..tenants`), one draw
+    /// per request and one per burst. The sharded router's hash placement
+    /// and per-tenant SLO budgets key off this id. Tenant draws come from
+    /// a **dedicated** SplitMix64 stream (same discipline as the op-mix
+    /// draws): `tenants: 1`, the default, draws nothing at all, so every
+    /// pre-existing workload — the `BENCH_serve.json`/`BENCH_scan.json`
+    /// goldens included — is byte-identical with or without this field.
+    pub tenants: u8,
 }
+
+/// Salt of the dedicated tenant-draw stream: tenant draws never touch the
+/// main workload RNG, so enabling multi-tenancy cannot perturb arrivals,
+/// shapes, deadlines or the operator mix.
+const TENANT_STREAM: u64 = 0x7465_6E61_6E74_7331; // "tenants1"
 
 impl WorkloadSpec {
     /// The pinned default: single-node pool, small scans (the regime where
@@ -75,6 +88,7 @@ impl WorkloadSpec {
             burst_per_256: 48,
             burst_len: 4,
             op_mix: vec![(OpKind::AddI32, 1)],
+            tenants: 1,
         }
     }
 
@@ -119,6 +133,15 @@ impl WorkloadSpec {
         assert!(self.max_gpus.is_power_of_two(), "max_gpus must be a power of two");
         assert!(self.n_range.0 <= self.n_range.1 && self.g_range.0 <= self.g_range.1);
         let mut rng = StdRng::seed_from_u64(self.seed);
+        // Tenant draws live on their own stream (see [`TENANT_STREAM`]):
+        // the default single-tenant spec never even seeds it.
+        let mut tenant_rng =
+            (self.tenants > 1).then(|| StdRng::seed_from_u64(self.seed ^ TENANT_STREAM));
+        let tenants = self.tenants;
+        let mut draw_tenant = move || match tenant_rng.as_mut() {
+            Some(r) => r.gen_range(0..tenants as u32) as u8,
+            None => 0,
+        };
         let gpu_pow = self.max_gpus.trailing_zeros();
         let mut arrival_us: u64 = 0;
         let mut out: Vec<ServeRequest> = Vec::with_capacity(self.requests);
@@ -134,6 +157,7 @@ impl WorkloadSpec {
                 let g = rng.gen_range(self.g_range.0..=self.g_range.1).min(1);
                 let priority = rng.gen_range(0..4u64) as u8;
                 let op = self.draw_op(&mut rng);
+                let tenant = draw_tenant();
                 for i in 0..self.burst_len {
                     if out.len() == self.requests {
                         break;
@@ -148,6 +172,7 @@ impl WorkloadSpec {
                         g,
                         gpus_wanted: 1,
                         priority,
+                        tenant,
                         deadline: None,
                         op,
                     });
@@ -163,6 +188,7 @@ impl WorkloadSpec {
                     None
                 };
                 let op = self.draw_op(&mut rng);
+                let tenant = draw_tenant();
                 out.push(ServeRequest {
                     id: out.len(),
                     arrival: us_to_s(arrival_us),
@@ -170,6 +196,7 @@ impl WorkloadSpec {
                     g,
                     gpus_wanted,
                     priority,
+                    tenant,
                     deadline,
                     op,
                 });
@@ -237,8 +264,8 @@ pub fn request_input_gated(seed: u64, id: usize, len: usize) -> Vec<AffinePair<f
 ///
 /// Format — one object with a `requests` array; each entry carries
 /// `arrival` (seconds), `n`, `g`, and optionally `gpus` (default 1),
-/// `priority` (default 0), `deadline` (absolute seconds) and `op`
-/// (an [`OpKind`] name, default `"add_i32"`):
+/// `priority` (default 0), `tenant` (default 0), `deadline` (absolute
+/// seconds) and `op` (an [`OpKind`] name, default `"add_i32"`):
 ///
 /// ```json
 /// {"requests": [
@@ -295,6 +322,7 @@ pub fn requests_from_json(text: &str) -> Result<Vec<ServeRequest>, String> {
             g: int("g")? as u32,
             gpus_wanted: opt_int("gpus")?.unwrap_or(1),
             priority: opt_int("priority")?.unwrap_or(0) as u8,
+            tenant: opt_int("tenant")?.unwrap_or(0) as u8,
             deadline,
             op,
         });
@@ -319,6 +347,9 @@ pub fn requests_to_json(requests: &[ServeRequest]) -> String {
             "  {{\"arrival\": {}, \"n\": {}, \"g\": {}, \"gpus\": {}, \"priority\": {}",
             r.arrival, r.n, r.g, r.gpus_wanted, r.priority
         ));
+        if r.tenant != 0 {
+            out.push_str(&format!(", \"tenant\": {}", r.tenant));
+        }
         if let Some(d) = r.deadline {
             out.push_str(&format!(", \"deadline\": {d}"));
         }

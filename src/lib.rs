@@ -48,7 +48,8 @@ pub mod prelude {
         ProblemParams, Proposal, ScanRequest, TraceHandle, TraceOptions,
     };
     pub use scan_serve::{
-        OpKind, Policy, ServeConfig, ServeRequest, ServedOutput, Server, WorkloadSpec,
+        OpKind, Placement, Policy, Rejection, Router, RouterConfig, ServeConfig, ServeRequest,
+        ServedOutput, Server, ShardReport, ShardedMetrics, ShardedReport, SloConfig, WorkloadSpec,
     };
     pub use skeletons::{
         Add, AffinePair, GatedOp, Max, Min, Mul, ScanOp, SegPair, SegmentedAdd, SplkTuple,

@@ -1,0 +1,138 @@
+//! Admission control at the sharded front door: bounded queues overflow
+//! deterministically, every turned-away request is recorded (rejections
+//! are first-class, never a silent drop), redirects land on the emptiest
+//! shard with room, and a zero-capacity shard is a configuration error —
+//! not a policy.
+
+use multigpu_scan::prelude::*;
+use multigpu_scan::scan::ScanError;
+
+/// `count` identical single-GPU requests all arriving at t = 0, so every
+/// admission decision happens before the first dispatch — the overflow
+/// pattern is a pure function of capacity and placement.
+fn burst(count: usize, op: OpKind) -> Vec<ServeRequest> {
+    (0..count)
+        .map(|id| ServeRequest {
+            id,
+            arrival: 0.0,
+            n: 10,
+            g: 0,
+            gpus_wanted: 1,
+            priority: 0,
+            tenant: (id % 3) as u8,
+            deadline: None,
+            op,
+        })
+        .collect()
+}
+
+/// Completions and rejections must partition the offered ids exactly:
+/// every request is either served once or recorded as rejected, never
+/// both, never neither.
+fn assert_partition(report: &multigpu_scan::serve::ShardedReport, offered: usize) {
+    let mut ids: Vec<usize> = report.completions().iter().map(|c| c.request.id).collect();
+    ids.extend(report.rejections.iter().map(|r| r.request.id));
+    ids.sort_unstable();
+    assert_eq!(
+        ids,
+        (0..offered).collect::<Vec<_>>(),
+        "completions + rejections must partition the offered requests"
+    );
+}
+
+#[test]
+fn bounded_queues_overflow_deterministically() {
+    let requests = burst(16, OpKind::AddI32);
+    let run = || {
+        let mut config = RouterConfig::new(2, Policy::Fifo, 7);
+        config.queue_capacity = Some(2);
+        Router::new(config).unwrap().run(&requests).unwrap()
+    };
+    let a = run();
+    let b = run();
+
+    // The burst outruns 2 shards × capacity 2: exactly 4 admitted.
+    assert_eq!(a.completions().len(), 4);
+    assert_eq!(a.rejections.len(), 12);
+    assert_partition(&a, 16);
+
+    // Rejections are first-class records with the admission instant and
+    // the full shard that turned the request away.
+    for r in &a.rejections {
+        assert_eq!(r.time, 0.0);
+        assert!(r.shard < 2);
+    }
+
+    // And deterministic: both runs reject the same requests in the same
+    // order at the same times.
+    assert_eq!(a.rejections.len(), b.rejections.len());
+    for (x, y) in a.rejections.iter().zip(&b.rejections) {
+        assert_eq!(x.request.id, y.request.id);
+        assert_eq!(x.time.to_bits(), y.time.to_bits());
+        assert_eq!(x.shard, y.shard);
+    }
+}
+
+#[test]
+fn rejections_surface_in_the_metrics() {
+    let requests = burst(16, OpKind::AddI32);
+    let mut config = RouterConfig::new(2, Policy::Fifo, 7);
+    config.queue_capacity = Some(2);
+    let report = Router::new(config).unwrap().run(&requests).unwrap();
+
+    assert_eq!(report.metrics.rejected, report.rejections.len());
+    assert_eq!(report.metrics.requests + report.metrics.rejected, 16);
+    let offered = report.metrics.requests + report.metrics.rejected;
+    assert_eq!(report.metrics.reject_rate, report.metrics.rejected as f64 / offered as f64);
+    assert!(report.metrics.to_json().contains("\"rejected\": 12"));
+}
+
+#[test]
+fn overflow_redirects_to_the_emptiest_shard_with_room() {
+    // Locality placement sends the whole add-scan burst to shard 0:
+    // capacity 4 admits the first four there, redirects the next four to
+    // shard 1, and rejects the last two once both queues are full.
+    let requests = burst(10, OpKind::AddI32);
+    let mut config = RouterConfig::new(2, Policy::Fifo, 7);
+    config.placement = Placement::LocalityByOp;
+    config.queue_capacity = Some(4);
+    let report = Router::new(config).unwrap().run(&requests).unwrap();
+
+    assert_partition(&report, 10);
+    assert_eq!(report.shards[0].redirects_in, 0);
+    assert_eq!(report.shards[1].redirects_in, 4);
+    assert_eq!(report.metrics.redirected, 4);
+    let redirected: Vec<usize> =
+        report.shards[1].report.completions.iter().map(|c| c.request.id).collect();
+    assert_eq!(redirected, vec![4, 5, 6, 7], "overflow spills in arrival order");
+    assert_eq!(
+        report.rejections.iter().map(|r| r.request.id).collect::<Vec<_>>(),
+        vec![8, 9],
+        "only the post-spill tail is rejected"
+    );
+    // The rejection records the *primary* shard that was full.
+    assert!(report.rejections.iter().all(|r| r.shard == 0));
+}
+
+#[test]
+fn unbounded_queues_reject_nothing() {
+    let requests = burst(32, OpKind::MaxF64);
+    let report =
+        Router::new(RouterConfig::new(2, Policy::Fifo, 7)).unwrap().run(&requests).unwrap();
+    assert!(report.rejections.is_empty());
+    assert_eq!(report.metrics.rejected, 0);
+    assert_eq!(report.metrics.reject_rate, 0.0);
+    assert_partition(&report, 32);
+}
+
+#[test]
+fn zero_capacity_shards_are_invalid_config() {
+    let mut config = RouterConfig::new(2, Policy::Fifo, 7);
+    config.queue_capacity = Some(0);
+    match Router::new(config).map(|_| ()) {
+        Err(ScanError::InvalidConfig(msg)) => {
+            assert!(msg.contains("zero-capacity"), "actionable message, got {msg:?}")
+        }
+        other => panic!("expected InvalidConfig, got {other:?}"),
+    }
+}

@@ -13,7 +13,7 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 
 use multigpu_scan::prelude::*;
-use multigpu_scan::serve::ServeReport;
+use multigpu_scan::serve::{ServeReport, ShardedReport};
 
 /// The acceptance workload: seed 7, with a request count small enough to
 /// keep the snapshot reviewable but large enough to queue, coalesce and
@@ -103,6 +103,110 @@ fn serving_windows_are_stable_per_policy() {
             ),
         );
     }
+}
+
+/// The pinned sharded window: seed 7, 2 shards, EDF. Tenants and a
+/// bounded queue exercise placement, admission and stealing, and the
+/// snapshot pins every completion per shard plus the steal/redirect
+/// ledgers and the fleet rollup.
+fn pinned_sharded_window() -> ShardedReport {
+    let mut spec = WorkloadSpec::mixed_ops_for(7, 60);
+    spec.tenants = 3;
+    let requests = spec.generate();
+    let mut config = RouterConfig::new(2, Policy::Edf, 7);
+    config.gpus_per_shard = 4;
+    config.queue_capacity = Some(24);
+    config.slo = Some(SloConfig { miss_budget: 1 });
+    Router::new(config).unwrap().run(&requests).unwrap()
+}
+
+fn sharded_snapshot(label: &str, report: &ShardedReport) -> String {
+    let mut out = String::new();
+    writeln!(out, "# {label}").unwrap();
+    for s in &report.shards {
+        writeln!(
+            out,
+            "# shard {}: requests={} launches={} steals_in={} steals_out={} redirects_in={} \
+             stolen_ids={:?}",
+            s.shard,
+            s.report.completions.len(),
+            s.report.launches,
+            s.steals_in,
+            s.steals_out,
+            s.redirects_in,
+            s.stolen_ids,
+        )
+        .unwrap();
+        for c in &s.report.completions {
+            writeln!(
+                out,
+                "s{} request {} dispatched={:016x} started={:016x} finished={:016x} \
+                 group={} gpus={:?} checksum={:016x}",
+                s.shard,
+                c.request.id,
+                c.dispatched.to_bits(),
+                c.started.to_bits(),
+                c.finished.to_bits(),
+                c.coalesced,
+                c.gpus,
+                c.checksum,
+            )
+            .unwrap();
+        }
+    }
+    for r in &report.rejections {
+        writeln!(out, "reject {} at={:016x} shard={}", r.request.id, r.time.to_bits(), r.shard)
+            .unwrap();
+    }
+    writeln!(out, "makespan={:016x}", report.makespan.to_bits()).unwrap();
+    writeln!(
+        out,
+        "steals={} rejected={} redirected={}",
+        report.metrics.steals, report.metrics.rejected, report.metrics.redirected
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "deadlines {}/{} missed",
+        report.metrics.deadline_misses, report.metrics.deadline_total
+    )
+    .unwrap();
+    out
+}
+
+#[test]
+fn sharded_window_is_stable() {
+    let report = pinned_sharded_window();
+    check(
+        "serve_sharded2_edf_seed7",
+        sharded_snapshot("scan-serve sharded window: 2 shards, edf, seed=7 60 requests", &report),
+    );
+}
+
+/// The merged fleet trace of the sharded window is pinned too, and every
+/// phase label must carry its shard's `s<id>:` prefix — the merged
+/// timeline keeps per-shard tracks apart.
+#[test]
+fn sharded_fleet_trace_is_stable_and_prefixed() {
+    let report = pinned_sharded_window();
+    let labels = report.trace.graph().phase_labels();
+    assert!(!labels.is_empty());
+    for label in labels {
+        assert!(
+            label.starts_with("s0:") || label.starts_with("s1:"),
+            "merged trace has an unprefixed phase label {label:?}"
+        );
+    }
+    let json = report.trace.chrome_trace_json();
+    let path = golden_path("trace_serve_sharded2_edf_seed7").with_extension("json");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &json).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden trace {path:?} ({e}); run with UPDATE_GOLDEN=1 to create it")
+    });
+    assert_eq!(golden, json, "merged sharded fleet trace diverges from {path:?}");
 }
 
 /// The fleet trace of the FIFO window is pinned too (same idiom as the

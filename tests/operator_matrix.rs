@@ -184,6 +184,50 @@ fn gated_recurrence_faulted_runs_match_reference() {
     assert_faulted_runs_match("GatedOp<i64>", GatedOp, pseudo_affine);
 }
 
+/// The sharded row of the matrix: one mixed-operator serving window
+/// pushed through 2-shard and 4-shard routers must reproduce the
+/// single-loop server bit for bit, request by request — full kept
+/// outputs, not just checksums. Placement scatters the same requests
+/// differently at each shard count, so agreement here means scheduling
+/// (placement, admission, stealing) never leaks into the answers.
+#[test]
+fn sharded_matrix_matches_single_loop() {
+    let requests = {
+        let mut spec = multigpu_scan::serve::WorkloadSpec::mixed_ops_for(21, 32);
+        spec.n_range = (10, 11);
+        spec.g_range = (0, 2);
+        spec.tenants = 4;
+        spec.generate()
+    };
+    let mut config = ServeConfig::new(Policy::Fifo, 21);
+    config.keep_outputs = true;
+    let single = Server::new(config).run(&requests).unwrap();
+
+    for shards in [2usize, 4] {
+        let mut config = RouterConfig::new(shards, Policy::Fifo, 21);
+        config.keep_outputs = true;
+        let sharded = Router::new(config).unwrap().run(&requests).unwrap();
+        assert!(sharded.rejections.is_empty());
+        let completions = sharded.completions();
+        assert_eq!(completions.len(), single.completions.len(), "x{shards}");
+        for c in completions {
+            let id = c.request.id;
+            let reference = single
+                .completions
+                .iter()
+                .find(|s| s.request.id == id)
+                .unwrap_or_else(|| panic!("x{shards}: request {id} missing from single loop"));
+            assert_eq!(c.request.op, reference.request.op, "x{shards}: request {id}");
+            assert_eq!(c.checksum, reference.checksum, "x{shards}: request {id}");
+            assert_eq!(
+                c.output.as_ref().expect("outputs kept"),
+                reference.output.as_ref().expect("outputs kept"),
+                "x{shards}: request {id} output diverges from the single-loop run"
+            );
+        }
+    }
+}
+
 /// The gated recurrence solved on the multi-GPU pipeline *is* the
 /// sequential recurrence: the scanned pair's `b` equals the naive loop
 /// `x[t] = gate[t]·x[t-1] + token[t]` exactly (integer arithmetic).

@@ -238,6 +238,7 @@ fn operator_kinds_get_distinct_plans_and_checksums_on_one_lease() {
         g: 1,
         gpus_wanted: 1,
         priority: 0,
+        tenant: 0,
         deadline: None,
         op,
     };

@@ -1,0 +1,333 @@
+//! Property/differential harness for the sharded serving router:
+//!
+//! * same seed + same shard count ⇒ bit-identical [`ShardedReport`];
+//! * a 1-shard router is **byte-equal** to the unsharded [`Server::run`]
+//!   (both drive the same shard-state stepping code);
+//! * every response checksum equals the isolated reference run of that
+//!   request alone, under all three placement policies;
+//! * work stealing never violates `OpKind` coalescing compatibility —
+//!   stolen requests always launch solo, and every coalesced launch is
+//!   kind-uniform;
+//! * SLO escalation reorders only *when* requests run, never *what* they
+//!   compute.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use multigpu_scan::prelude::*;
+use multigpu_scan::serve::ShardedReport;
+
+fn mixed_workload(seed: u64, count: usize) -> Vec<ServeRequest> {
+    let mut spec = WorkloadSpec::mixed_ops_for(seed, count);
+    spec.n_range = (10, 11);
+    spec.g_range = (0, 2);
+    spec.tenants = 4;
+    spec.generate()
+}
+
+/// Serve each request alone through a fresh unsharded server: the
+/// isolated reference the sharded checksums must reproduce bit-exactly.
+/// (A solo window runs the request through the same functional pipeline
+/// the differential tests pin against the sequential CPU scan.)
+fn isolated_checksums(requests: &[ServeRequest], input_seed: u64) -> BTreeMap<usize, u64> {
+    requests
+        .iter()
+        .map(|r| {
+            let server = Server::new(ServeConfig::new(Policy::Fifo, input_seed));
+            let report = server.run(std::slice::from_ref(r)).unwrap();
+            assert_eq!(report.completions.len(), 1);
+            (r.id, report.completions[0].checksum)
+        })
+        .collect()
+}
+
+/// Render every bit of a sharded report — completions, per-shard steal
+/// and redirect counters, rollup metrics JSON, and the merged Chrome
+/// trace — so equality is byte-level, not field-by-field.
+fn deep_snapshot(report: &ShardedReport) -> String {
+    let mut out = String::new();
+    for s in &report.shards {
+        writeln!(
+            out,
+            "shard {} launches={} makespan={:016x} steals_in={} steals_out={} \
+             redirects_in={} stolen_ids={:?}",
+            s.shard,
+            s.report.launches,
+            s.report.makespan.to_bits(),
+            s.steals_in,
+            s.steals_out,
+            s.redirects_in,
+            s.stolen_ids,
+        )
+        .unwrap();
+        for c in &s.report.completions {
+            writeln!(
+                out,
+                "  request {} dispatched={:016x} started={:016x} finished={:016x} \
+                 group={} gpus={:?} checksum={:016x}",
+                c.request.id,
+                c.dispatched.to_bits(),
+                c.started.to_bits(),
+                c.finished.to_bits(),
+                c.coalesced,
+                c.gpus,
+                c.checksum,
+            )
+            .unwrap();
+        }
+        for &(t, depth) in &s.report.queue_samples {
+            writeln!(out, "  queue {:016x} {}", t.to_bits(), depth).unwrap();
+        }
+    }
+    for r in &report.rejections {
+        writeln!(out, "reject {} at={:016x} shard={}", r.request.id, r.time.to_bits(), r.shard)
+            .unwrap();
+    }
+    writeln!(out, "makespan={:016x}", report.makespan.to_bits()).unwrap();
+    out.push_str(&report.metrics.to_json());
+    out.push_str(&report.trace.chrome_trace_json());
+    out
+}
+
+#[test]
+fn same_seed_same_shards_is_bit_identical() {
+    let requests = mixed_workload(7, 40);
+    for policy in Policy::all() {
+        let mut config = RouterConfig::new(3, policy, 7);
+        config.queue_capacity = Some(16);
+        config.slo = Some(SloConfig { miss_budget: 1 });
+        let router = Router::new(config).unwrap();
+        let a = deep_snapshot(&router.run(&requests).unwrap());
+        let b = deep_snapshot(&router.run(&requests).unwrap());
+        assert_eq!(a, b, "policy {policy:?}: same seed + shard count must be byte-identical");
+    }
+}
+
+#[test]
+fn one_shard_router_is_byte_equal_to_unsharded_server() {
+    let requests = mixed_workload(7, 40);
+    for policy in Policy::all() {
+        let unsharded = Server::new(ServeConfig::new(policy, 7)).run(&requests).unwrap();
+        let router = Router::new(RouterConfig::new(1, policy, 7)).unwrap();
+        let sharded = router.run(&requests).unwrap();
+
+        assert!(sharded.rejections.is_empty());
+        assert_eq!(sharded.shards.len(), 1);
+        let shard = &sharded.shards[0];
+        assert_eq!(shard.steals_in, 0, "a 1-shard fleet has nobody to steal from");
+        assert_eq!(shard.redirects_in, 0);
+        let report = &shard.report;
+
+        assert_eq!(report.launches, unsharded.launches, "{policy:?}");
+        assert_eq!(report.makespan.to_bits(), unsharded.makespan.to_bits(), "{policy:?}");
+        assert_eq!(report.completions.len(), unsharded.completions.len(), "{policy:?}");
+        for (a, b) in report.completions.iter().zip(&unsharded.completions) {
+            assert_eq!(a.request, b.request, "{policy:?}");
+            assert_eq!(a.dispatched.to_bits(), b.dispatched.to_bits(), "{policy:?}");
+            assert_eq!(a.started.to_bits(), b.started.to_bits(), "{policy:?}");
+            assert_eq!(a.finished.to_bits(), b.finished.to_bits(), "{policy:?}");
+            assert_eq!(a.coalesced, b.coalesced, "{policy:?}");
+            assert_eq!(&a.gpus[..], &b.gpus[..], "{policy:?}");
+            assert_eq!(a.checksum, b.checksum, "{policy:?}");
+        }
+        let same_samples = report.queue_samples.len() == unsharded.queue_samples.len()
+            && report
+                .queue_samples
+                .iter()
+                .zip(&unsharded.queue_samples)
+                .all(|(&(ta, da), &(tb, db))| ta.to_bits() == tb.to_bits() && da == db);
+        assert!(same_samples, "{policy:?}: queue-depth samples diverge");
+        assert_eq!(report.metrics, unsharded.metrics, "{policy:?}");
+        // The shard's own trace (before the `s0:` merge prefix) is the
+        // unsharded trace, byte for byte.
+        assert_eq!(
+            report.trace.chrome_trace_json(),
+            unsharded.trace.chrome_trace_json(),
+            "{policy:?}: shard trace diverges from the unsharded fleet trace"
+        );
+    }
+}
+
+#[test]
+fn every_placement_matches_the_isolated_reference() {
+    let requests = mixed_workload(13, 32);
+    let reference = isolated_checksums(&requests, 13);
+    for placement in Placement::all() {
+        for shards in [2usize, 3] {
+            let mut config = RouterConfig::new(shards, Policy::Fifo, 13);
+            config.placement = placement;
+            let report = Router::new(config).unwrap().run(&requests).unwrap();
+            let completions = report.completions();
+            assert_eq!(completions.len(), requests.len(), "{placement} x{shards}");
+            for c in completions {
+                assert_eq!(
+                    c.checksum, reference[&c.request.id],
+                    "{placement} x{shards}: request {} diverges from its isolated run",
+                    c.request.id
+                );
+            }
+        }
+    }
+}
+
+/// A steal-heavy scenario: locality placement pins 12 add-scans to shard
+/// 0 and only 2 max-scans to shard 1, each shard owning a single GPU, so
+/// shard 1 drains its own queue and then steals shard 0's backlog.
+fn steal_workload() -> Vec<ServeRequest> {
+    let mut requests = Vec::new();
+    for id in 0..14usize {
+        let op = if id < 12 { OpKind::AddI32 } else { OpKind::MaxF64 };
+        // Alternate n so same-kind neighbours don't all coalesce away.
+        let n = 10 + (id % 2) as u32;
+        requests.push(ServeRequest {
+            id,
+            arrival: 0.0,
+            n,
+            g: 0,
+            gpus_wanted: 1,
+            priority: 0,
+            tenant: 0,
+            deadline: None,
+            op,
+        });
+    }
+    requests
+}
+
+#[test]
+fn work_stealing_never_violates_coalescing_compatibility() {
+    let requests = steal_workload();
+    let reference = isolated_checksums(&requests, 99);
+    let mut config = RouterConfig::new(2, Policy::Fifo, 99);
+    config.gpus_per_shard = 1;
+    config.placement = Placement::LocalityByOp;
+    let report = Router::new(config).unwrap().run(&requests).unwrap();
+
+    let steals: usize = report.shards.iter().map(|s| s.steals_in).sum();
+    assert!(steals > 0, "the imbalanced window must provoke at least one steal");
+    assert_eq!(report.metrics.steals, steals);
+    assert_eq!(report.completions().len(), requests.len(), "every request served exactly once");
+
+    for shard in &report.shards {
+        // Group completions into launches: members of one coalesced
+        // launch share the same `Arc<[usize]>` GPU set allocation.
+        let mut launches: Vec<(&Arc<[usize]>, Vec<&multigpu_scan::serve::Completion>)> = Vec::new();
+        for c in &shard.report.completions {
+            match launches.iter_mut().find(|(gpus, _)| Arc::ptr_eq(gpus, &c.gpus)) {
+                Some((_, members)) => members.push(c),
+                None => launches.push((&c.gpus, vec![c])),
+            }
+        }
+        for (_, members) in &launches {
+            let kind = members[0].request.op;
+            assert!(
+                members.iter().all(|c| c.request.op == kind),
+                "shard {}: a coalesced launch mixes operator kinds",
+                shard.shard
+            );
+            assert!(
+                members.iter().all(|c| c.coalesced == members.len()),
+                "shard {}: coalesced count disagrees with launch membership",
+                shard.shard
+            );
+        }
+        for c in &shard.report.completions {
+            assert_eq!(c.checksum, reference[&c.request.id], "request {}", c.request.id);
+            if shard.stolen_ids.contains(&c.request.id) {
+                assert_eq!(
+                    c.coalesced, 1,
+                    "stolen request {} must launch solo, never coalesced into local work",
+                    c.request.id
+                );
+            }
+        }
+    }
+}
+
+/// SLO escalation: once tenant 1 blows its miss budget, its queued
+/// deadline-carrying request jumps the whole FIFO backlog. The escalated
+/// request finishes strictly earlier than without the SLO — and every
+/// checksum is identical in both runs (scheduling changes *when*, never
+/// *what*).
+#[test]
+fn slo_escalation_preempts_the_queue_but_not_the_answers() {
+    let mut requests = Vec::new();
+    // Tenant 1's first request: an impossible deadline, so the tenant is
+    // over a zero-miss budget the moment it retires.
+    requests.push(ServeRequest {
+        id: 0,
+        arrival: 0.0,
+        n: 10,
+        g: 0,
+        gpus_wanted: 1,
+        priority: 0,
+        tenant: 1,
+        deadline: Some(1e-9),
+        op: OpKind::AddI32,
+    });
+    // A tenant-0 backlog that queues behind it on the single GPU.
+    for id in 1..6usize {
+        requests.push(ServeRequest {
+            id,
+            arrival: 1e-6 + id as f64 * 1e-8,
+            n: 11,
+            g: 0,
+            gpus_wanted: 1,
+            priority: 0,
+            tenant: 0,
+            deadline: None,
+            op: OpKind::AddI32,
+        });
+    }
+    // Tenant 1 again, with a generous deadline: FIFO would serve it last.
+    requests.push(ServeRequest {
+        id: 6,
+        arrival: 2e-6,
+        n: 10,
+        g: 0,
+        gpus_wanted: 1,
+        priority: 0,
+        tenant: 1,
+        deadline: Some(1.0),
+        op: OpKind::AddI32,
+    });
+    requests.sort_by(|a, b| a.arrival.partial_cmp(&b.arrival).unwrap());
+
+    let run = |slo: Option<SloConfig>| {
+        let mut config = RouterConfig::new(1, Policy::Fifo, 5);
+        config.gpus_per_shard = 1;
+        config.slo = slo;
+        Router::new(config).unwrap().run(&requests).unwrap()
+    };
+    let with_slo = run(Some(SloConfig { miss_budget: 0 }));
+    let without = run(None);
+
+    let finish = |report: &ShardedReport, id: usize| {
+        report.shards[0]
+            .report
+            .completions
+            .iter()
+            .find(|c| c.request.id == id)
+            .unwrap_or_else(|| panic!("request {id} completed"))
+            .finished
+    };
+    assert!(
+        finish(&with_slo, 6) < finish(&without, 6),
+        "escalation must finish tenant 1's request strictly earlier"
+    );
+    // With the SLO, request 6 overtakes the tenant-0 backlog; without it,
+    // FIFO serves the backlog first.
+    assert!(finish(&with_slo, 6) < finish(&with_slo, 5), "escalated past the backlog");
+    assert!(finish(&without, 6) > finish(&without, 5), "FIFO order without the SLO");
+    assert!(
+        with_slo.metrics.deadline_misses >= 1,
+        "the sacrificial first request must actually miss"
+    );
+    // Scheduling changed; the answers did not.
+    for id in 0..requests.len() {
+        let a = with_slo.shards[0].report.completions.iter().find(|c| c.request.id == id);
+        let b = without.shards[0].report.completions.iter().find(|c| c.request.id == id);
+        assert_eq!(a.unwrap().checksum, b.unwrap().checksum, "request {id}");
+    }
+}
