@@ -34,10 +34,11 @@
 //!   key); bypasses are counted in [`CacheStats`].
 
 use std::collections::HashMap;
+use std::marker::PhantomData;
 use std::sync::{Arc, Mutex};
 
 use gpu_sim::DeviceSpec;
-use interconnect::{Fabric, LinkClass, Resource};
+use interconnect::{ExecGraph, Fabric, FxBuildHasher, LinkClass, Resource};
 use skeletons::{ScanOp, Scannable, SplkTuple};
 
 use crate::error::ScanResult;
@@ -199,8 +200,17 @@ pub struct CachedPlan {
     /// The run report produced by the cold run (label, timeline, makespan,
     /// execution graph).
     pub report: RunReport,
-    /// GPUs the plan actually used (lease paths; empty elsewhere).
-    pub gpus_used: Vec<usize>,
+    /// GPUs the plan actually used (lease paths; empty elsewhere). Shared
+    /// storage so an identity hit hands the list out without copying.
+    pub gpus_used: Arc<[usize]>,
+    /// The plan's arena entry: the pristine execution graph in shared
+    /// storage. Every launch replaying this plan admits the *same* node
+    /// vectors (an [`Arc`] clone) with a per-launch resource remap table —
+    /// no node storage is copied on a hit.
+    pub(crate) graph: Arc<ExecGraph>,
+    /// The distinct resources `graph` claims, in first-appearance order —
+    /// the domain of a hit's remap table.
+    pub(crate) resources: Vec<Resource>,
     /// Whether the cold run's simulated output matched the CPU reference
     /// bit-for-bit; entries that did not never serve hits.
     pub(crate) replayable: bool,
@@ -227,7 +237,7 @@ pub struct CacheStats {
 
 #[derive(Debug, Default)]
 struct Inner {
-    map: HashMap<CacheKey, Arc<CachedPlan>>,
+    map: HashMap<CacheKey, Arc<CachedPlan>, FxBuildHasher>,
     hits: u64,
     misses: u64,
     bypasses: u64,
@@ -340,48 +350,259 @@ pub(crate) fn lease_key<T: Scannable, O: ScanOp<T>>(
     }
 }
 
-/// Retarget a cached lease graph from the GPUs it was built on onto the
-/// GPUs of an equivalent lease, returning the remapped `gpus_used`.
-///
-/// The two leases have equal pairwise link-class matrices (key equality
-/// guarantees it), so `plan.lease_ids[i] -> ids[i]` induces consistent
-/// bijections on PCIe networks, host bridges and IB links: GPUs that share
-/// a network (class `P2P`) map to GPUs that share a network, and likewise
-/// for nodes. Every route resource is a function of its endpoints'
-/// locations, so rewriting through those maps reproduces exactly the
-/// resources a cold build on the actual lease would emit — and the
-/// schedule is invariant because ties break on node index.
-fn retarget(
-    plan: &CachedPlan,
-    fabric: &Fabric,
-    ids: &[usize],
-    stream: usize,
-    graph: &mut interconnect::ExecGraph,
-) -> Vec<usize> {
-    let topo = fabric.topology();
-    let mut gpu_map = HashMap::new();
-    let mut net_map = HashMap::new();
-    let mut node_map = HashMap::new();
-    for (&from, &to) in plan.lease_ids.iter().zip(ids) {
-        let (f, t) = (topo.locate(from), topo.locate(to));
-        gpu_map.insert(from, to);
-        net_map.insert((f.node, f.network), (t.node, t.network));
-        node_map.insert(f.node, t.node);
+/// Map one pristine plan resource through a hit's remap table (empty
+/// table = identity). Tables hold one entry per distinct resource the plan
+/// claims — a handful — so a linear scan beats hashing.
+fn remap_lookup(remap: &[(Resource, Resource)], r: Resource) -> Resource {
+    if remap.is_empty() {
+        return r;
     }
-    graph.remap_resources(|r| match *r {
-        Resource::Stream { gpu, stream: _ } => Resource::Stream { gpu: gpu_map[&gpu], stream },
-        Resource::PcieNetwork { node, network } => {
-            let (node, network) = net_map[&(node, network)];
-            Resource::PcieNetwork { node, network }
+    remap.iter().find(|(from, _)| *from == r).map_or(r, |&(_, to)| to)
+}
+
+/// A plan-cache hit, ready for zero-copy fleet admission: the plan's
+/// shared (arena) graph plus the resource remap retargeting it onto the
+/// lease the launch actually runs on.
+///
+/// Hand `graph` and `remap` straight to
+/// [`interconnect::FleetTimeline::admit_shared`] — the admitted schedule
+/// is bit-identical to cold-building the graph on the actual lease.
+#[derive(Debug, Clone)]
+pub struct PlanHit {
+    /// The pristine plan graph in shared storage (never copied on a hit).
+    pub graph: Arc<ExecGraph>,
+    /// `(plan resource, lease resource)` pairs covering every distinct
+    /// resource `graph` claims; empty when the lease is the very one the
+    /// plan was built on (identity).
+    pub remap: Vec<(Resource, Resource)>,
+    /// The plan's `gpus_used`, mapped onto the actual lease. Identity hits
+    /// share the plan's own list (no allocation).
+    pub gpus_used: Arc<[usize]>,
+}
+
+/// A planned launch: one cache consultation, resolved into either a
+/// replayable [`PlanHit`] or the obligation to run cold.
+///
+/// Returned by [`PlanCache::plan`]. Callers that only need the execution
+/// *shape* (the serving engine, which admits the graph into a fleet
+/// timeline and may skip the data path entirely) take the hit via
+/// [`PlannedLaunch::into_hit`]; callers that want the functional result
+/// call [`PlannedLaunch::run`], which replays a hit or runs cold and
+/// memoizes the plan as it finishes — one call, no
+/// lookup-then-memoize dance.
+#[derive(Debug)]
+pub struct PlannedLaunch<'a, T: Scannable, O: ScanOp<T>> {
+    cache: &'a PlanCache,
+    device: &'a DeviceSpec,
+    fabric: &'a Fabric,
+    lease: &'a GpuLease,
+    problem: ProblemParams,
+    tuple: SplkTuple,
+    kind: ScanKind,
+    policy: &'a PipelinePolicy,
+    key: CacheKey,
+    plan: Option<Arc<CachedPlan>>,
+    remap: Vec<(Resource, Resource)>,
+    gpus_used: Arc<[usize]>,
+    _elem: PhantomData<fn() -> (T, O)>,
+}
+
+impl PlanCache {
+    /// Plan a lease launch: one cache lookup (counted as a hit or a miss),
+    /// with the hit's resource remap resolved against `lease`.
+    ///
+    /// The remap argument: the cached plan and the incoming lease have
+    /// equal pairwise link-class matrices (key equality guarantees it), so
+    /// `lease_ids[i] -> granted[i]` induces consistent bijections on GPUs,
+    /// PCIe networks, host bridges and IB links — GPUs that share a
+    /// network map to GPUs that share a network, and likewise for nodes.
+    /// Every route resource is a function of its endpoints' locations, so
+    /// mapping through those bijections reproduces exactly the resources a
+    /// cold build on the actual lease would emit, and the schedule is
+    /// invariant because ties break on node index.
+    #[allow(clippy::too_many_arguments)]
+    pub fn plan<'a, T: Scannable, O: ScanOp<T>>(
+        &'a self,
+        device: &'a DeviceSpec,
+        fabric: &'a Fabric,
+        lease: &'a GpuLease,
+        problem: ProblemParams,
+        tuple: SplkTuple,
+        kind: ScanKind,
+        policy: &'a PipelinePolicy,
+    ) -> PlannedLaunch<'a, T, O> {
+        let key = lease_key::<T, O>(device, fabric, lease, problem, tuple, kind, policy);
+        let plan = self.lookup(&key);
+        let (remap, gpus_used) = match &plan {
+            None => (Vec::new(), Arc::from([])),
+            Some(plan) => {
+                let ids = lease.granted();
+                let stream = lease.stream();
+                if plan.lease_ids == ids && plan.lease_stream == stream {
+                    // Identity: the lease is the one the plan was built on.
+                    (Vec::new(), plan.gpus_used.clone())
+                } else {
+                    let topo = fabric.topology();
+                    let map_gpu = |g: usize| {
+                        let i = plan.lease_ids.iter().position(|&x| x == g);
+                        ids[i.expect("plan resources come from granted GPUs")]
+                    };
+                    let map_node = |n: usize| {
+                        let i = plan.lease_ids.iter().position(|&x| topo.locate(x).node == n);
+                        topo.locate(ids[i.expect("plan nodes come from granted GPUs")]).node
+                    };
+                    let map_res = |r: Resource| match r {
+                        Resource::Stream { gpu, stream: _ } => {
+                            Resource::Stream { gpu: map_gpu(gpu), stream }
+                        }
+                        Resource::PcieNetwork { node, network } => {
+                            let i = plan.lease_ids.iter().position(|&x| {
+                                let l = topo.locate(x);
+                                l.node == node && l.network == network
+                            });
+                            let l = topo.locate(ids[i.expect("plan networks come from grants")]);
+                            Resource::PcieNetwork { node: l.node, network: l.network }
+                        }
+                        Resource::HostBridge { node } => {
+                            Resource::HostBridge { node: map_node(node) }
+                        }
+                        Resource::IbLink { a, b } => Resource::ib(map_node(a), map_node(b)),
+                    };
+                    let remap = plan.resources.iter().map(|&r| (r, map_res(r))).collect();
+                    (remap, plan.gpus_used.iter().map(|&g| map_gpu(g)).collect::<Vec<_>>().into())
+                }
+            }
+        };
+        PlannedLaunch {
+            cache: self,
+            device,
+            fabric,
+            lease,
+            problem,
+            tuple,
+            kind,
+            policy,
+            key,
+            plan,
+            remap,
+            gpus_used,
+            _elem: PhantomData,
         }
-        Resource::HostBridge { node } => Resource::HostBridge { node: node_map[&node] },
-        Resource::IbLink { a, b } => Resource::ib(node_map[&a], node_map[&b]),
-    });
-    plan.gpus_used.iter().map(|g| gpu_map[g]).collect()
+    }
+}
+
+impl<T: Scannable, O: ScanOp<T>> PlannedLaunch<'_, T, O> {
+    /// Whether the cache had a replayable plan for this shape.
+    pub fn is_hit(&self) -> bool {
+        self.plan.is_some()
+    }
+
+    /// Take the hit for zero-copy admission, or get the launch back to
+    /// [`PlannedLaunch::run`] cold.
+    // The Err variant hands the whole launch back on a miss by design:
+    // it moves once, straight into `run`, never across a hot boundary.
+    #[allow(clippy::result_large_err)]
+    pub fn into_hit(self) -> Result<PlanHit, Self> {
+        match self.plan {
+            Some(ref plan) => Ok(PlanHit {
+                graph: plan.graph.clone(),
+                remap: self.remap,
+                gpus_used: self.gpus_used,
+            }),
+            None => Err(self),
+        }
+    }
+
+    /// Materialize a hit as a standalone [`PipelineRun`]: clone the arena
+    /// graph and rewrite its resources through the remap table (the
+    /// compatibility view the deprecated two-call API exposed).
+    fn replay(&self) -> Option<(PipelineRun, Vec<usize>)> {
+        let plan = self.plan.as_ref()?;
+        let mut graph = (*plan.graph).clone();
+        if !self.remap.is_empty() {
+            graph.remap_resources(|r| remap_lookup(&self.remap, *r));
+        }
+        Some((
+            PipelineRun {
+                graph,
+                timeline: plan.report.timeline.clone(),
+                makespan: plan.report.makespan,
+            },
+            self.gpus_used.to_vec(),
+        ))
+    }
+
+    /// Execute the launch: replay the hit (functional result from the CPU
+    /// reference, bit-identical to the simulated pipelines) or run cold
+    /// through [`scan_on_lease`] and memoize the plan on finish.
+    ///
+    /// Hit or miss, the returned [`LeaseRun`] is bit-identical to what
+    /// [`scan_on_lease`] would produce for the same arguments.
+    ///
+    /// # Errors
+    /// Propagates [`scan_on_lease`]'s errors on a cold run.
+    pub fn run(self, op: O, input: &[T]) -> ScanResult<LeaseRun<T>> {
+        if let Some((run, gpus_used)) = self.replay() {
+            let data = reference_result(op, self.problem, input, self.kind);
+            return Ok(LeaseRun { data, run, gpus_used });
+        }
+        let cold = scan_on_lease(
+            op,
+            self.tuple,
+            self.device,
+            self.fabric,
+            self.lease,
+            self.problem,
+            input,
+            self.kind,
+            self.policy,
+        )?;
+        memoize_cold(self.cache, self.key, self.lease, op, self.problem, input, self.kind, &cold);
+        Ok(cold)
+    }
+}
+
+/// Self-validate a cold run against the CPU reference and store its plan
+/// (first write wins). The arena entry is the cold run's graph, promoted
+/// into shared storage together with its distinct-resource list.
+#[allow(clippy::too_many_arguments)]
+fn memoize_cold<T: Scannable, O: ScanOp<T>>(
+    cache: &PlanCache,
+    key: CacheKey,
+    lease: &GpuLease,
+    op: O,
+    problem: ProblemParams,
+    input: &[T],
+    kind: ScanKind,
+    cold: &LeaseRun<T>,
+) {
+    let replayable = cold.data == reference_result(op, problem, input, kind);
+    let report = RunReport::from_run("Scan-Lease", problem.total_elems(), cold.run.clone());
+    let mut resources: Vec<Resource> = Vec::new();
+    for node in cold.run.graph.nodes() {
+        for &r in &node.resources {
+            if !resources.contains(&r) {
+                resources.push(r);
+            }
+        }
+    }
+    cache.insert(
+        key,
+        CachedPlan {
+            report,
+            graph: Arc::new(cold.run.graph.clone()),
+            resources,
+            gpus_used: cold.gpus_used.as_slice().into(),
+            replayable,
+            lease_ids: lease.granted().to_vec(),
+            lease_stream: lease.stream(),
+        },
+    );
 }
 
 /// [`scan_on_lease`] through a [`PlanCache`]: replay the memoized graph
-/// when this shape has run before, otherwise run cold and memoize.
+/// when this shape has run before, otherwise run cold and memoize —
+/// [`PlanCache::plan`] + [`PlannedLaunch::run`] in one call.
 ///
 /// Hit or miss, the returned [`LeaseRun`] is bit-identical to what
 /// [`scan_on_lease`] would produce for the same arguments.
@@ -398,24 +619,13 @@ pub fn scan_on_lease_cached<T: Scannable, O: ScanOp<T>>(
     kind: ScanKind,
     policy: &PipelinePolicy,
 ) -> ScanResult<LeaseRun<T>> {
-    if let Some((run, gpus_used)) =
-        lease_plan_cached::<T, O>(cache, device, fabric, lease, problem, tuple, kind, policy)
-    {
-        return Ok(LeaseRun { data: reference_result(op, problem, input, kind), run, gpus_used });
-    }
-    run_and_memoize_lease(cache, op, tuple, device, fabric, lease, problem, input, kind, policy)
+    cache.plan::<T, O>(device, fabric, lease, problem, tuple, kind, policy).run(op, input)
 }
 
-/// The planning half of [`scan_on_lease_cached`]: look the lease's shape
-/// up and replay the memoized plan — graph (retargeted onto the actual
-/// GPUs and stream), timeline, makespan, GPUs used — without touching any
-/// input data. Counts a hit or a miss; on `None` the caller runs cold
-/// (and should memoize through [`run_and_memoize_lease`] so the next
-/// lookup hits).
-///
-/// The serving engine uses this split to admit a hit's graph into the
-/// fleet before deciding whether the member outputs need computing at all
-/// (memoized response checksums skip the data path entirely).
+/// The planning half of the old two-call serving API, superseded by
+/// [`PlanCache::plan`] (whose hits admit shared storage instead of cloning
+/// node vectors). This shim materializes the hit by cloning.
+#[deprecated(note = "use PlanCache::plan and PlannedLaunch")]
 #[allow(clippy::too_many_arguments)]
 pub fn lease_plan_cached<T: Scannable, O: ScanOp<T>>(
     cache: &PlanCache,
@@ -427,28 +637,13 @@ pub fn lease_plan_cached<T: Scannable, O: ScanOp<T>>(
     kind: ScanKind,
     policy: &PipelinePolicy,
 ) -> Option<(PipelineRun, Vec<usize>)> {
-    let key = lease_key::<T, O>(device, fabric, lease, problem, tuple, kind, policy);
-    let plan = cache.lookup(&key)?;
-    let mut graph = plan.report.graph.clone().expect("lease plans always carry a graph");
-    let gpus_used = if plan.lease_ids == lease.granted() && plan.lease_stream == lease.stream() {
-        plan.gpus_used.clone()
-    } else {
-        retarget(&plan, fabric, lease.granted(), lease.stream(), &mut graph)
-    };
-    Some((
-        PipelineRun {
-            graph,
-            timeline: plan.report.timeline.clone(),
-            makespan: plan.report.makespan,
-        },
-        gpus_used,
-    ))
+    cache.plan::<T, O>(device, fabric, lease, problem, tuple, kind, policy).replay()
 }
 
-/// The cold half of [`scan_on_lease_cached`]: run [`scan_on_lease`],
-/// self-validate the simulated output against the CPU reference, and
-/// memoize the plan. Performs no lookup of its own — the caller has just
-/// missed through [`lease_plan_cached`] (or chose to bypass it).
+/// The cold half of the old two-call serving API, superseded by
+/// [`PlannedLaunch::run`] (which memoizes as it finishes). Performs no
+/// lookup of its own — the caller has just missed, or chose to bypass.
+#[deprecated(note = "use PlanCache::plan and PlannedLaunch::run")]
 #[allow(clippy::too_many_arguments)]
 pub fn run_and_memoize_lease<T: Scannable, O: ScanOp<T>>(
     cache: &PlanCache,
@@ -464,18 +659,7 @@ pub fn run_and_memoize_lease<T: Scannable, O: ScanOp<T>>(
 ) -> ScanResult<LeaseRun<T>> {
     let key = lease_key::<T, O>(device, fabric, lease, problem, tuple, kind, policy);
     let cold = scan_on_lease(op, tuple, device, fabric, lease, problem, input, kind, policy)?;
-    let replayable = cold.data == reference_result(op, problem, input, kind);
-    let report = RunReport::from_run("Scan-Lease", problem.total_elems(), cold.run.clone());
-    cache.insert(
-        key,
-        CachedPlan {
-            report,
-            gpus_used: cold.gpus_used.clone(),
-            replayable,
-            lease_ids: lease.granted().to_vec(),
-            lease_stream: lease.stream(),
-        },
-    );
+    memoize_cold(cache, key, lease, op, problem, input, kind, &cold);
     Ok(cold)
 }
 

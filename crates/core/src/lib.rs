@@ -81,9 +81,9 @@ pub mod verify;
 
 pub use autotune::{autotune_k, autotune_scan_sp, TuneResult};
 pub use breakdown::{Breakdown, BreakdownRow};
-pub use cache::{
-    lease_plan_cached, run_and_memoize_lease, scan_on_lease_cached, CacheStats, PlanCache,
-};
+#[allow(deprecated)]
+pub use cache::{lease_plan_cached, run_and_memoize_lease};
+pub use cache::{scan_on_lease_cached, CacheStats, PlanCache, PlanHit, PlannedLaunch};
 pub use case1::scan_case1;
 pub use error::{ScanError, ScanResult};
 pub use exec::{PipelinePolicy, PipelineRun};

@@ -103,24 +103,35 @@ impl ExecutionPlan {
     /// Stage 1 (Chunk Reduce) launch configuration: grid `(Bx¹, G)`,
     /// block `(Lx, 1)`.
     pub fn stage1_cfg(&self) -> LaunchConfig {
-        self.streaming_cfg("stage1:chunk-reduce")
+        self.streaming_cfg("stage1:chunk-reduce", self.problem.batch())
     }
 
     /// Stage 3 (Scan + Addition) launch configuration — same shape as
     /// Stage 1 (`Bx¹ = Bx³`, §3.1).
     pub fn stage3_cfg(&self) -> LaunchConfig {
-        self.streaming_cfg("stage3:scan-add")
+        self.streaming_cfg("stage3:scan-add", self.problem.batch())
     }
 
-    fn streaming_cfg(&self, label: &str) -> LaunchConfig {
-        LaunchConfig::new(
-            label,
-            (self.bx1, self.problem.batch()),
-            (self.tuple.threads_per_block(), 1),
-        )
-        .shared_elems(self.tuple.shared_elems())
-        .regs(premises::INDEX_OVERHEAD_REGS + self.tuple.elems_per_thread())
-        .width(AccessWidth::Vec4)
+    /// Per-problem Stage 1 grid `(Bx¹, 1)`, for the batched block engine:
+    /// the batch's `G` problems (one per coalesced request in the serving
+    /// path) concatenate along the grid's y-dimension in one simulator pass
+    /// (`Gpu::launch_blocks_batch`), reproducing [`Self::stage1_cfg`]'s
+    /// combined grid exactly.
+    pub fn stage1_problem_cfg(&self) -> LaunchConfig {
+        self.streaming_cfg("stage1:chunk-reduce", 1)
+    }
+
+    /// Per-problem Stage 3 grid `(Bx¹, 1)` — the batched-engine companion
+    /// of [`Self::stage3_cfg`], like [`Self::stage1_problem_cfg`].
+    pub fn stage3_problem_cfg(&self) -> LaunchConfig {
+        self.streaming_cfg("stage3:scan-add", 1)
+    }
+
+    fn streaming_cfg(&self, label: &str, batch: usize) -> LaunchConfig {
+        LaunchConfig::new(label, (self.bx1, batch), (self.tuple.threads_per_block(), 1))
+            .shared_elems(self.tuple.shared_elems())
+            .regs(premises::INDEX_OVERHEAD_REGS + self.tuple.elems_per_thread())
+            .width(AccessWidth::Vec4)
     }
 
     /// Stage 2 (Intermediate Scan) launch configuration and block

@@ -512,7 +512,11 @@ impl<O: Copy> ScanRequest<O> {
                 key,
                 CachedPlan {
                     report: out.report.clone(),
-                    gpus_used: Vec::new(),
+                    // Proposal-keyed plans replay through the report, never
+                    // through the fleet-admission arena; park an empty graph.
+                    graph: std::sync::Arc::new(interconnect::ExecGraph::new()),
+                    resources: Vec::new(),
+                    gpus_used: std::sync::Arc::from([]),
                     replayable,
                     lease_ids: Vec::new(),
                     lease_stream: 0,

@@ -32,7 +32,8 @@ pub fn run_stage1<T: Scannable, O: ScanOp<T>>(
     debug_assert_eq!(input.len(), plan.elems_per_gpu(), "input buffer mis-sized");
     debug_assert_eq!(aux.len(), plan.aux_local_len(), "aux buffer mis-sized");
 
-    let cfg = plan.stage1_cfg();
+    let cfg = plan.stage1_problem_cfg();
+    let batch = plan.problem.batch();
     let portion = plan.portion;
     let chunk = plan.chunk;
     let k = plan.tuple.iterations();
@@ -42,12 +43,14 @@ pub fn run_stage1<T: Scannable, O: ScanOp<T>>(
     let per_warp = 32 * p;
 
     // Blocks are independent (each owns one chunk and writes one aux
-    // entry), so they run on the parallel block engine: block `(c, g)` is
-    // flat block `g·Bx¹ + c`, whose one-element window is exactly aux slot
-    // `g·Bx¹ + c` — addressed block-locally as `out[0]`.
-    debug_assert_eq!(aux.len(), cfg.grid.0 * cfg.grid.1);
+    // entry), so they run on the batched block engine — one simulator pass
+    // over the batch's `G` problems' concatenated blocks, with each
+    // problem's grid `(Bx¹, 1)` stacked along the y-dimension. Block
+    // `(c, g)` is flat block `g·Bx¹ + c`, whose one-element window is
+    // exactly aux slot `g·Bx¹ + c` — addressed block-locally as `out[0]`.
+    debug_assert_eq!(aux.len(), cfg.grid.0 * cfg.grid.1 * batch);
     let input_view = input.host_view();
-    gpu.launch_blocks::<T, _>(&cfg, aux.host_view_mut(), |ctx, out| {
+    gpu.launch_blocks_batch::<T, _>(&cfg, batch, aux.host_view_mut(), |ctx, out| {
         let (c, g) = ctx.block_idx;
         let base = g * portion + c * chunk;
         let mut cascade = Cascade::new(op);

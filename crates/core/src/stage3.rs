@@ -43,7 +43,8 @@ pub fn run_stage3_kind<T: Scannable, O: ScanOp<T>>(
     debug_assert_eq!(offsets.len(), plan.aux_local_len(), "offsets buffer mis-sized");
     debug_assert_eq!(output.len(), plan.elems_per_gpu(), "output buffer mis-sized");
 
-    let cfg = plan.stage3_cfg();
+    let cfg = plan.stage3_problem_cfg();
+    let batch = plan.problem.batch();
     let portion = plan.portion;
     let chunk = plan.chunk;
     let bx1 = plan.bx1;
@@ -53,16 +54,18 @@ pub fn run_stage3_kind<T: Scannable, O: ScanOp<T>>(
     let warps = plan.warps;
 
     // Blocks are independent (each scans its own chunk seeded by a
-    // precomputed offset), so they run on the parallel block engine: block
-    // `(c, g)` is flat block `g·Bx¹ + c` and its chunk starts at
-    // `g·portion + c·chunk = (g·Bx¹ + c)·chunk` — the engine's row-major
-    // window split. The scan skeletons address input and output through one
-    // shared base, so both are passed block-locally with iteration-relative
-    // offsets; the charged transactions are length-based and unchanged.
+    // precomputed offset), so they run on the batched block engine — one
+    // simulator pass over the `G` problems' concatenated `(Bx¹, 1)` grids,
+    // as in Stage 1. Block `(c, g)` is flat block `g·Bx¹ + c` and its chunk
+    // starts at `g·portion + c·chunk = (g·Bx¹ + c)·chunk` — the engine's
+    // row-major window split. The scan skeletons address input and output
+    // through one shared base, so both are passed block-locally with
+    // iteration-relative offsets; the charged transactions are length-based
+    // and unchanged.
     debug_assert_eq!(portion, bx1 * chunk);
     let input_view = input.host_view();
     let offsets_view = offsets.host_view();
-    gpu.launch_blocks::<T, _>(&cfg, output.host_view_mut(), |ctx, out| {
+    gpu.launch_blocks_batch::<T, _>(&cfg, batch, output.host_view_mut(), |ctx, out| {
         let (c, g) = ctx.block_idx;
         let base = g * portion + c * chunk;
         let block_input = &input_view[base..base + chunk];

@@ -293,15 +293,19 @@ impl Gpu {
         }
         let chunk = out.len() / blocks;
         let grid = cfg.grid;
-        let run_block = |b: usize, chunk_out: &mut [T]| -> CostCounters {
+        // Each host worker reuses one shared-memory buffer across its
+        // blocks, refilled to the zero-initialised state between blocks —
+        // same semantics as a fresh allocation per block, without the
+        // per-block allocation.
+        let run_block = |b: usize, chunk_out: &mut [T], shared: &mut [T]| -> CostCounters {
             let mut counters = CostCounters::default();
-            let mut shared = vec![T::default(); cfg.shared_elems];
+            shared.fill(T::default());
             let mut ctx = BlockCtx::new(
                 (b % grid.0, b / grid.0),
                 grid,
                 cfg.block,
                 cfg.width,
-                &mut shared,
+                shared,
                 &mut counters,
             );
             kernel(&mut ctx, chunk_out);
@@ -316,9 +320,10 @@ impl Gpu {
 
         let mut counters = CostCounters { launches: 1, ..Default::default() };
         if serial {
+            let mut shared = vec![T::default(); cfg.shared_elems];
             for b in 0..blocks {
                 let lo = b * chunk;
-                counters += run_block(b, &mut out[lo..lo + chunk]);
+                counters += run_block(b, &mut out[lo..lo + chunk], &mut shared);
             }
         } else {
             // Contiguous block ranges per worker; `split_at_mut` hands each
@@ -335,8 +340,9 @@ impl Gpu {
                     let run_block = &run_block;
                     handles.push(s.spawn(move || {
                         let mut acc = CostCounters::default();
+                        let mut shared = vec![T::default(); cfg.shared_elems];
                         for (j, chunk_out) in mine.chunks_mut(chunk).enumerate() {
-                            acc += run_block(b0 + j, chunk_out);
+                            acc += run_block(b0 + j, chunk_out, &mut shared);
                         }
                         acc
                     }));
@@ -350,6 +356,66 @@ impl Gpu {
         }
 
         Ok(self.finish_launch(stream, cfg, occ, counters))
+    }
+
+    /// Launch a *batch* of identically-shaped independent-block kernels as
+    /// one simulator pass, on the default stream. See
+    /// [`Gpu::launch_blocks_batch_on`].
+    pub fn launch_blocks_batch<T, F>(
+        &mut self,
+        cfg: &LaunchConfig,
+        batch: usize,
+        out: &mut [T],
+        kernel: F,
+    ) -> SimResult<KernelStats>
+    where
+        T: DeviceCopy,
+        F: Fn(&mut BlockCtx<'_, T>, &mut [T]) + Sync,
+    {
+        self.launch_blocks_batch_on(DEFAULT_STREAM, cfg, batch, out, kernel)
+    }
+
+    /// Batched per-block simulation: run the concatenated blocks of `batch`
+    /// identically-shaped members through one simulator pass instead of one
+    /// pass (validation, occupancy, thread-scope, event) per member.
+    ///
+    /// `cfg` describes a *single member's* grid `(Bx, By)`; the members'
+    /// blocks concatenate along the y-dimension into a combined grid
+    /// `(Bx, By·batch)`, exactly the paper's `(Bx, G)` batch convention —
+    /// member `m`'s blocks are grid rows `m·By .. (m+1)·By`, and the kernel
+    /// observes them through `BlockCtx::block_idx` as if the combined grid
+    /// had been launched directly. This is how a coalesced serving launch
+    /// simulates its members: one pass over the concatenated blocks,
+    /// outputs bit-identical to simulating each member's grid alone
+    /// (blocks are independent, so concatenation adds no coupling), and
+    /// events/counters/timing bit-identical to a hand-combined
+    /// [`Gpu::launch_blocks_on`] launch.
+    pub fn launch_blocks_batch_on<T, F>(
+        &mut self,
+        stream: usize,
+        cfg: &LaunchConfig,
+        batch: usize,
+        out: &mut [T],
+        kernel: F,
+    ) -> SimResult<KernelStats>
+    where
+        T: DeviceCopy,
+        F: Fn(&mut BlockCtx<'_, T>, &mut [T]) + Sync,
+    {
+        if batch == 0 {
+            return Err(SimError::InvalidLaunch(format!(
+                "{}: batched launch of zero members",
+                cfg.label
+            )));
+        }
+        let mut combined = cfg.clone();
+        combined.grid.1 = cfg.grid.1.checked_mul(batch).ok_or_else(|| {
+            SimError::InvalidLaunch(format!(
+                "{}: grid rows {} x batch {batch} overflows",
+                cfg.label, cfg.grid.1
+            ))
+        })?;
+        self.launch_blocks_on(stream, &combined, out, kernel)
     }
 
     /// Price the merged counters of a finished launch, record the event on
@@ -647,6 +713,72 @@ mod tests {
         force_serial_blocks(false);
         assert_eq!(forced_out, par_out);
         assert_eq!(forced_stats.counters, par_stats.counters);
+    }
+
+    /// One batched pass over four members' concatenated blocks produces the
+    /// same bytes as four per-member passes, and the same stats/event as a
+    /// hand-combined grid.
+    #[test]
+    fn batched_blocks_match_per_member_passes() {
+        let members = 4usize;
+        let rows = 2usize; // grid rows per member
+        let chunk = 64usize;
+        let src: Vec<i32> = (0..(members * rows * chunk) as i32).collect();
+        let member_cfg = LaunchConfig::new("scan", (1, rows), (chunk, 1)).regs(16);
+        fn kernel(input: &[i32]) -> impl Fn(&mut BlockCtx<'_, i32>, &mut [i32]) + Sync + '_ {
+            let chunk = 64usize;
+            move |ctx: &mut BlockCtx<'_, i32>, out: &mut [i32]| {
+                let base = (ctx.block_idx.1 * ctx.grid_dim.0 + ctx.block_idx.0) * chunk;
+                let mut acc = 0i64;
+                for i in 0..chunk {
+                    acc += i64::from(ctx.read_global_one(input, base + i));
+                    ctx.write_global_one(out, i, acc as i32);
+                }
+            }
+        }
+
+        // Per-member reference: one pass per member over its own slice.
+        let mut reference = Vec::new();
+        let mut ref_counters = CostCounters::default();
+        for m in 0..members {
+            let mut g = gpu();
+            let slice = &src[m * rows * chunk..(m + 1) * rows * chunk];
+            let mut out = vec![0i32; slice.len()];
+            let stats = g.launch_blocks::<i32, _>(&member_cfg, &mut out, kernel(slice)).unwrap();
+            reference.extend_from_slice(&out);
+            ref_counters += stats.counters;
+        }
+
+        // Batched: one pass over the concatenation.
+        let mut g = gpu();
+        let mut out = vec![0i32; src.len()];
+        let stats =
+            g.launch_blocks_batch::<i32, _>(&member_cfg, members, &mut out, kernel(&src)).unwrap();
+        assert_eq!(out, reference, "batched outputs must be bit-identical");
+        assert_eq!(stats.counters.launches, 1, "one simulator pass, not {members}");
+        assert_eq!(g.log().events().len(), 1);
+        // All non-launch work is the sum of the members'.
+        assert_eq!(stats.counters.gld_transactions, ref_counters.gld_transactions);
+        assert_eq!(stats.counters.gst_transactions, ref_counters.gst_transactions);
+
+        // And it is exactly the hand-combined grid `(Bx, By·batch)`.
+        let combined = LaunchConfig::new("scan", (1, rows * members), (chunk, 1)).regs(16);
+        let mut g2 = gpu();
+        let mut out2 = vec![0i32; src.len()];
+        let s2 = g2.launch_blocks::<i32, _>(&combined, &mut out2, kernel(&src)).unwrap();
+        assert_eq!(out2, out);
+        assert_eq!(s2.counters, stats.counters);
+        assert_eq!(s2.seconds().to_bits(), stats.seconds().to_bits());
+    }
+
+    #[test]
+    fn batched_blocks_reject_zero_members() {
+        let mut g = gpu();
+        let cfg = LaunchConfig::new("k", (1, 1), (WARP_SIZE, 1)).regs(16);
+        let mut out = vec![0i32; 4];
+        let err = g.launch_blocks_batch::<i32, _>(&cfg, 0, &mut out, |_, _| {}).unwrap_err();
+        assert!(err.to_string().contains("zero members"));
+        assert_eq!(g.log().events().len(), 0);
     }
 
     #[test]

@@ -29,11 +29,92 @@
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use std::hash::{BuildHasher, Hasher};
+use std::sync::Arc;
 
 use gpu_sim::{CostCounters, EventKind};
 
 use crate::timeline::Timeline;
 use crate::topology::{LinkClass, Topology};
+
+/// Deterministic multiply-rotate hasher for small fixed-width keys
+/// ([`Resource`], plan-cache keys). The standard `RandomState` seeds
+/// itself per process, which costs an initialization syscall and makes
+/// iteration order vary run to run; this hasher is seed-free, so maps
+/// built on it hash identically everywhere. The scheduler never iterates
+/// its maps (all map access is keyed), so determinism of *results* does
+/// not depend on this — it only buys speed and reproducible debugging.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// [`BuildHasher`] for [`FxHasher`]: zero-sized, seed-free, deterministic.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxBuildHasher;
+
+impl BuildHasher for FxBuildHasher {
+    type Hasher = FxHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher::default()
+    }
+}
+
+/// A [`Resource`]-keyed hash map on the deterministic [`FxBuildHasher`] —
+/// the scheduler's availability and holder indices.
+pub type ResourceMap<V> = HashMap<Resource, V, FxBuildHasher>;
 
 /// Identifier of a node within an [`ExecGraph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -309,8 +390,8 @@ impl ExecGraph {
     /// (ties broken by insertion order), then marks its resources busy until
     /// its finish. The result is deterministic for a given graph.
     pub fn schedule(&self) -> Schedule {
-        let mut avail = HashMap::new();
-        let mut holder = HashMap::new();
+        let mut avail = ResourceMap::default();
+        let mut holder = ResourceMap::default();
         let (start, finish, pred, makespan) =
             list_schedule(&self.nodes, 0.0, &mut avail, &mut holder, 0);
         Schedule { start, finish, pred, makespan }
@@ -351,8 +432,8 @@ impl ExecGraph {
 fn list_schedule(
     nodes: &[ExecNode],
     release: f64,
-    avail: &mut HashMap<Resource, f64>,
-    holder: &mut HashMap<Resource, NodeId>,
+    avail: &mut ResourceMap<f64>,
+    holder: &mut ResourceMap<NodeId>,
     offset: usize,
 ) -> (Vec<f64>, Vec<f64>, Vec<Option<NodeId>>, f64) {
     let n = nodes.len();
@@ -370,7 +451,7 @@ fn list_schedule(
         }
     }
 
-    let est_of = |i: usize, dep_ready: &[f64], avail: &HashMap<Resource, f64>| {
+    let est_of = |i: usize, dep_ready: &[f64], avail: &ResourceMap<f64>| {
         let mut est = dep_ready[i];
         for r in &nodes[i].resources {
             est = est.max(avail.get(r).copied().unwrap_or(0.0));
@@ -452,8 +533,8 @@ fn list_schedule(
 pub fn reference_list_schedule(
     nodes: &[ExecNode],
     release: f64,
-    avail: &mut HashMap<Resource, f64>,
-    holder: &mut HashMap<Resource, NodeId>,
+    avail: &mut ResourceMap<f64>,
+    holder: &mut ResourceMap<NodeId>,
     offset: usize,
 ) -> (Vec<f64>, Vec<f64>, Vec<Option<NodeId>>, f64) {
     let n = nodes.len();
@@ -526,19 +607,180 @@ pub fn reference_list_schedule(
 /// [`reference_list_schedule`]). Test/benchmark surface only.
 #[doc(hidden)]
 pub fn reference_schedule(graph: &ExecGraph) -> Schedule {
-    let mut avail = HashMap::new();
-    let mut holder = HashMap::new();
+    let mut avail = ResourceMap::default();
+    let mut holder = ResourceMap::default();
     let (start, finish, pred, makespan) =
         reference_list_schedule(&graph.nodes, 0.0, &mut avail, &mut holder, 0);
     Schedule { start, finish, pred, makespan }
 }
 
+/// Map one pristine resource through an admission's remap table (empty
+/// table = identity). Tables are tiny — one entry per *distinct* resource
+/// a plan's graph touches (a handful of streams and links) — so a linear
+/// scan beats hashing.
+#[inline]
+fn map_r(remap: &[(Resource, Resource)], r: Resource) -> Resource {
+    if remap.is_empty() {
+        return r;
+    }
+    remap.iter().find(|(from, _)| *from == r).map_or(r, |&(_, to)| to)
+}
+
+/// Reusable working set of the incremental admission scheduler. Admitting
+/// a graph needs per-node ready times, remaining-dependency counts, a
+/// flattened successor adjacency and the event heap; pooling them in the
+/// [`FleetTimeline`] makes the steady-state admission path allocation-free
+/// once the buffers have grown to the largest graph seen.
+#[derive(Debug, Clone, Default)]
+struct SchedScratch {
+    dep_ready: Vec<f64>,
+    deps_left: Vec<u32>,
+    succ_off: Vec<u32>,
+    succ_cur: Vec<u32>,
+    succ: Vec<u32>,
+    heap: BinaryHeap<Reverse<(u64, usize)>>,
+}
+
+/// The incremental admission scheduler: [`list_schedule`]'s exact
+/// selection rule, restated to (a) read node resources *through* an
+/// admission remap table instead of requiring a rewritten graph, (b) reuse
+/// the caller's [`SchedScratch`] buffers, and (c) append starts/finishes/
+/// predecessors directly onto the fleet's flat arrays. Only the resources
+/// the admitted graph actually touches are examined — the fleet's
+/// availability index is consulted per claimed resource, never scanned.
+///
+/// Bit-equality with [`list_schedule`] on the remapped graph: mapping each
+/// claimed resource through `remap` at lookup time touches the same map
+/// keys in the same order as scheduling a graph whose resource lists were
+/// rewritten up front, and every other operation (est folds, heap keys,
+/// predecessor search, holder updates) is unchanged.
+///
+/// Returns `(first_start, makespan)` of the admitted nodes.
+#[allow(clippy::too_many_arguments)]
+fn admit_schedule_into(
+    nodes: &[ExecNode],
+    remap: &[(Resource, Resource)],
+    release: f64,
+    index: &mut ResourceMap<(f64, NodeId)>,
+    offset: usize,
+    scratch: &mut SchedScratch,
+    start_all: &mut Vec<f64>,
+    finish_all: &mut Vec<f64>,
+    pred_all: &mut Vec<Option<NodeId>>,
+) -> (f64, f64) {
+    let n = nodes.len();
+    let s = scratch;
+    s.dep_ready.clear();
+    s.dep_ready.resize(n, release);
+    s.deps_left.clear();
+    s.deps_left.resize(n, 0);
+    s.succ_off.clear();
+    s.succ_off.resize(n + 1, 0);
+    let mut edges = 0u32;
+    for (i, node) in nodes.iter().enumerate() {
+        s.deps_left[i] = node.deps.len() as u32;
+        edges += node.deps.len() as u32;
+        for d in &node.deps {
+            s.succ_off[d.0 + 1] += 1;
+        }
+    }
+    for i in 0..n {
+        s.succ_off[i + 1] += s.succ_off[i];
+    }
+    s.succ_cur.clear();
+    s.succ_cur.extend_from_slice(&s.succ_off[..n]);
+    s.succ.clear();
+    s.succ.resize(edges as usize, 0);
+    for (i, node) in nodes.iter().enumerate() {
+        for d in &node.deps {
+            s.succ[s.succ_cur[d.0] as usize] = i as u32;
+            s.succ_cur[d.0] += 1;
+        }
+    }
+
+    start_all.resize(offset + n, 0.0);
+    finish_all.resize(offset + n, 0.0);
+    pred_all.resize(offset + n, None);
+    let start = &mut start_all[offset..];
+    let finish = &mut finish_all[offset..];
+    let pred = &mut pred_all[offset..];
+
+    let est_of = |i: usize, dep_ready: &[f64], index: &ResourceMap<(f64, NodeId)>| {
+        let mut est = dep_ready[i];
+        for r in &nodes[i].resources {
+            est = est.max(index.get(&map_r(remap, *r)).map_or(0.0, |&(t, _)| t));
+        }
+        est
+    };
+
+    s.heap.clear();
+    for (i, &left) in s.deps_left.iter().enumerate() {
+        if left == 0 {
+            s.heap.push(Reverse((est_of(i, &s.dep_ready, index).to_bits(), i)));
+        }
+    }
+
+    let mut first_start = f64::INFINITY;
+    let mut makespan = 0.0f64;
+    let mut placed = 0usize;
+    while placed < n {
+        let Some(Reverse((key, i))) = s.heap.pop() else {
+            panic!("graph has a cycle or dangling dependency");
+        };
+        let est = est_of(i, &s.dep_ready, index);
+        debug_assert!(
+            est.is_finite() && est.to_bits() >= key,
+            "earliest starts must be finite, non-negative and monotone"
+        );
+        if est.to_bits() != key {
+            s.heap.push(Reverse((est.to_bits(), i)));
+            continue;
+        }
+        placed += 1;
+
+        start[i] = est;
+        finish[i] = est + nodes[i].seconds;
+        first_start = first_start.min(est);
+        makespan = makespan.max(finish[i]);
+        if est > 0.0 {
+            pred[i] = nodes[i]
+                .deps
+                .iter()
+                .find(|d| finish[d.0] == est)
+                .map(|d| NodeId(d.0 + offset))
+                .or_else(|| {
+                    // One lookup finds both the availability time and its
+                    // holder: the index stores them together, always
+                    // inserted (and pruned) as a pair.
+                    nodes[i].resources.iter().find_map(|r| {
+                        index.get(&map_r(remap, *r)).and_then(|&(t, h)| (t == est).then_some(h))
+                    })
+                });
+        }
+        for r in &nodes[i].resources {
+            let r = map_r(remap, *r);
+            index.insert(r, (finish[i], NodeId(i + offset)));
+        }
+        let (lo, hi) = (s.succ_off[i] as usize, s.succ_off[i + 1] as usize);
+        for k in lo..hi {
+            let su = s.succ[k] as usize;
+            s.dep_ready[su] = s.dep_ready[su].max(finish[i]);
+            s.deps_left[su] -= 1;
+            if s.deps_left[su] == 0 {
+                s.heap.push(Reverse((est_of(su, &s.dep_ready, index).to_bits(), su)));
+            }
+        }
+    }
+
+    (first_start, makespan)
+}
+
 /// What one [`FleetTimeline::admit`] call scheduled.
 #[derive(Debug, Clone)]
 pub struct Admission {
-    /// Fleet-graph ids of the admitted nodes, in the admitted graph's
-    /// node order.
-    pub nodes: Vec<NodeId>,
+    /// Fleet-graph index range of the admitted nodes, in the admitted
+    /// graph's node order (`NodeId(i)` for `i` in the range).
+    pub nodes: std::ops::Range<usize>,
     /// The release time the graph was admitted at.
     pub release: f64,
     /// Earliest node start (≥ `release`; later when the fleet's resources
@@ -556,41 +798,90 @@ impl Admission {
     }
 }
 
+/// One admitted graph as the fleet records it: shared (possibly
+/// plan-cached) pristine storage plus the admission's resource remap and
+/// label prefix. Node vectors are never copied at admission time — the
+/// fleet *materializes* prefixed, remapped nodes only when a trace
+/// consumer asks for the fleet-wide graph.
+#[derive(Debug, Clone)]
+struct AdmittedGraph {
+    prefix: String,
+    graph: Arc<ExecGraph>,
+    remap: Box<[(Resource, Resource)]>,
+}
+
 /// One shared resource timeline that many [`ExecGraph`]s are admitted
 /// into: the serving layer's view of the cluster.
 ///
-/// Each [`FleetTimeline::admit`] call schedules a graph with the *same*
-/// deterministic list scheduler a lone [`ExecGraph::schedule`] run uses,
-/// but against the fleet's live resource availability: a stream or link
-/// still held by an earlier admission delays the new graph exactly like
-/// intra-graph contention would. Admissions carry a release time (the
-/// simulated instant the request was dispatched), so no node starts
-/// before it.
+/// Each admission schedules a graph with the *same* deterministic list
+/// scheduler a lone [`ExecGraph::schedule`] run uses, but against the
+/// fleet's live resource availability: a stream or link still held by an
+/// earlier admission delays the new graph exactly like intra-graph
+/// contention would. Admissions carry a release time (the simulated
+/// instant the request was dispatched), so no node starts before it.
 ///
-/// The timeline accumulates every admitted node into one fleet-wide graph
-/// and schedule — phase and node labels get a per-admission prefix — which
-/// exports as a single trace covering the whole serving window (see
-/// [`crate::Trace::from_parts`]).
+/// Admission is **incremental**: only the resources the incoming graph
+/// actually claims are consulted in the per-resource availability index
+/// (entries left behind by drained admissions are pruned lazily, see
+/// [`FleetTimeline::admit_shared`]), the scheduler's working buffers are
+/// pooled across admissions, and the admitted node storage is *shared* —
+/// the fleet keeps an [`Arc`] to the admitted graph plus a resource remap
+/// table instead of cloning node vectors. The fleet-wide labelled graph is
+/// materialized on demand ([`FleetTimeline::graph`]) and is identical to
+/// what eager accumulation produced: phase and node labels get the
+/// per-admission prefix, dependencies shift into fleet id space.
 ///
 /// Admissions must be issued in non-decreasing release order (the natural
 /// order of a simulated-clock service loop); this keeps the sequential
 /// admission schedule identical to what one global scheduler would produce
 /// for the combined graph.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct FleetTimeline {
-    graph: ExecGraph,
+    log: Vec<AdmittedGraph>,
+    nodes_total: usize,
     start: Vec<f64>,
     finish: Vec<f64>,
     pred: Vec<Option<NodeId>>,
-    avail: HashMap<Resource, f64>,
-    holder: HashMap<Resource, NodeId>,
+    /// Fast-path availability index: per resource, when it frees up and
+    /// which node holds it — one map, one lookup.
+    index: ResourceMap<(f64, NodeId)>,
+    /// Reference-engine state ([`FleetTimeline::reference`] mode only):
+    /// the pre-incremental engine's separate availability/holder maps.
+    avail: ResourceMap<f64>,
+    holder: ResourceMap<NodeId>,
     makespan: f64,
     last_release: f64,
     admissions: usize,
+    scratch: SchedScratch,
+    /// Prune the availability index when it outgrows this watermark; the
+    /// watermark doubles with the live set, making pruning amortized O(1)
+    /// per admission.
+    prune_at: usize,
     /// When set, admissions run through [`reference_list_schedule`] with no
-    /// resource-map compaction — the pre-heap engine, kept for property
+    /// resource-map pruning — the pre-heap engine, kept for property
     /// tests and the `bench self` slow path.
     reference: bool,
+}
+
+impl Default for FleetTimeline {
+    fn default() -> Self {
+        FleetTimeline {
+            log: Vec::new(),
+            nodes_total: 0,
+            start: Vec::new(),
+            finish: Vec::new(),
+            pred: Vec::new(),
+            index: ResourceMap::default(),
+            avail: ResourceMap::default(),
+            holder: ResourceMap::default(),
+            makespan: 0.0,
+            last_release: 0.0,
+            admissions: 0,
+            scratch: SchedScratch::default(),
+            prune_at: 64,
+            reference: false,
+        }
+    }
 }
 
 impl FleetTimeline {
@@ -600,7 +891,7 @@ impl FleetTimeline {
     }
 
     /// An empty timeline whose admissions use the retained O(n²) reference
-    /// scheduler and never compact resource maps — faithfully the engine
+    /// scheduler and never prune resource maps — faithfully the engine
     /// before the event-heap fast path. Test/benchmark surface only.
     #[doc(hidden)]
     pub fn reference() -> Self {
@@ -613,10 +904,43 @@ impl FleetTimeline {
     /// node labels (e.g. `"r42:"`) so concurrent requests stay
     /// distinguishable in the fleet trace.
     ///
+    /// Copying entry point: clones `graph` into shared storage and admits
+    /// it with an identity resource map. The serving fast path uses
+    /// [`FleetTimeline::admit_shared`] to skip the clone entirely.
+    ///
     /// # Panics
     /// Panics if `release` is negative, non-finite, or earlier than a
     /// previous admission's release.
     pub fn admit(&mut self, graph: &ExecGraph, release: f64, prefix: &str) -> Admission {
+        self.admit_shared(Arc::new(graph.clone()), Vec::new(), release, prefix.to_string())
+    }
+
+    /// Admit shared graph storage at `release` — the zero-copy fast path.
+    ///
+    /// `graph` is typically a plan-cache arena entry shared by every launch
+    /// replaying the same plan; `remap` maps each *distinct* resource the
+    /// graph claims onto the resource of the lease this launch actually
+    /// runs on (empty = identity, i.e. the graph's resources are already
+    /// the target's). The fleet stores the [`Arc`] and the table; nodes are
+    /// scheduled by reading resources through the table on the fly, and no
+    /// node or label data is copied until a trace consumer materializes the
+    /// fleet graph.
+    ///
+    /// The schedule is bit-identical to [`FleetTimeline::admit`] of the
+    /// remapped graph: lookups touch the same availability entries in the
+    /// same order, and stale index entries (finish times before `release`)
+    /// can never determine an earliest start (every est is ≥ `release`),
+    /// so the lazy amortized pruning of the index is unobservable.
+    ///
+    /// # Panics
+    /// Panics under the same conditions as [`FleetTimeline::admit`].
+    pub fn admit_shared(
+        &mut self,
+        graph: Arc<ExecGraph>,
+        remap: Vec<(Resource, Resource)>,
+        release: f64,
+        prefix: String,
+    ) -> Admission {
         assert!(release >= 0.0 && release.is_finite(), "bad release time {release}");
         assert!(
             release >= self.last_release,
@@ -626,59 +950,93 @@ impl FleetTimeline {
         self.last_release = release;
         self.admissions += 1;
 
-        if !self.reference {
-            // Compact the resource maps: an entry strictly before `release`
-            // can never again determine an earliest start (every est is
-            // ≥ release) nor match the `avail == est` predecessor lookup,
-            // and releases are non-decreasing, so it is dead weight from
-            // drained admissions. Keeps per-admission work proportional to
-            // the *live* resource set rather than the whole window history.
-            let drained: Vec<Resource> =
-                self.avail.iter().filter(|&(_, &t)| t < release).map(|(&r, _)| r).collect();
-            for r in &drained {
-                self.avail.remove(r);
-                self.holder.remove(r);
+        let offset = self.nodes_total;
+        let n = graph.nodes.len();
+        let (first_start, makespan) = if self.reference {
+            // The retained engine wants a materialized remapped graph and
+            // fresh per-call buffers — faithfully the pre-incremental path.
+            let remapped;
+            let nodes = if remap.is_empty() {
+                &graph.nodes
+            } else {
+                let mut g = (*graph).clone();
+                g.remap_resources(|r| map_r(&remap, *r));
+                remapped = g.nodes;
+                &remapped
+            };
+            let (start, finish, pred, makespan) =
+                reference_list_schedule(nodes, release, &mut self.avail, &mut self.holder, offset);
+            self.start.extend_from_slice(&start);
+            self.finish.extend_from_slice(&finish);
+            self.pred.extend_from_slice(&pred);
+            (start.iter().copied().fold(f64::INFINITY, f64::min), makespan)
+        } else {
+            // Lazily prune the availability index: an entry strictly before
+            // `release` can never again determine an earliest start (every
+            // est is ≥ release) nor match the `avail == est` predecessor
+            // lookup, so dropping it is unobservable. Pruning only when the
+            // index outgrows its watermark keeps the amortized cost O(1)
+            // per admission instead of a full sweep each time.
+            if self.index.len() > self.prune_at {
+                self.index.retain(|_, (t, _)| *t >= release);
+                self.prune_at = (self.index.len() * 2).max(64);
             }
-        }
-
-        let offset = self.graph.nodes.len();
-        let schedule_fn = if self.reference { reference_list_schedule } else { list_schedule };
-        let (start, finish, pred, makespan) =
-            schedule_fn(&graph.nodes, release, &mut self.avail, &mut self.holder, offset);
-
-        let phase_map: Vec<usize> = graph
-            .phase_labels
-            .iter()
-            .map(|label| self.graph.phase(format!("{prefix}{label}")))
-            .collect();
-        let mut ids = Vec::with_capacity(graph.nodes.len());
-        for node in &graph.nodes {
-            let mut node = node.clone();
-            node.label = format!("{prefix}{}", node.label);
-            node.phase = phase_map[node.phase];
-            for d in &mut node.deps {
-                d.0 += offset;
-            }
-            ids.push(NodeId(self.graph.nodes.len()));
-            self.graph.nodes.push(node);
-        }
-        self.start.extend_from_slice(&start);
-        self.finish.extend_from_slice(&finish);
-        self.pred.extend_from_slice(&pred);
+            admit_schedule_into(
+                &graph.nodes,
+                &remap,
+                release,
+                &mut self.index,
+                offset,
+                &mut self.scratch,
+                &mut self.start,
+                &mut self.finish,
+                &mut self.pred,
+            )
+        };
         self.makespan = self.makespan.max(makespan);
+        self.nodes_total += n;
+        self.log.push(AdmittedGraph { prefix, graph, remap: remap.into_boxed_slice() });
 
-        let first_start = start.iter().copied().fold(f64::INFINITY, f64::min);
         Admission {
-            nodes: ids,
+            nodes: offset..offset + n,
             release,
             start: if first_start.is_finite() { first_start } else { release },
             finish: makespan.max(release),
         }
     }
 
-    /// The fleet-wide graph accumulated so far.
-    pub fn graph(&self) -> &ExecGraph {
-        &self.graph
+    /// Materialize the fleet-wide graph accumulated so far: every admitted
+    /// node with its admission's label prefix, phase indices and
+    /// dependencies shifted into fleet space, and resources mapped through
+    /// the admission's remap table. Identical to what eager per-admission
+    /// accumulation produced; intended for trace export, not the serving
+    /// hot path.
+    pub fn graph(&self) -> ExecGraph {
+        let mut graph =
+            ExecGraph { nodes: Vec::with_capacity(self.nodes_total), phase_labels: Vec::new() };
+        for adm in &self.log {
+            let offset = graph.nodes.len();
+            let prefix = &adm.prefix;
+            let phase_map: Vec<usize> = adm
+                .graph
+                .phase_labels
+                .iter()
+                .map(|label| graph.phase(format!("{prefix}{label}")))
+                .collect();
+            for node in &adm.graph.nodes {
+                let mut node = node.clone();
+                node.label = format!("{prefix}{}", node.label);
+                node.phase = phase_map[node.phase];
+                for d in &mut node.deps {
+                    d.0 += offset;
+                }
+                for r in &mut node.resources {
+                    *r = map_r(&adm.remap, *r);
+                }
+                graph.nodes.push(node);
+            }
+        }
+        graph
     }
 
     /// The fleet-wide schedule accumulated so far (fleet node ids).
@@ -702,20 +1060,61 @@ impl FleetTimeline {
     }
 
     /// When `resource` becomes free given everything admitted so far
-    /// (0 if nothing has claimed it).
+    /// (0 if nothing has claimed it, or if its last claim has already been
+    /// pruned as unobservable — strictly before the latest release).
     pub fn resource_available(&self, resource: Resource) -> f64 {
-        self.avail.get(&resource).copied().unwrap_or(0.0)
+        if self.reference {
+            self.avail.get(&resource).copied().unwrap_or(0.0)
+        } else {
+            self.index.get(&resource).map_or(0.0, |&(t, _)| t)
+        }
     }
 
-    /// The fleet graph and schedule, consumed for trace export.
+    /// The materialized fleet graph and schedule, consumed for trace
+    /// export.
     pub fn into_parts(self) -> (ExecGraph, Schedule) {
+        let graph = self.graph();
         let schedule = Schedule {
             start: self.start,
             finish: self.finish,
             pred: self.pred,
             makespan: self.makespan,
         };
-        (self.graph, schedule)
+        (graph, schedule)
+    }
+
+    /// Visit every admitted node without materializing the fleet graph:
+    /// `f(admission node offset, local node index, node, admission remap)`.
+    /// The node's fleet id is `offset + local`; its dependencies are local
+    /// ids (add `offset`), and resources must be read through
+    /// [`FleetTimeline::map_resource`] with the given remap table.
+    pub(crate) fn visit_nodes(
+        &self,
+        mut f: impl FnMut(usize, usize, &ExecNode, &[(Resource, Resource)]),
+    ) {
+        let mut offset = 0usize;
+        for adm in &self.log {
+            for (i, node) in adm.graph.nodes.iter().enumerate() {
+                f(offset, i, node, &adm.remap);
+            }
+            offset += adm.graph.nodes.len();
+        }
+    }
+
+    /// Map a pristine resource of an admitted node through its admission's
+    /// remap table (see [`FleetTimeline::visit_nodes`]).
+    pub(crate) fn map_resource(remap: &[(Resource, Resource)], r: Resource) -> Resource {
+        map_r(remap, r)
+    }
+
+    /// Per-node start times of the fleet schedule (fleet node ids).
+    pub(crate) fn start_times(&self) -> &[f64] {
+        &self.start
+    }
+
+    /// Per-node finish times of the fleet schedule (fleet node ids).
+    pub(crate) fn finish_times(&self) -> &[f64] {
+        &self.finish
     }
 }
 
@@ -1021,7 +1420,7 @@ mod tests {
         assert_eq!(fleet.makespan(), 2.5);
         // The resource-holder predecessor crosses the admission boundary.
         let s = fleet.schedule();
-        assert_eq!(s.pred[b.nodes[0].index()], Some(a.nodes[0]));
+        assert_eq!(s.pred[b.nodes.start], Some(NodeId(a.nodes.start)));
         assert_eq!(
             fleet.resource_available(Resource::Stream { gpu: 0, stream: 0 }),
             2.0,
@@ -1050,13 +1449,54 @@ mod tests {
         let mut fleet = FleetTimeline::new();
         fleet.admit(&request_graph(1.0, 0.5, 0), 0.0, "r7:");
         fleet.admit(&request_graph(1.0, 0.5, 0), 1.5, "r8:");
-        let labels = fleet.graph().phase_labels();
+        let graph = fleet.graph();
+        let labels = graph.phase_labels();
         assert_eq!(labels.len(), 4, "phases are appended per admission, never merged");
         assert_eq!(labels[0], "r7:stage1");
         assert_eq!(labels[2], "r8:stage1");
-        assert_eq!(fleet.graph().nodes()[2].label, "r8:k");
+        assert_eq!(graph.nodes()[2].label, "r8:k");
         // Dependencies were remapped into fleet space.
-        assert_eq!(fleet.graph().nodes()[3].deps, vec![NodeId(2)]);
+        assert_eq!(graph.nodes()[3].deps, vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn shared_admission_with_remap_matches_materialized_admit() {
+        // Zero-copy path: Arc'd pristine graph + remap table. Oracle:
+        // clone the graph, rewrite its resources, admit by copy.
+        let pristine = request_graph(1.0, 0.5, 0);
+        let mut manual = pristine.clone();
+        manual.remap_resources(|r| match *r {
+            Resource::Stream { stream, .. } => Resource::Stream { gpu: 3, stream },
+            other => other,
+        });
+        let remap =
+            vec![(Resource::Stream { gpu: 0, stream: 0 }, Resource::Stream { gpu: 3, stream: 0 })];
+
+        let mut shared = FleetTimeline::new();
+        let mut copied = FleetTimeline::new();
+        shared.admit(&pristine, 0.0, "r0:");
+        copied.admit(&pristine, 0.0, "r0:");
+        let a = shared.admit_shared(Arc::new(pristine.clone()), remap, 0.5, "r1:".to_string());
+        let b = copied.admit(&manual, 0.5, "r1:");
+
+        assert_eq!(a.start.to_bits(), b.start.to_bits());
+        assert_eq!(a.finish.to_bits(), b.finish.to_bits());
+        assert_eq!(a.nodes, b.nodes);
+        let (sa, sb) = (shared.schedule(), copied.schedule());
+        assert_eq!(
+            sa.start.iter().map(|t| t.to_bits()).collect::<Vec<_>>(),
+            sb.start.iter().map(|t| t.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(sa.pred, sb.pred);
+        // The materialized fleet graphs agree node for node: labels,
+        // phases and *mapped* resources.
+        let (ga, gb) = (shared.graph(), copied.graph());
+        assert_eq!(ga.phase_labels(), gb.phase_labels());
+        for (na, nb) in ga.nodes().iter().zip(gb.nodes()) {
+            assert_eq!(na.label, nb.label);
+            assert_eq!(na.resources, nb.resources);
+            assert_eq!(na.deps, nb.deps);
+        }
     }
 
     #[test]

@@ -39,8 +39,8 @@ pub use fault::{
     apply_link_faults, FaultError, FaultEvent, FaultPlan, FaultReport, GpuEviction, LinkFault,
 };
 pub use graph::{
-    merge_fleet_parts, Admission, ExecGraph, ExecNode, FleetTimeline, NodeId, NodeMeta, Resource,
-    Schedule,
+    merge_fleet_parts, Admission, ExecGraph, ExecNode, FleetTimeline, FxBuildHasher, FxHasher,
+    NodeId, NodeMeta, Resource, ResourceMap, Schedule,
 };
 #[doc(hidden)]
 pub use graph::{reference_list_schedule, reference_schedule};
@@ -49,6 +49,6 @@ pub use mpi::{MpiComm, MpiCost};
 pub use timeline::{Phase, Timeline};
 pub use topology::{LinkClass, Location, Topology};
 pub use trace::{
-    CriticalPathNode, CriticalPathReport, ResourceUtilization, Trace, UtilizationReport,
+    CriticalPathNode, CriticalPathReport, FleetTrace, ResourceUtilization, Trace, UtilizationReport,
 };
 pub use transfer::{Fabric, Transfer};

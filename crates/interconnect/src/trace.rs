@@ -34,8 +34,9 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::fmt::Write as _;
 use std::path::Path;
+use std::sync::OnceLock;
 
-use crate::graph::{ExecGraph, NodeId, Resource, Schedule};
+use crate::graph::{ExecGraph, FleetTimeline, NodeId, Resource, Schedule};
 
 /// Display name of a resource's trace track (`None` is the track for
 /// nodes that claim no exclusive resource, e.g. MPI barriers).
@@ -313,30 +314,16 @@ impl Trace {
     pub fn utilization(&self) -> UtilizationReport {
         let makespan = self.schedule.makespan;
         let mut by_resource: BTreeMap<Option<Resource>, ResourceUtilization> = BTreeMap::new();
-        fn entry(
-            map: &mut BTreeMap<Option<Resource>, ResourceUtilization>,
-            resource: Option<Resource>,
-        ) -> &mut ResourceUtilization {
-            map.entry(resource).or_insert_with(|| ResourceUtilization {
-                resource,
-                track: track_name(resource),
-                nodes: 0,
-                busy_seconds: 0.0,
-                utilization: 0.0,
-                queue_wait_seconds: 0.0,
-                stalled_nodes: 0,
-            })
-        }
         for (i, node) in self.graph.nodes().iter().enumerate() {
             // Busy time accrues on *every* claimed resource — each is held
             // exclusively for the node's whole duration.
             for &r in &node.resources {
-                entry(&mut by_resource, Some(r)).busy_seconds += node.seconds;
+                util_entry(&mut by_resource, Some(r)).busy_seconds += node.seconds;
             }
             // Node counts and stalls go to the node's own track.
             let primary = primary_resource(&node.resources);
             let wait = self.schedule.start[i] - self.dep_ready(i);
-            let row = entry(&mut by_resource, primary);
+            let row = util_entry(&mut by_resource, primary);
             row.nodes += 1;
             if node.resources.is_empty() {
                 row.busy_seconds += node.seconds;
@@ -346,11 +333,7 @@ impl Trace {
                 row.stalled_nodes += 1;
             }
         }
-        let mut resources: Vec<ResourceUtilization> = by_resource.into_values().collect();
-        for r in &mut resources {
-            r.utilization = if makespan > 0.0 { r.busy_seconds / makespan } else { 0.0 };
-        }
-        UtilizationReport { makespan, resources }
+        finish_utilization(makespan, by_resource)
     }
 
     /// Critical-path attribution (see [`CriticalPathReport`]).
@@ -534,6 +517,176 @@ impl Trace {
     }
 }
 
+fn util_entry(
+    map: &mut BTreeMap<Option<Resource>, ResourceUtilization>,
+    resource: Option<Resource>,
+) -> &mut ResourceUtilization {
+    map.entry(resource).or_insert_with(|| ResourceUtilization {
+        resource,
+        track: track_name(resource),
+        nodes: 0,
+        busy_seconds: 0.0,
+        utilization: 0.0,
+        queue_wait_seconds: 0.0,
+        stalled_nodes: 0,
+    })
+}
+
+fn finish_utilization(
+    makespan: f64,
+    by_resource: BTreeMap<Option<Resource>, ResourceUtilization>,
+) -> UtilizationReport {
+    let mut resources: Vec<ResourceUtilization> = by_resource.into_values().collect();
+    for r in &mut resources {
+        r.utilization = if makespan > 0.0 { r.busy_seconds / makespan } else { 0.0 };
+    }
+    UtilizationReport { makespan, resources }
+}
+
+impl FleetTimeline {
+    /// Per-resource utilization of the fleet schedule, computed straight
+    /// from the admission record — no fleet graph is materialized.
+    ///
+    /// Bit-identical to `Trace::from_parts(fleet.graph(), fleet.schedule())
+    /// .utilization()`: the admission log visits nodes in exactly the
+    /// fleet-graph node order, mapped resources are accumulated into the
+    /// same [`BTreeMap`] keys, and a node's dependencies all live in its
+    /// own admission, so the local finish times are the global ones.
+    pub fn utilization(&self) -> UtilizationReport {
+        let makespan = self.makespan();
+        let start = self.start_times();
+        let finish = self.finish_times();
+        let mut by_resource: BTreeMap<Option<Resource>, ResourceUtilization> = BTreeMap::new();
+        self.visit_nodes(|offset, i, node, remap| {
+            let gi = offset + i;
+            for &r in &node.resources {
+                let r = FleetTimeline::map_resource(remap, r);
+                util_entry(&mut by_resource, Some(r)).busy_seconds += node.seconds;
+            }
+            let primary =
+                node.resources.iter().map(|&r| FleetTimeline::map_resource(remap, r)).max();
+            let dep_ready =
+                node.deps.iter().map(|d| finish[offset + d.index()]).fold(0.0, f64::max);
+            let wait = start[gi] - dep_ready;
+            let row = util_entry(&mut by_resource, primary);
+            row.nodes += 1;
+            if node.resources.is_empty() {
+                row.busy_seconds += node.seconds;
+            }
+            if wait > 0.0 {
+                row.queue_wait_seconds += wait;
+                row.stalled_nodes += 1;
+            }
+        });
+        finish_utilization(makespan, by_resource)
+    }
+
+    /// Total busy seconds accumulated on stream resources — the single
+    /// number GPU-busy accounting needs, without building the full
+    /// per-resource [`UtilizationReport`]. Bit-identical to summing
+    /// `busy_seconds` over that report's `Stream` rows: per-resource
+    /// partial sums accrue in node-visit order and the rows are totalled
+    /// in [`Resource`] order, exactly the report's float-addition order.
+    pub fn stream_busy_seconds(&self) -> f64 {
+        let mut rows: Vec<(Resource, f64)> = Vec::new();
+        self.visit_nodes(|_, _, node, remap| {
+            for &r in &node.resources {
+                let r = FleetTimeline::map_resource(remap, r);
+                if matches!(r, Resource::Stream { .. }) {
+                    match rows.iter_mut().find(|(key, _)| *key == r) {
+                        Some((_, busy)) => *busy += node.seconds,
+                        None => rows.push((r, node.seconds)),
+                    }
+                }
+            }
+        });
+        rows.sort_unstable_by_key(|&(r, _)| r);
+        rows.iter().map(|&(_, busy)| busy).sum()
+    }
+}
+
+/// A fleet serving window's trace, materialized lazily.
+///
+/// The serving hot loop accumulates its schedule in a [`FleetTimeline`]
+/// whose admissions share plan-cached graph storage; building the
+/// fleet-wide labelled [`ExecGraph`] (prefixing every label, remapping
+/// every resource) is pure reporting work. `FleetTrace` defers that work
+/// until a consumer actually asks for the graph or an export — summary
+/// metrics ([`FleetTrace::utilization`], [`FleetTrace::makespan`]) come
+/// straight from the admission record without materializing anything.
+#[derive(Debug)]
+pub struct FleetTrace {
+    fleet: Option<FleetTimeline>,
+    cell: OnceLock<Trace>,
+}
+
+impl FleetTrace {
+    /// Wrap a finished fleet timeline; nothing is materialized yet.
+    pub fn from_fleet(fleet: FleetTimeline) -> Self {
+        FleetTrace { fleet: Some(fleet), cell: OnceLock::new() }
+    }
+
+    /// Wrap an already-materialized trace (e.g. the merged multi-shard
+    /// trace, whose parts were remapped and concatenated by the caller).
+    pub fn from_trace(trace: Trace) -> Self {
+        let cell = OnceLock::new();
+        let _ = cell.set(trace);
+        FleetTrace { fleet: None, cell }
+    }
+
+    fn force(&self) -> &Trace {
+        self.cell.get_or_init(|| {
+            let fleet = self.fleet.as_ref().expect("fleet trace has a timeline or a trace");
+            Trace::from_parts(fleet.graph(), fleet.schedule())
+        })
+    }
+
+    /// The fleet-wide labelled graph (materialized on first use).
+    pub fn graph(&self) -> &ExecGraph {
+        self.force().graph()
+    }
+
+    /// The fleet schedule (materializes the trace on first use).
+    pub fn schedule(&self) -> &Schedule {
+        self.force().schedule()
+    }
+
+    /// End of the schedule, in seconds. Never materializes.
+    pub fn makespan(&self) -> f64 {
+        match self.cell.get() {
+            Some(trace) => trace.makespan(),
+            None => self.fleet.as_ref().expect("fleet trace has a timeline").makespan(),
+        }
+    }
+
+    /// Per-resource utilization. Computed from the admission record when
+    /// the trace has not been materialized (bit-identical either way).
+    pub fn utilization(&self) -> UtilizationReport {
+        if let Some(trace) = self.cell.get() {
+            return trace.utilization();
+        }
+        self.fleet.as_ref().expect("fleet trace has a timeline").utilization()
+    }
+
+    /// Critical-path attribution (materializes the trace on first use).
+    pub fn critical_path(&self) -> CriticalPathReport {
+        self.force().critical_path()
+    }
+
+    /// Chrome Trace Event JSON (materializes the trace on first use).
+    pub fn chrome_trace_json(&self) -> String {
+        self.force().chrome_trace_json()
+    }
+
+    /// Write [`FleetTrace::chrome_trace_json`] to a file.
+    ///
+    /// # Errors
+    /// Propagates the I/O error if the file cannot be written.
+    pub fn write_chrome_trace(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        self.force().write_chrome_trace(path)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -662,6 +815,34 @@ mod tests {
         // Metadata survives the fault rewrite: the retried transfer still
         // reports its payload.
         assert!(json.contains("\"bytes\":4096"));
+    }
+
+    #[test]
+    fn fleet_utilization_matches_the_materialized_trace() {
+        // Two admissions contending on stream 0 and the link, the second
+        // under a resource remap — the record-based utilization must equal
+        // the materialized trace's bit for bit.
+        let mut g = ExecGraph::new();
+        let p = g.phase("stage1");
+        let q = g.phase("comm");
+        let a = g.add(p, "k", K, 1.0, &[], &[stream(0)]);
+        g.add(q, "c", T, 0.5, &[a], &[link()]);
+
+        let mut fleet = FleetTimeline::new();
+        fleet.admit(&g, 0.0, "r0:");
+        fleet.admit_shared(
+            std::sync::Arc::new(g.clone()),
+            vec![(stream(0), stream(2))],
+            0.25,
+            "r1:".to_string(),
+        );
+        let from_record = fleet.utilization();
+        let lazy = FleetTrace::from_fleet(fleet.clone());
+        assert_eq!(lazy.utilization(), from_record, "lazy view reads the record");
+        let materialized = Trace::from_parts(fleet.graph(), fleet.schedule()).utilization();
+        assert_eq!(from_record, materialized);
+        assert_eq!(lazy.graph().nodes().len(), 4);
+        assert_eq!(lazy.utilization(), materialized, "post-materialization agrees too");
     }
 
     #[test]

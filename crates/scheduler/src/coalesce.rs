@@ -38,32 +38,40 @@ pub struct CoalescePlan {
 /// single-member plan when the head is not coalescible (multi-GPU request)
 /// or no compatible neighbour follows it.
 pub fn plan(queue: &[&ServeRequest], enabled: bool) -> CoalescePlan {
-    let head = queue[0];
-    let solo = CoalescePlan { members: vec![0], g_combined: head.g };
+    let (len, g_combined) = plan_len(queue.iter().copied(), enabled);
+    CoalescePlan { members: (0..len).collect(), g_combined }
+}
+
+/// Allocation-free form of [`plan`]: the members are always the queue
+/// prefix positions `0..len`, so the length and combined batch exponent
+/// carry the whole decision. Takes the policy-ordered queue as an
+/// iterator — the scan prefix-stops at the first incompatible request, so
+/// the serving hot path never materializes the queue's request refs.
+pub fn plan_len<'a>(
+    mut queue: impl Iterator<Item = &'a ServeRequest>,
+    enabled: bool,
+) -> (usize, u32) {
+    let head = queue.next().expect("coalescing plans a non-empty queue");
     if !enabled || head.gpus_wanted != 1 {
-        return solo;
+        return (1, head.g);
     }
 
     // Longest compatible prefix of the policy order: stop at the first
     // request that cannot join (skipping it would reorder the policy).
-    let mut members = vec![0usize];
     let mut problems = 1usize << head.g;
-    let mut best: Option<(Vec<usize>, usize)> = None;
-    for (pos, r) in queue.iter().enumerate().skip(1) {
+    let mut best: Option<(usize, usize)> = None;
+    for (pos, r) in queue.enumerate() {
         if r.gpus_wanted != 1 || r.n != head.n || r.op != head.op {
             break;
         }
-        members.push(pos);
         problems += 1usize << r.g;
         if problems.is_power_of_two() {
-            best = Some((members.clone(), problems));
+            best = Some((pos + 2, problems));
         }
     }
     match best {
-        Some((members, problems)) => {
-            CoalescePlan { members, g_combined: problems.trailing_zeros() }
-        }
-        None => solo,
+        Some((len, problems)) => (len, problems.trailing_zeros()),
+        None => (1, head.g),
     }
 }
 

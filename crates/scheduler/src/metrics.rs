@@ -5,8 +5,6 @@
 //! round-trip formatting, so equal runs produce byte-equal reports (the
 //! basis of the `BENCH_serve.json` golden and the CI regression gate).
 
-use interconnect::{Resource, Trace};
-
 use crate::policy::Policy;
 use crate::serve::Completion;
 
@@ -49,27 +47,21 @@ pub struct FleetMetrics {
 }
 
 impl FleetMetrics {
-    /// Derive the metrics of one finished window.
+    /// Derive the metrics of one finished window. `stream_busy` is the
+    /// fleet's total stream-resource busy time
+    /// ([`interconnect::FleetTimeline::stream_busy_seconds`]).
     pub fn compute(
         policy: Policy,
         pool_gpus: usize,
         completions: &[Completion],
         launches: usize,
         makespan: f64,
-        trace: &Trace,
+        stream_busy: f64,
         queue_samples: &[(f64, usize)],
     ) -> FleetMetrics {
         let mut latencies: Vec<f64> = completions.iter().map(Completion::latency).collect();
         latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
         let total_elems: usize = completions.iter().map(|c| c.request.total_elems()).sum();
-
-        let stream_busy: f64 = trace
-            .utilization()
-            .resources
-            .iter()
-            .filter(|r| matches!(r.resource, Some(Resource::Stream { .. })))
-            .map(|r| r.busy_seconds)
-            .sum();
 
         let (mut max_depth, mut weighted) = (0usize, 0.0f64);
         for (i, &(t, depth)) in queue_samples.iter().enumerate() {

@@ -82,15 +82,16 @@ impl DevicePool {
             return None;
         }
         let grant_len = largest_pow2(available);
-        let ids: Vec<usize> =
-            (0..self.busy.len()).filter(|&g| !self.busy[g]).take(grant_len).collect();
-        let grants: Vec<StreamGrant> = ids
-            .into_iter()
-            .map(|g| {
+        let mut grants: Vec<StreamGrant> = Vec::with_capacity(grant_len);
+        for g in 0..self.busy.len() {
+            if grants.len() == grant_len {
+                break;
+            }
+            if !self.busy[g] {
                 self.busy[g] = true;
-                self.streams.grant(g)
-            })
-            .collect();
+                grants.push(self.streams.grant(g));
+            }
+        }
         Some(PoolLease { grants })
     }
 

@@ -122,6 +122,11 @@ pub struct RouterConfig {
     pub keep_outputs: bool,
     /// Memoize built execution plans per shard.
     pub plan_cache: bool,
+    /// Drive every shard with the retained O(n²) reference fleet
+    /// scheduler instead of the incremental availability index
+    /// (differential tests; same meaning as
+    /// [`ServeConfig::reference_timings`]).
+    pub reference_timings: bool,
 }
 
 impl RouterConfig {
@@ -140,6 +145,7 @@ impl RouterConfig {
             input_seed,
             keep_outputs: false,
             plan_cache: true,
+            reference_timings: false,
         }
     }
 
@@ -151,7 +157,7 @@ impl RouterConfig {
             input_seed: self.input_seed,
             keep_outputs: self.keep_outputs,
             plan_cache: self.plan_cache,
-            reference_timings: false,
+            reference_timings: self.reference_timings,
         }
     }
 }
@@ -264,8 +270,9 @@ impl Router {
             "requests must be sorted by arrival"
         );
         let shards = self.config.shards;
-        let mut states: Vec<ShardState> =
-            (0..shards).map(|s| ShardState::new(s, self.config.gpus_per_shard, false)).collect();
+        let mut states: Vec<ShardState> = (0..shards)
+            .map(|s| ShardState::new(s, self.config.gpus_per_shard, self.config.reference_timings))
+            .collect();
         let mut rejections: Vec<Rejection> = Vec::new();
         let mut redirects_in = vec![0usize; shards];
         let mut steals_out = vec![0usize; shards];
@@ -333,6 +340,7 @@ impl Router {
                     states[thief]
                         .queue
                         .push(QueueEntry { idx: entry.idx, stolen_from: Some(victim) });
+                    states[thief].queue_sorted = false;
                     // The thief has a free GPU, so the stolen entry
                     // launches now (with its steal-in transfer admitted
                     // ahead of it).

@@ -38,10 +38,9 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use gpu_sim::DeviceSpec;
-use interconnect::{Fabric, FleetTimeline, Trace};
+use interconnect::{Fabric, FleetTimeline, FleetTrace};
 use scan_core::{
-    lease_plan_cached, run_and_memoize_lease, scan_on_lease, CacheStats, PipelinePolicy, PlanCache,
-    ProblemParams, ScanKind, ScanResult,
+    scan_on_lease, CacheStats, PipelinePolicy, PlanCache, ProblemParams, ScanKind, ScanResult,
 };
 use skeletons::{
     Add, AffinePair, GatedOp, Max, ScanOp, Scannable, SegPair, SegmentedAdd, SplkTuple,
@@ -274,8 +273,9 @@ pub struct ServeReport {
     /// End of the fleet schedule, seconds.
     pub makespan: f64,
     /// The whole window as one trace: every request's nodes on the shared
-    /// resource timeline, phases prefixed per launch.
-    pub trace: Trace,
+    /// resource timeline, phases prefixed per launch. Lazy — the fleet
+    /// graph materializes only when a consumer asks for it.
+    pub trace: FleetTrace,
     /// `(time, queued)` after every scheduling step, for queue-depth
     /// metrics.
     pub queue_samples: Vec<(f64, usize)>,
@@ -306,7 +306,7 @@ struct ResponseMemo {
     /// the same id, shape and operator always yield the same input and
     /// output. The operator is part of the key: the same id served under
     /// two kinds has two distinct checksums.
-    sums: HashMap<(usize, u32, u32, OpKind), u64>,
+    sums: HashMap<(usize, u32, u32, OpKind), u64, interconnect::FxBuildHasher>,
     served: u64,
 }
 
@@ -403,11 +403,21 @@ impl Server {
         now: f64,
         escalate: Option<&std::collections::BTreeSet<u8>>,
     ) -> ScanResult<()> {
-        let mut refs: Vec<&ServeRequest> = Vec::new();
-        while !state.queue.is_empty() {
+        // The policy sort is loop-invariant when nothing escalates: keys
+        // depend only on the requests, and removing dispatched members
+        // preserves the relative order of the rest (stable sort), so the
+        // queue only re-sorts after an enqueue disturbed it — bit-identical
+        // head selections either way.
+        if !state.queue_sorted {
             state.queue.sort_by_key(|e| self.config.policy.key(&requests[e.idx]));
+            state.queue_sorted = true;
+        }
+        while !state.queue.is_empty() {
             if let Some(over) = escalate {
+                state.queue.sort_by_key(|e| self.config.policy.key(&requests[e.idx]));
                 shard::escalate_urgent(&mut state.queue, requests, over);
+                // Escalation parks the queue out of policy order.
+                state.queue_sorted = false;
             }
             let head = state.queue[0];
             let Some(lease) = state.pool.lease(requests[head.idx].gpus_wanted) else { break };
@@ -432,20 +442,19 @@ impl Server {
                 None => {
                     // Stolen entries behind the head break the coalescing
                     // prefix the same way an incompatible request would.
-                    let local = state.queue.iter().take_while(|e| e.stolen_from.is_none()).count();
-                    refs.clear();
-                    refs.extend(state.queue[..local].iter().map(|e| &requests[e.idx]));
-                    let plan = coalesce::plan(&refs, self.config.coalesce);
-                    let members: Vec<usize> = plan
-                        .members
-                        .iter()
-                        .rev() // remove back-to-front so positions stay valid
-                        .map(|&pos| state.queue.remove(pos).idx)
-                        .collect::<Vec<_>>()
-                        .into_iter()
-                        .rev()
-                        .collect();
-                    (members, plan.g_combined)
+                    let (len, g_combined) = coalesce::plan_len(
+                        state
+                            .queue
+                            .iter()
+                            .take_while(|e| e.stolen_from.is_none())
+                            .map(|e| &requests[e.idx]),
+                        self.config.coalesce,
+                    );
+                    // The coalesced members are always the queue prefix
+                    // positions 0..len, so draining them preserves both the
+                    // members' order and the rest of the queue's.
+                    let members: Vec<usize> = state.queue.drain(..len).map(|e| e.idx).collect();
+                    (members, g_combined)
                 }
             };
             let launch = self.launch(
@@ -467,15 +476,17 @@ impl Server {
     pub(crate) fn report(&self, state: ShardState) -> ServeReport {
         let ShardState { fleet, completions, queue_samples, launches, .. } = state;
         let makespan = fleet.makespan();
-        let (graph, schedule) = fleet.into_parts();
-        let trace = Trace::from_parts(graph, schedule);
+        // Busy accounting comes straight off the fleet's admission records;
+        // the merged graph only materializes if a trace consumer asks.
+        let stream_busy = fleet.stream_busy_seconds();
+        let trace = FleetTrace::from_fleet(fleet);
         let metrics = FleetMetrics::compute(
             self.config.policy,
             self.config.pool_gpus,
             &completions,
             launches,
             makespan,
-            &trace,
+            stream_busy,
             &queue_samples,
         );
         ServeReport {
@@ -543,23 +554,42 @@ impl Server {
         let problem = ProblemParams::new(head.n, g_combined);
         let gpu_lease = lease.to_gpu_lease();
         let policy = PipelinePolicy::default();
+        let mut prefix = String::with_capacity(16);
+        prefix.push('r');
+        push_usize(&mut prefix, head.id);
+        if members.len() > 1 {
+            prefix.push('+');
+            push_usize(&mut prefix, members.len() - 1);
+        }
+        prefix.push(':');
 
-        // Plan-cache hit: the replayed graph is all the fleet needs, so
-        // the data path runs per member (each member's batches are
-        // scanned independently) — and a memoized response checksum
-        // skips a member's data work entirely. The key carries `T` and
-        // `O`, so a hit can only come from this operator's own entries.
-        let plan = if self.config.plan_cache {
-            lease_plan_cached::<T, O>(
-                &self.cache,
-                &self.device,
-                &self.fabric,
-                &gpu_lease,
-                problem,
-                self.tuple,
-                ScanKind::Inclusive,
-                &policy,
-            )
+        // One plan consultation per launch. The key carries `T` and `O`,
+        // so a hit can only come from this operator's own entries. A hit
+        // needs no data path of its own: its shared graph is admitted
+        // directly (zero-copy — the fleet maps resources through the hit's
+        // remap table), and member responses come from the memo or from
+        // one batched sweep over the concatenated miss blocks.
+        let mut cold_plan = None;
+        let hit = if self.config.plan_cache {
+            match self
+                .cache
+                .plan::<T, O>(
+                    &self.device,
+                    &self.fabric,
+                    &gpu_lease,
+                    problem,
+                    self.tuple,
+                    ScanKind::Inclusive,
+                    &policy,
+                )
+                .into_hit()
+            {
+                Ok(hit) => Some(hit),
+                Err(planned) => {
+                    cold_plan = Some(planned);
+                    None
+                }
+            }
         } else {
             None
         };
@@ -568,31 +598,56 @@ impl Server {
         // member's response in canonical sequential reference order, so a
         // completion is bit-equal to an isolated CPU-reference run — and
         // hit and cold paths agree bit-for-bit, for floats included.
-        let (run, gpus_used, outputs) = match plan {
-            Some((run, gpus_used)) => {
-                let keep = self.config.keep_outputs;
+        let keep = self.config.keep_outputs;
+        let (admission, gpus_used, outputs) = match hit {
+            Some(hit) => {
                 let mut memo = self.responses.lock().expect("response memo poisoned");
-                let outputs: Vec<(u64, Option<ServedOutput>)> = members
-                    .iter()
-                    .map(|&m| {
-                        let m = &requests[m];
-                        let key = (m.id, m.n, m.g, m.op);
-                        match (!keep).then(|| memo.sums.get(&key).copied()).flatten() {
-                            Some(sum) => {
-                                memo.served += 1;
-                                (sum, None)
-                            }
-                            None => {
-                                let input = T::fetch(self.config.input_seed, m.id, m.total_elems());
-                                let (sum, out) =
-                                    scanned_checksum(op, &input, m.problem().problem_size(), keep);
-                                memo.sums.insert(key, sum);
-                                (sum, out.map(T::wrap))
-                            }
+                // Steady-state fast path: every member already in the memo
+                // — one pass, no scratch buffers. `served` is committed
+                // only when the whole launch is warm, so bailing to the
+                // general path never double-counts.
+                let mut outputs: Vec<(u64, Option<ServedOutput>)> =
+                    Vec::with_capacity(members.len());
+                if !keep {
+                    for &m in members {
+                        let r = &requests[m];
+                        match memo.sums.get(&(r.id, r.n, r.g, r.op)) {
+                            Some(&sum) => outputs.push((sum, None)),
+                            None => break,
                         }
-                    })
-                    .collect();
-                (run, gpus_used, outputs)
+                    }
+                }
+                if outputs.len() == members.len() {
+                    memo.served += members.len() as u64;
+                } else {
+                    outputs.clear();
+                    let warm = self.warm_sums(&mut memo, requests, members, keep);
+                    // Memo misses concatenate into one buffer and hash in a
+                    // single batched sweep, like the blocks of one simulated
+                    // launch rather than member by member.
+                    let mut input: Vec<T> = Vec::new();
+                    let mut spans: Vec<(usize, usize)> = Vec::new();
+                    for (&m, w) in members.iter().zip(&warm) {
+                        if w.is_none() {
+                            let m = &requests[m];
+                            input.extend(T::fetch(self.config.input_seed, m.id, m.total_elems()));
+                            spans.push((m.problem().problem_size(), m.total_elems()));
+                        }
+                    }
+                    let mut hashed = scanned_checksums_batch(op, &input, &spans, keep).into_iter();
+                    outputs.extend(members.iter().zip(warm).map(|(&m, w)| match w {
+                        Some(sum) => (sum, None),
+                        None => {
+                            let (sum, out) = hashed.next().expect("every miss member is hashed");
+                            let m = &requests[m];
+                            memo.sums.insert((m.id, m.n, m.g, m.op), sum);
+                            (sum, out.map(T::wrap))
+                        }
+                    }));
+                }
+                drop(memo);
+                let admission = fleet.admit_shared(hit.graph, hit.remap, now, prefix);
+                (admission, hit.gpus_used, outputs)
             }
             None => {
                 let mut input = Vec::with_capacity(problem.total_elems());
@@ -601,9 +656,11 @@ impl Server {
                     input.extend(T::fetch(self.config.input_seed, m.id, m.total_elems()));
                 }
                 debug_assert_eq!(input.len(), problem.total_elems());
-                let leased = if self.config.plan_cache {
-                    run_and_memoize_lease(
-                        &self.cache,
+                let leased = match cold_plan {
+                    // A cache miss runs cold and memoizes the plan as it
+                    // finishes; the next launch of this shape hits.
+                    Some(planned) => planned.run(op, &input)?,
+                    None => scan_on_lease(
                         op,
                         self.tuple,
                         &self.device,
@@ -613,19 +670,7 @@ impl Server {
                         &input,
                         ScanKind::Inclusive,
                         &policy,
-                    )?
-                } else {
-                    scan_on_lease(
-                        op,
-                        self.tuple,
-                        &self.device,
-                        &self.fabric,
-                        &gpu_lease,
-                        problem,
-                        &input,
-                        ScanKind::Inclusive,
-                        &policy,
-                    )?
+                    )?,
                 };
                 // Responses are hashed from the reference-order scan of
                 // each member's own input slice rather than from
@@ -633,52 +678,57 @@ impl Server {
                 // bit-identical (the cache layer self-validates the
                 // simulated output), and for float kinds the reference
                 // order is the canonical answer the hit path reproduces.
+                // Even on a plan miss (e.g. float kinds whose simulated
+                // bits aren't replayable, so their plans are never cached)
+                // the response itself memoizes: warm members are stepped
+                // over, the cold remainder hashes in one batched sweep.
                 let mut memo = self
                     .config
                     .plan_cache
                     .then(|| self.responses.lock().expect("response memo poisoned"));
-                let keep = self.config.keep_outputs;
+                let warm = match memo.as_deref_mut() {
+                    Some(memo) => self.warm_sums(memo, requests, members, keep),
+                    None => vec![None; members.len()],
+                };
+                let mut spans: Vec<(usize, usize)> = Vec::new();
+                let mut compacted: Vec<T> = Vec::new();
+                let all_cold = warm.iter().all(Option::is_none);
                 let mut offset = 0;
-                let outputs: Vec<(u64, Option<ServedOutput>)> = members
+                for (&m, w) in members.iter().zip(&warm) {
+                    let m = &requests[m];
+                    if w.is_none() {
+                        if !all_cold {
+                            compacted.extend_from_slice(&input[offset..offset + m.total_elems()]);
+                        }
+                        spans.push((m.problem().problem_size(), m.total_elems()));
+                    }
+                    offset += m.total_elems();
+                }
+                let batch_input: &[T] = if all_cold { &input } else { &compacted };
+                let mut hashed = scanned_checksums_batch(op, batch_input, &spans, keep).into_iter();
+                let outputs = members
                     .iter()
-                    .map(|&m| {
-                        let m = &requests[m];
-                        let slice = &input[offset..offset + m.total_elems()];
-                        offset += m.total_elems();
-                        let key = (m.id, m.n, m.g, m.op);
-                        // Even on a plan miss (e.g. float kinds whose
-                        // simulated bits aren't replayable, so their plans
-                        // are never cached) the response itself memoizes:
-                        // skip the reference scan and hashing when warm.
-                        if let Some(memo) = memo.as_deref_mut() {
-                            if !keep {
-                                if let Some(sum) = memo.sums.get(&key).copied() {
-                                    memo.served += 1;
-                                    return (sum, None);
-                                }
+                    .zip(warm)
+                    .map(|(&m, w)| match w {
+                        Some(sum) => (sum, None),
+                        None => {
+                            let (sum, out) = hashed.next().expect("every cold member is hashed");
+                            if let Some(memo) = memo.as_deref_mut() {
+                                let m = &requests[m];
+                                memo.sums.insert((m.id, m.n, m.g, m.op), sum);
                             }
+                            (sum, out.map(T::wrap))
                         }
-                        let (sum, out) =
-                            scanned_checksum(op, slice, m.problem().problem_size(), keep);
-                        if let Some(memo) = memo.as_deref_mut() {
-                            memo.sums.insert(key, sum);
-                        }
-                        (sum, out.map(T::wrap))
                     })
                     .collect();
-                (leased.run, leased.gpus_used, outputs)
+                let admission =
+                    fleet.admit_shared(Arc::new(leased.run.graph), Vec::new(), now, prefix);
+                (admission, leased.gpus_used.into(), outputs)
             }
         };
 
-        let prefix = if members.len() == 1 {
-            format!("r{}:", head.id)
-        } else {
-            format!("r{}+{}:", head.id, members.len() - 1)
-        };
-        let admission = fleet.admit(&run.graph, now, &prefix);
-
         let group = members.len();
-        let gpus: Arc<[usize]> = gpus_used.into();
+        let gpus: Arc<[usize]> = gpus_used;
         let mut completions = Vec::with_capacity(group);
         for (&m, (checksum, output)) in members.iter().zip(outputs) {
             completions.push(Completion {
@@ -693,6 +743,29 @@ impl Server {
             });
         }
         Ok(Launch { seq, lease, finish: admission.finish, completions })
+    }
+
+    /// Resolve each member against the response memo: `Some(sum)` when its
+    /// checksum is already known (counted as served), `None` when its
+    /// block must be scanned. With `keep_outputs` on, every member is
+    /// cold — the memo holds checksums, not outputs.
+    fn warm_sums(
+        &self,
+        memo: &mut ResponseMemo,
+        requests: &[ServeRequest],
+        members: &[usize],
+        keep: bool,
+    ) -> Vec<Option<u64>> {
+        members
+            .iter()
+            .map(|&m| {
+                let m = &requests[m];
+                let key = (m.id, m.n, m.g, m.op);
+                let sum = (!keep).then(|| memo.sums.get(&key).copied()).flatten()?;
+                memo.served += 1;
+                Some(sum)
+            })
+            .collect()
     }
 }
 
@@ -720,6 +793,43 @@ fn scanned_checksum<T: ServedElem, O: ScanOp<T>>(
         }
     }
     (hash, out)
+}
+
+/// [`scanned_checksum`] over a coalesced launch's concatenated blocks in
+/// one sweep: member `i` owns `spans[i].1` elements in rows of
+/// `spans[i].0`. Bit-identical to hashing each member's slice separately
+/// — rows reset the accumulator, so block boundaries carry no state.
+fn scanned_checksums_batch<T: ServedElem, O: ScanOp<T>>(
+    op: O,
+    input: &[T],
+    spans: &[(usize, usize)],
+    keep: bool,
+) -> Vec<(u64, Option<Vec<T>>)> {
+    debug_assert_eq!(input.len(), spans.iter().map(|&(_, elems)| elems).sum::<usize>());
+    let mut out = Vec::with_capacity(spans.len());
+    let mut offset = 0;
+    for &(n, elems) in spans {
+        out.push(scanned_checksum(op, &input[offset..offset + elems], n, keep));
+        offset += elems;
+    }
+    out
+}
+
+/// Append `v` in decimal — `write!("{v}")` without the formatting
+/// machinery, for the per-launch admission prefix on the hot path.
+fn push_usize(out: &mut String, v: usize) {
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    let mut v = v;
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    out.push_str(std::str::from_utf8(&buf[i..]).expect("decimal digits are ASCII"));
 }
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;

@@ -52,6 +52,11 @@ pub(crate) struct ShardState {
     pub(crate) pool: DevicePool,
     pub(crate) fleet: FleetTimeline,
     pub(crate) queue: Vec<QueueEntry>,
+    /// Whether `queue` is still in policy order. Enqueues (arrivals, steal
+    /// pushes) clear it; dispatch re-sorts only when it is false — member
+    /// removal preserves the order of the rest, so a drained-but-unchanged
+    /// queue never pays the sort again.
+    pub(crate) queue_sorted: bool,
     pub(crate) running: Vec<Launch>,
     pub(crate) completions: Vec<Completion>,
     pub(crate) queue_samples: Vec<(f64, usize)>,
@@ -73,6 +78,7 @@ impl ShardState {
                 FleetTimeline::new()
             },
             queue: Vec::new(),
+            queue_sorted: true,
             running: Vec::new(),
             completions: Vec::new(),
             queue_samples: Vec::new(),
@@ -85,6 +91,7 @@ impl ShardState {
     /// Admit an arrival into the queue.
     pub(crate) fn enqueue(&mut self, idx: usize) {
         self.queue.push(QueueEntry { idx, stolen_from: None });
+        self.queue_sorted = false;
     }
 
     /// Record the queue depth after a scheduling step.

@@ -25,13 +25,25 @@ fn main() {
     // ---- Scan-MPS: all 8 GPUs share every problem --------------------
     let cfg = NodeConfig::new(8, 4, 2, 1).expect("valid W=8 config");
     let k = premises::default_k(&device, &problem, &base, cfg.w()).expect("feasible");
-    let mps = scan_mps(Add, base.with_k(k), &device, &fabric, cfg, problem, &input)
+    let mps = ScanRequest::new(Add, problem)
+        .proposal(Proposal::Mps)
+        .devices(cfg)
+        .device(device.clone())
+        .fabric(fabric.clone())
+        .tuple(base.with_k(k))
+        .run(&input)
         .expect("Scan-MPS failed");
     verify_batch(Add, problem, &input, &mps.data).expect("MPS results correct");
 
     // ---- Scan-MP-PC: each network's 4 GPUs take half the problems ----
     let k = premises::default_k(&device, &problem, &base, cfg.v()).expect("feasible");
-    let mppc = scan_mppc(Add, base.with_k(k), &device, &fabric, cfg, problem, &input)
+    let mppc = ScanRequest::new(Add, problem)
+        .proposal(Proposal::Mppc)
+        .devices(cfg)
+        .device(device.clone())
+        .fabric(fabric.clone())
+        .tuple(base.with_k(k))
+        .run(&input)
         .expect("Scan-MP-PC failed");
     verify_batch(Add, problem, &input, &mppc.data).expect("MP-PC results correct");
 

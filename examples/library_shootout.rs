@@ -20,7 +20,14 @@ fn main() {
     let cfg = NodeConfig::new(8, 4, 2, 1).unwrap();
     let base = premises::derive_tuple(&device, 4, 0);
     let k = premises::default_k(&device, &problem, &base, cfg.v()).unwrap();
-    let ours = scan_mppc(Add, base.with_k(k), &device, &fabric, cfg, problem, &input).unwrap();
+    let ours = ScanRequest::new(Add, problem)
+        .proposal(Proposal::Mppc)
+        .devices(cfg)
+        .device(device.clone())
+        .fabric(fabric)
+        .tuple(base.with_k(k))
+        .run(&input)
+        .unwrap();
     verify_batch(Add, problem, &input, &ours.data).unwrap();
 
     // The competition, each with its best batch strategy.

@@ -26,12 +26,15 @@ fn main() {
             println!("M={m}, W={w}: infeasible (problem too small for {parts} GPUs)");
             continue;
         };
-        let out = if m == 1 {
-            scan_mps(Add, base.with_k(k), &device, &fabric, cfg, problem, &input)
-        } else {
-            scan_mps_multinode(Add, base.with_k(k), &device, &fabric, cfg, problem, &input)
-        }
-        .expect("run failed");
+        let proposal = if m == 1 { Proposal::Mps } else { Proposal::MpsMultinode };
+        let out = ScanRequest::new(Add, problem)
+            .proposal(proposal)
+            .devices(cfg)
+            .device(device.clone())
+            .fabric(fabric.clone())
+            .tuple(base.with_k(k))
+            .run(&input)
+            .expect("run failed");
         verify_batch(Add, problem, &input, &out.data).expect("correct");
         println!(
             "M={m}, W={w}: {:>9.3} ms  ({:>7.0} Melem/s)",

@@ -16,28 +16,17 @@ fn main() {
     let input: Vec<i32> = (0..problem.total_elems()).map(|i| (i % 7) as i32 - 3).collect();
     let tuple = SplkTuple::kepler_premises(0);
 
-    let barrier = scan_mps_with(
-        Add,
-        tuple,
-        &device,
-        &fabric,
-        cfg,
-        problem,
-        &input,
-        &PipelinePolicy::batched_barrier(4),
-    )
-    .expect("barrier run");
-    let pipelined = scan_mps_with(
-        Add,
-        tuple,
-        &device,
-        &fabric,
-        cfg,
-        problem,
-        &input,
-        &PipelinePolicy::pipelined(4),
-    )
-    .expect("pipelined run");
+    let request = |policy: PipelinePolicy| {
+        ScanRequest::new(Add, problem)
+            .proposal(Proposal::Mps)
+            .devices(cfg)
+            .device(device.clone())
+            .fabric(fabric.clone())
+            .tuple(tuple)
+            .pipeline(policy)
+    };
+    let barrier = request(PipelinePolicy::batched_barrier(4)).run(&input).expect("barrier run");
+    let pipelined = request(PipelinePolicy::pipelined(4)).run(&input).expect("pipelined run");
     assert_eq!(barrier.data, pipelined.data, "scheduling policy never changes results");
 
     println!("{} (4 sub-batches, W=8):", barrier.report.label);

@@ -22,7 +22,11 @@ fn main() {
     let tuple = base.with_k(k);
     println!("premise tuple: {tuple}  (chunk = {} elements)", tuple.chunk_size());
 
-    let out = scan_sp(Add, tuple, &device, problem, &input).expect("scan failed");
+    let out = ScanRequest::new(Add, problem)
+        .device(device)
+        .tuple(tuple)
+        .run(&input)
+        .expect("scan failed");
 
     verify_batch(Add, problem, &input, &out.data).expect("results match the CPU reference");
 

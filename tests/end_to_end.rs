@@ -4,6 +4,7 @@
 
 use multigpu_scan::prelude::*;
 use multigpu_scan::scan::verify::verify_batch;
+use multigpu_scan::scan::{scan_case1, scan_mppc, scan_mps, scan_mps_multinode, scan_sp};
 
 fn pseudo(n: usize, seed: i64) -> Vec<i32> {
     (0..n).map(|i| ((i as i64 * 48271 + seed) % 251) as i32 - 125).collect()

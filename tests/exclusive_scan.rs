@@ -2,7 +2,7 @@
 
 use multigpu_scan::prelude::*;
 use multigpu_scan::scan::verify::{verify_batch_kind, Mismatch};
-use multigpu_scan::scan::{scan_sp_exclusive, ScanKind};
+use multigpu_scan::scan::{scan_sp, scan_sp_exclusive, ScanKind};
 use scan_core::mps::scan_mps_exclusive;
 
 fn pseudo(n: usize, seed: i64) -> Vec<i32> {

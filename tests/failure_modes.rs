@@ -3,6 +3,9 @@
 
 use multigpu_scan::prelude::*;
 use multigpu_scan::scan::ScanError;
+use multigpu_scan::scan::{
+    scan_case1, scan_mps, scan_mps_faulted, scan_mps_multinode, scan_sp, scan_sp_faulted,
+};
 use multigpu_scan::sim::{DeviceSpec as Dev, Gpu, SimError};
 
 fn device() -> Dev {

@@ -8,6 +8,9 @@
 
 use multigpu_scan::prelude::*;
 use multigpu_scan::scan::Breakdown;
+use multigpu_scan::scan::{
+    scan_mppc_faulted, scan_mps_faulted, scan_mps_multinode_faulted, scan_sp_faulted,
+};
 
 fn device() -> DeviceSpec {
     DeviceSpec::tesla_k80()

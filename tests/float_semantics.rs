@@ -8,6 +8,7 @@
 //! These tests pin down both facts.
 
 use multigpu_scan::prelude::*;
+use multigpu_scan::scan::scan_sp;
 
 fn device() -> DeviceSpec {
     DeviceSpec::tesla_k80()

@@ -14,6 +14,7 @@ use std::path::PathBuf;
 
 use multigpu_scan::fabric::ExecGraph;
 use multigpu_scan::prelude::*;
+use multigpu_scan::scan::{scan_mppc, scan_mps, scan_mps_faulted, scan_mps_multinode};
 
 fn device() -> DeviceSpec {
     DeviceSpec::tesla_k80()

@@ -7,6 +7,7 @@
 
 use multigpu_scan::prelude::*;
 use multigpu_scan::scan::verify::verify_batch;
+use multigpu_scan::scan::{scan_mps, scan_sp};
 
 #[test]
 fn premise1_picks_two_warp_blocks_on_maxwell() {

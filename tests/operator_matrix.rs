@@ -12,6 +12,9 @@
 
 use multigpu_scan::kernels::{reference_inclusive, AffinePair, GatedOp, Mul, Scannable};
 use multigpu_scan::prelude::*;
+use multigpu_scan::scan::{
+    scan_case1, scan_mppc, scan_mps, scan_mps_faulted, scan_mps_multinode, scan_sp,
+};
 
 fn device() -> DeviceSpec {
     DeviceSpec::tesla_k80()

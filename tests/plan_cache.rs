@@ -305,3 +305,49 @@ fn trace_capture_works_on_cache_hits() {
         cold_trace.critical_path().total_seconds().to_bits()
     );
 }
+
+/// Arena-retarget exactness: a plan memoized on one lease serves a hit on
+/// a *different* but topologically equivalent lease by retargeting the
+/// shared arena graph through the resource remap — and the retargeted
+/// run must be bit-identical to cold-building the plan on that second
+/// lease directly. Any drift here means the remap table, not the arena,
+/// decided the schedule.
+#[test]
+fn arena_retarget_is_bit_identical_across_equivalent_leases() {
+    let cache = Arc::new(PlanCache::new());
+    let problem = ProblemParams::new(12, 2);
+    let input = pseudo(problem.total_elems());
+    let on = |ids: &[usize]| ScanRequest::new(Add, problem).proposal(Proposal::Mps).device_ids(ids);
+
+    // Warm the arena on GPUs [0, 1]; [2, 3] shares the PCIe network and
+    // hence the topological shape, so the second run must be a hit.
+    let warm = on(&[0, 1]).plan_cache(cache.clone()).run(&input).unwrap();
+    let retargeted = on(&[2, 3]).plan_cache(cache.clone()).run(&input).unwrap();
+    let stats = cache.stats();
+    assert_eq!(
+        (stats.hits, stats.misses, stats.entries),
+        (1, 1, 1),
+        "equivalent leases must share one arena entry"
+    );
+
+    // The oracle: the same request cold-built on [2, 3], no cache.
+    let cold = on(&[2, 3]).run(&input).unwrap();
+    assert_identical(&cold, &retargeted);
+    assert_eq!(
+        retargeted.report.makespan.to_bits(),
+        warm.report.makespan.to_bits(),
+        "equal shapes schedule identically"
+    );
+
+    // The retargeted graph must claim the *actual* lease's resources —
+    // node storage is shared, resource identity is not.
+    let graph = retargeted.report.graph.as_ref().expect("lease runs carry a graph");
+    let cold_graph = cold.report.graph.as_ref().expect("cold run carries a graph");
+    let claims = |g: &multigpu_scan::fabric::ExecGraph| {
+        let mut rs: Vec<_> = g.nodes().iter().flat_map(|n| n.resources.iter().copied()).collect();
+        rs.sort();
+        rs.dedup();
+        rs
+    };
+    assert_eq!(claims(graph), claims(cold_graph), "remap must land on the actual lease");
+}

@@ -3,6 +3,7 @@
 
 use multigpu_scan::prelude::*;
 use multigpu_scan::scan::verify::verify_batch;
+use multigpu_scan::scan::{scan_mps, scan_sp};
 use proptest::prelude::*;
 
 fn device() -> DeviceSpec {

@@ -4,6 +4,10 @@
 //! events). This is the acceptance harness for the unified API.
 
 use multigpu_scan::prelude::*;
+use multigpu_scan::scan::{
+    scan_case1, scan_mppc, scan_mppc_faulted, scan_mps, scan_mps_faulted, scan_mps_multinode,
+    scan_mps_multinode_faulted, scan_sp, scan_sp_faulted,
+};
 
 fn device() -> DeviceSpec {
     DeviceSpec::tesla_k80()

@@ -211,12 +211,20 @@ fn work_stealing_never_violates_coalescing_compatibility() {
 
     for shard in &report.shards {
         // Group completions into launches: members of one coalesced
-        // launch share the same `Arc<[usize]>` GPU set allocation.
-        let mut launches: Vec<(&Arc<[usize]>, Vec<&multigpu_scan::serve::Completion>)> = Vec::new();
+        // launch share the same `Arc<[usize]>` GPU set and the same
+        // admission times. (The Arc alone no longer identifies a launch:
+        // plan-cache identity hits share the cached plan's allocation
+        // across launches.)
+        type LaunchKey<'a> = (&'a Arc<[usize]>, u64, u64, u64);
+        let mut launches: Vec<(LaunchKey, Vec<&multigpu_scan::serve::Completion>)> = Vec::new();
         for c in &shard.report.completions {
-            match launches.iter_mut().find(|(gpus, _)| Arc::ptr_eq(gpus, &c.gpus)) {
+            let key: LaunchKey =
+                (&c.gpus, c.dispatched.to_bits(), c.started.to_bits(), c.finished.to_bits());
+            match launches.iter_mut().find(|((gpus, d, s, f), _)| {
+                Arc::ptr_eq(gpus, key.0) && (*d, *s, *f) == (key.1, key.2, key.3)
+            }) {
                 Some((_, members)) => members.push(c),
-                None => launches.push((&c.gpus, vec![c])),
+                None => launches.push((key, vec![c])),
             }
         }
         for (_, members) in &launches {
@@ -329,5 +337,51 @@ fn slo_escalation_preempts_the_queue_but_not_the_answers() {
         let a = with_slo.shards[0].report.completions.iter().find(|c| c.request.id == id);
         let b = without.shards[0].report.completions.iter().find(|c| c.request.id == id);
         assert_eq!(a.unwrap().checksum, b.unwrap().checksum, "request {id}");
+    }
+}
+
+/// The tentpole differential: incremental fleet admission (per-resource
+/// availability index with lazy pruning) must be **bit-equal** to the
+/// retained O(n²) reference list scheduler — same completion order, same
+/// checksums, same finish-time bits, same makespan bits — across seeds ×
+/// queue policies × shard counts. `reference_timings` is the only knob
+/// flipped, so any divergence is the admission index's fault alone.
+#[test]
+fn incremental_admission_matches_reference_engine() {
+    for seed in [3u64, 11] {
+        let requests = mixed_workload(seed, 40);
+        for policy in [Policy::Fifo, Policy::Sjf, Policy::Edf] {
+            for shards in [1usize, 2, 4] {
+                let run = |reference: bool| {
+                    let mut config = RouterConfig::new(shards, policy, seed);
+                    config.reference_timings = reference;
+                    Router::new(config).unwrap().run(&requests).unwrap()
+                };
+                let fast = run(false);
+                let reference = run(true);
+                let ctx = format!("seed {seed}, {policy:?}, {shards} shard(s)");
+
+                assert_eq!(
+                    fast.makespan.to_bits(),
+                    reference.makespan.to_bits(),
+                    "{ctx}: fleet makespan"
+                );
+                assert_eq!(fast.rejections.len(), reference.rejections.len(), "{ctx}");
+                let a = fast.completions();
+                let b = reference.completions();
+                assert_eq!(a.len(), b.len(), "{ctx}: completion count");
+                assert_eq!(a.len(), requests.len(), "{ctx}: every request served");
+                for (x, y) in a.iter().zip(&b) {
+                    assert_eq!(x.request.id, y.request.id, "{ctx}: completion order");
+                    assert_eq!(x.checksum, y.checksum, "{ctx}: request {}", x.request.id);
+                    assert_eq!(
+                        x.finished.to_bits(),
+                        y.finished.to_bits(),
+                        "{ctx}: request {} finish time",
+                        x.request.id
+                    );
+                }
+            }
+        }
     }
 }
