@@ -45,6 +45,7 @@
 //! runtime.
 
 use bench::{average_speedups, render_table, Harness, Series};
+use devices::{DevicePreset, FabricPreset};
 use gpu_sim::{occupancy, AccessWidth, DeviceSpec, Gpu, LaunchConfig};
 use skeletons::{lf, shared_scan, warp_scan_exclusive, warp_scan_inclusive, Add, Max};
 
@@ -100,11 +101,23 @@ fn main() {
                 serve_opts.workload = Some(args[i].clone());
             }
             "--op-mix" => serve_opts.op_mix = true,
+            "--fabric-sweep" => serve_opts.fabric_sweep = true,
+            "--devices" => {
+                i += 1;
+                serve_opts.devices = parse_devices(&args[i]);
+            }
+            "--fabric" => {
+                i += 1;
+                serve_opts.fabric = FabricPreset::parse(&args[i])
+                    .expect("--fabric takes pcie|nvlink|nvswitch|dgx1|dgx2");
+            }
             "--help" | "-h" => {
                 println!(
                     "figures [--total-log2 N] [--n-lo N] [--no-verify] [--trace-dir DIR] \
                      [--seed N] [--requests N] [--policy fifo|sjf|edf|all] [--pool-gpus N] \
                      [--no-coalesce] [--shards N] [--out DIR] [--workload FILE] [--op-mix] \
+                     [--fabric-sweep] [--devices model:count,...] \
+                     [--fabric pcie|nvlink|nvswitch|dgx1|dgx2] \
                      [table3 fig1 fig9 fig10 fig11 fig12 fig13 fig14 mw-sweep k-sweep ablations \
                      trace serve bench-scan self all]"
                 );
@@ -138,7 +151,7 @@ fn main() {
             "ablations" => ablations(),
             "trace" => trace_export(&trace_dir),
             "serve" => serve(&serve_opts, &trace_dir),
-            "bench-scan" => bench_scan(&serve_opts.out),
+            "bench-scan" => bench_scan(&serve_opts.out, serve_opts.fabric_sweep),
             "self" => bench_self(&serve_opts),
             "all" => {
                 table3();
@@ -357,6 +370,9 @@ struct ServeOpts {
     out: String,
     workload: Option<String>,
     op_mix: bool,
+    fabric_sweep: bool,
+    devices: Vec<(DevicePreset, usize)>,
+    fabric: FabricPreset,
 }
 
 impl Default for ServeOpts {
@@ -371,8 +387,25 @@ impl Default for ServeOpts {
             out: String::from("."),
             workload: None,
             op_mix: false,
+            fabric_sweep: false,
+            devices: Vec::new(),
+            fabric: FabricPreset::Pcie,
         }
     }
+}
+
+/// Parse `--devices` specs like `v100:4,a100:4` into `(model, count)`
+/// runs in GPU-id order.
+fn parse_devices(spec: &str) -> Vec<(DevicePreset, usize)> {
+    spec.split(',')
+        .map(|run| {
+            let (name, count) =
+                run.split_once(':').expect("--devices takes model:count[,model:count...]");
+            let preset = DevicePreset::parse(name)
+                .unwrap_or_else(|| panic!("unknown device model {name:?}"));
+            (preset, count.parse().expect("--devices count must be an integer"))
+        })
+        .collect()
 }
 
 /// Serve a multi-tenant workload (`scan-serve`) and write `BENCH_serve.json`.
@@ -393,13 +426,26 @@ fn serve(opts: &ServeOpts, trace_dir: &str) {
         None if opts.op_mix => WorkloadSpec::mixed_ops_for(opts.seed, opts.requests).generate(),
         None => WorkloadSpec::default_for(opts.seed, opts.requests).generate(),
     };
+    // With `--devices` the pool size is the mix's total, not `--pool-gpus`.
+    let pool_gpus = if opts.devices.is_empty() {
+        opts.pool_gpus
+    } else {
+        opts.devices.iter().map(|&(_, count)| count).sum()
+    };
     println!(
-        "## scan-serve — {} requests, seed {}, pool of {} GPUs, coalescing {}{}{}",
+        "## scan-serve — {} requests, seed {}, pool of {} GPUs on {}, coalescing {}{}{}{}",
         requests.len(),
         opts.seed,
-        opts.pool_gpus,
+        pool_gpus,
+        opts.fabric,
         if opts.coalesce { "on" } else { "off" },
         if opts.op_mix { ", mixed operators" } else { "" },
+        if opts.devices.is_empty() {
+            String::new()
+        } else {
+            let mix: Vec<String> = opts.devices.iter().map(|(d, c)| format!("{d}x{c}")).collect();
+            format!(", devices {}", mix.join("+"))
+        },
         if opts.shards > 1 {
             format!(", {} shards x {} GPUs", opts.shards, opts.pool_gpus)
         } else {
@@ -423,7 +469,14 @@ fn serve(opts: &ServeOpts, trace_dir: &str) {
     std::fs::create_dir_all(&opts.out).expect("create --out dir");
     std::fs::create_dir_all(trace_dir).expect("create trace dir");
 
-    let windows = serve_windows(&requests, opts.seed, opts.pool_gpus, opts.coalesce);
+    let windows = serve_windows(
+        &requests,
+        opts.seed,
+        opts.pool_gpus,
+        opts.coalesce,
+        &opts.devices,
+        opts.fabric,
+    );
     for (policy, report) in &windows {
         if selected.contains(policy) {
             println!("{}", report.metrics.summary());
@@ -467,7 +520,7 @@ fn serve(opts: &ServeOpts, trace_dir: &str) {
     let json = bench_serve_json(
         opts.seed,
         requests.len(),
-        opts.pool_gpus,
+        pool_gpus,
         opts.coalesce,
         &windows,
         sharded.as_ref().map(|s| (opts.shards, opts.pool_gpus, s.as_slice())),
@@ -482,7 +535,7 @@ fn serve(opts: &ServeOpts, trace_dir: &str) {
 /// deliberately ignores `--total-log2`/`--n-lo`, so two runs of
 /// `bench-scan` always produce byte-identical JSON — the CI artifact and
 /// regression baseline.
-fn bench_scan(out: &str) {
+fn bench_scan(out: &str, fabric_sweep: bool) {
     let rows = bench::bench_scan_rows();
     println!("## bench-scan — pinned configs at 2^20 elements");
     for r in &rows {
@@ -494,9 +547,29 @@ fn bench_scan(out: &str) {
         );
     }
 
+    // `--fabric-sweep`: re-run the Fig. 9/10 sweeps on every fabric preset
+    // (pinned at 2^18 per point) and append a "fabrics" section. Without
+    // the flag the JSON is exactly the historical golden bytes.
+    let sweeps = fabric_sweep.then(bench::fabric_sweep_rows);
+    if let Some(sweeps) = &sweeps {
+        for sweep in sweeps {
+            println!("  fabric {}:", sweep.fabric);
+            for s in sweep.fig9.iter().chain(&sweep.fig10) {
+                let top = s.points.iter().map(|&(_, v)| v).fold(0.0f64, f64::max);
+                println!(
+                    "    {:>8}: peak {:>9.2} Melem/s over {} points",
+                    s.name,
+                    top,
+                    s.points.len()
+                );
+            }
+        }
+    }
+
     std::fs::create_dir_all(out).expect("create --out dir");
     let path = format!("{out}/BENCH_scan.json");
-    std::fs::write(&path, bench::bench_scan_json(&rows)).expect("write BENCH_scan.json");
+    std::fs::write(&path, bench::bench_scan_json(&rows, sweeps.as_deref()))
+        .expect("write BENCH_scan.json");
     println!("wrote {path}\n");
 }
 

@@ -8,6 +8,7 @@
 //! cost model (the paper's y-axes), not host wall-clock.
 
 use baselines::{Cub, Cudpp, LightScan, ModernGpu, ScanLibrary, Thrust};
+use devices::FabricPreset;
 use gpu_sim::DeviceSpec;
 use interconnect::Fabric;
 use scan_core::{
@@ -33,6 +34,11 @@ pub struct Harness {
     pub verify: bool,
     /// Workload seed.
     pub seed: u64,
+    /// Interconnect the multi-GPU runs execute on. `None` (the default)
+    /// builds the historical TSUBAME-KFC PCIe tree internally, exactly as
+    /// before the fabric presets existed — byte-identical output; a preset
+    /// reruns the same sweeps on that topology's link-class matrix.
+    pub fabric: Option<FabricPreset>,
 }
 
 impl Default for Harness {
@@ -43,6 +49,7 @@ impl Default for Harness {
             n_lo: 13,
             verify: true,
             seed: 0xC0FFEE,
+            fabric: None,
         }
     }
 }
@@ -64,6 +71,16 @@ impl Harness {
 
     fn input(&self, problem: ProblemParams) -> Vec<i32> {
         uniform_input(problem.total_elems(), self.seed ^ problem.n() as u64)
+    }
+
+    /// The fabric an `m`-node run executes on: the historical TSUBAME-KFC
+    /// PCIe tree by default, or the configured preset sized for the same
+    /// 8-GPU-per-node cluster.
+    fn fabric(&self, m: usize) -> Fabric {
+        match self.fabric {
+            None => Fabric::tsubame_kfc(m),
+            Some(preset) => preset.build_for_gpus(m * 8),
+        }
     }
 
     /// The premise tuple with the default (largest admissible) `K` for
@@ -96,7 +113,7 @@ impl Harness {
         let problem = self.problem(n);
         let tuple = self.tuple_for(&problem, w)?;
         let cfg = NodeConfig::new(w, v, y, 1).ok()?;
-        let fabric = Fabric::tsubame_kfc(1);
+        let fabric = self.fabric(1);
         let input = self.input(problem);
         let out = scan_mps(Add, tuple, &self.device, &fabric, cfg, problem, &input).ok()?;
         self.check(problem, &input, &out);
@@ -115,7 +132,7 @@ impl Harness {
         let problem = self.problem(n);
         let tuple = self.tuple_for(&problem, v)?;
         let cfg = NodeConfig::new(w, v, y, m).ok()?;
-        let fabric = Fabric::tsubame_kfc(m);
+        let fabric = self.fabric(m);
         let input = self.input(problem);
         let out = scan_mppc(Add, tuple, &self.device, &fabric, cfg, problem, &input).ok()?;
         self.check(problem, &input, &out);
@@ -134,7 +151,7 @@ impl Harness {
         let problem = self.problem(n);
         let tuple = self.tuple_for(&problem, w * m)?;
         let cfg = NodeConfig::new(w, v, y, m).ok()?;
-        let fabric = Fabric::tsubame_kfc(m);
+        let fabric = self.fabric(m);
         let input = self.input(problem);
         let out =
             scan_mps_multinode(Add, tuple, &self.device, &fabric, cfg, problem, &input).ok()?;

@@ -20,5 +20,6 @@ pub mod workload;
 pub use experiments::Harness;
 pub use series::{average_speedups, geomean, mean, render_table, Series};
 pub use serve_json::{
-    bench_scan_json, bench_scan_rows, bench_serve_json, serve_windows, sharded_windows, ScanRow,
+    bench_scan_json, bench_scan_rows, bench_serve_json, fabric_sweep_rows, serve_windows,
+    sharded_windows, FabricSweep, ScanRow,
 };

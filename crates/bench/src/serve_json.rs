@@ -6,18 +6,25 @@
 //! through these functions, so the golden comparison tests exactly what
 //! the benchmark writes.
 
+use devices::{DevicePreset, FabricPreset};
 use scan_serve::{
     Policy, Router, RouterConfig, ServeConfig, ServeReport, ServeRequest, Server, ShardedReport,
 };
 
+use crate::series::Series;
 use crate::Harness;
 
 /// Run `requests` through the unsharded server under every [`Policy`].
+/// `devices` and `fabric` configure the pool's hardware ([`ServeConfig`]
+/// semantics): an empty mix on [`FabricPreset::Pcie`] is the historical
+/// homogeneous K80 pool, byte-identical to before the presets existed.
 pub fn serve_windows(
     requests: &[ServeRequest],
     seed: u64,
     pool_gpus: usize,
     coalesce: bool,
+    devices: &[(DevicePreset, usize)],
+    fabric: FabricPreset,
 ) -> Vec<(Policy, ServeReport)> {
     Policy::all()
         .iter()
@@ -25,6 +32,8 @@ pub fn serve_windows(
             let mut config = ServeConfig::new(policy, seed);
             config.pool_gpus = pool_gpus;
             config.coalesce = coalesce;
+            config.devices = devices.to_vec();
+            config.fabric = fabric;
             (policy, Server::new(config).run(requests).expect("serve the window"))
         })
         .collect()
@@ -137,8 +146,50 @@ pub fn bench_scan_rows() -> Vec<ScanRow> {
         .collect()
 }
 
+/// One fabric preset's re-run of the Fig. 9/10 sweeps.
+pub struct FabricSweep {
+    /// Preset name ([`FabricPreset::name`]).
+    pub fabric: &'static str,
+    /// Fig. 9 (Scan-MPS, W ∈ {1, 2, 4, 8}) on this fabric.
+    pub fig9: Vec<Series>,
+    /// Fig. 10 (Scan-MP-PC) on this fabric.
+    pub fig10: Vec<Series>,
+}
+
+/// Re-run the Fig. 9/10 sweeps on every benchmark fabric preset: the PCIe
+/// tree (the committed baseline topology), the NVLink mesh, NVSwitch
+/// all-to-all, and a DGX-2 chassis. Pinned at 2^18 elements per point
+/// with verification on, independent of any CLI sweep flags, so two runs
+/// produce identical series — the `"fabrics"` section of
+/// `BENCH_scan.json`.
+pub fn fabric_sweep_rows() -> Vec<FabricSweep> {
+    [FabricPreset::Pcie, FabricPreset::Nvlink, FabricPreset::Nvswitch, FabricPreset::Dgx2]
+        .into_iter()
+        .map(|preset| {
+            let h = Harness { total_log2: 18, fabric: Some(preset), ..Harness::default() };
+            FabricSweep { fabric: preset.name(), fig9: h.fig9(), fig10: h.fig10() }
+        })
+        .collect()
+}
+
+fn series_json(series: &[Series], indent: &str) -> String {
+    let entries: Vec<String> = series
+        .iter()
+        .map(|s| {
+            let points: Vec<String> =
+                s.points.iter().map(|&(n, v)| format!("[{n}, {v}]")).collect();
+            format!("{indent}{{\"name\": \"{}\", \"points\": [{}]}}", s.name, points.join(", "))
+        })
+        .collect();
+    entries.join(",\n")
+}
+
 /// Render the `BENCH_scan.json` bytes from the pinned rows.
-pub fn bench_scan_json(rows: &[ScanRow]) -> String {
+///
+/// With `fabrics = None` the output is exactly the historical format (the
+/// committed golden); `Some(sweeps)` appends a `"fabrics"` section mapping
+/// each preset name to its Fig. 9/10 series.
+pub fn bench_scan_json(rows: &[ScanRow], fabrics: Option<&[FabricSweep]>) -> String {
     let entries: Vec<String> = rows
         .iter()
         .map(|r| {
@@ -148,5 +199,24 @@ pub fn bench_scan_json(rows: &[ScanRow]) -> String {
             )
         })
         .collect();
-    format!("{{\n  \"total_log2\": 20,\n  \"configs\": [\n{}\n  ]\n}}\n", entries.join(",\n"))
+    let fabrics_section = fabrics.map_or_else(String::new, |sweeps| {
+        let entries: Vec<String> = sweeps
+            .iter()
+            .map(|s| {
+                format!(
+                    "    \"{}\": {{\n      \"fig9\": [\n{}\n      ],\n      \"fig10\": \
+                     [\n{}\n      ]\n    }}",
+                    s.fabric,
+                    series_json(&s.fig9, "        "),
+                    series_json(&s.fig10, "        ")
+                )
+            })
+            .collect();
+        format!(",\n  \"fabrics\": {{\n{}\n  }}", entries.join(",\n"))
+    });
+    format!(
+        "{{\n  \"total_log2\": 20,\n  \"configs\": [\n{}\n  ]{}\n}}\n",
+        entries.join(",\n"),
+        fabrics_section
+    )
 }

@@ -9,6 +9,7 @@
 //! `cargo run --release -p bench --bin figures -- serve bench-scan --out .`.
 
 use bench::{bench_scan_json, bench_scan_rows, bench_serve_json, serve_windows};
+use devices::FabricPreset;
 use scan_serve::WorkloadSpec;
 
 fn committed(name: &str) -> String {
@@ -19,7 +20,7 @@ fn committed(name: &str) -> String {
 #[test]
 fn committed_bench_serve_json_is_byte_identical() {
     let requests = WorkloadSpec::default_for(7, 200).generate();
-    let windows = serve_windows(&requests, 7, 8, true);
+    let windows = serve_windows(&requests, 7, 8, true, &[], FabricPreset::Pcie);
     let built = bench_serve_json(7, requests.len(), 8, true, &windows, None);
     assert_eq!(
         built,
@@ -32,7 +33,7 @@ fn committed_bench_serve_json_is_byte_identical() {
 fn committed_bench_scan_json_is_byte_identical() {
     let rows = bench_scan_rows();
     assert_eq!(
-        bench_scan_json(&rows),
+        bench_scan_json(&rows, None),
         committed("BENCH_scan.json"),
         "default BENCH_scan.json bytes drifted from the committed golden"
     );

@@ -97,6 +97,11 @@ pub struct FabricKey {
     networks_per_node: usize,
     gpus_per_network: usize,
     link_bits: [u64; 9],
+    /// FNV-1a digest of the per-pair [`LinkClass`] override matrix, or `0`
+    /// for a purely structural fabric. Two fabrics with equal dimensions
+    /// and spec but different wiring (say, NVLink mesh vs DGX-1 cube-mesh
+    /// at the same link rates) must never share a plan.
+    class_digest: u64,
 }
 
 impl FabricKey {
@@ -104,10 +109,28 @@ impl FabricKey {
     pub fn of(fabric: &Fabric) -> Self {
         let t = fabric.topology();
         let s = fabric.spec();
+        let class_digest = match t.link_overrides() {
+            None => 0,
+            Some(classes) => {
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                for &c in classes {
+                    let tag: u64 = match c {
+                        LinkClass::Local => 1,
+                        LinkClass::P2P => 2,
+                        LinkClass::HostStaged => 3,
+                        LinkClass::InterNode => 4,
+                    };
+                    h ^= tag;
+                    h = h.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+                h
+            }
+        };
         FabricKey {
             nodes: t.nodes(),
             networks_per_node: t.networks_per_node(),
             gpus_per_network: t.gpus_per_network(),
+            class_digest,
             link_bits: [
                 s.p2p.bandwidth.to_bits(),
                 s.p2p.latency.to_bits(),
@@ -153,6 +176,16 @@ pub enum DeviceSel {
         width: usize,
         /// `link_class(ids[i], ids[j])` for all `i < j`, row-major.
         classes: Vec<LinkClass>,
+        /// Canonical structural co-membership of the grant — `(node rank,
+        /// network rank)` per granted GPU, ranks renumbered by first
+        /// appearance. Empty for purely structural fabrics, where the
+        /// class matrix already *is* the co-membership relation (P2P ⇔
+        /// same network, HostStaged ⇔ same node). Under link-class
+        /// overrides that equivalence breaks (an NVLink mesh classifies
+        /// every intra-node pair P2P), yet a hit's resource remap is
+        /// structural — so structurally distinct grants must not share an
+        /// entry.
+        structure: Vec<(usize, usize)>,
     },
 }
 
@@ -331,9 +364,32 @@ pub(crate) fn lease_key<T: Scannable, O: ScanOp<T>>(
     let mut classes = Vec::with_capacity(ids.len() * ids.len().saturating_sub(1) / 2);
     for i in 0..ids.len() {
         for j in (i + 1)..ids.len() {
-            classes.push(topo.link_class(ids[i], ids[j]));
+            // The fabric is the authority on classification (overrides
+            // included); `Fabric::link_class` delegates to the topology.
+            classes.push(fabric.link_class(ids[i], ids[j]));
         }
     }
+    let structure = if topo.has_link_overrides() {
+        let mut node_ranks: Vec<usize> = Vec::new();
+        let mut net_ranks: Vec<(usize, usize)> = Vec::new();
+        ids.iter()
+            .map(|&g| {
+                let l = topo.locate(g);
+                let nr = node_ranks.iter().position(|&n| n == l.node).unwrap_or_else(|| {
+                    node_ranks.push(l.node);
+                    node_ranks.len() - 1
+                });
+                let wr =
+                    net_ranks.iter().position(|&p| p == (l.node, l.network)).unwrap_or_else(|| {
+                        net_ranks.push((l.node, l.network));
+                        net_ranks.len() - 1
+                    });
+                (nr, wr)
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
     CacheKey {
         proposal: "Lease",
         problem,
@@ -344,7 +400,7 @@ pub(crate) fn lease_key<T: Scannable, O: ScanOp<T>>(
         elem: std::any::type_name::<T>(),
         batches: policy.batches,
         overlap: policy.overlap,
-        device: DeviceSel::Lease { width: ids.len(), classes },
+        device: DeviceSel::Lease { width: ids.len(), classes, structure },
         spec: DeviceKey::of(device),
         fabric: Some(FabricKey::of(fabric)),
     }
@@ -432,7 +488,12 @@ impl PlanCache {
         policy: &'a PipelinePolicy,
     ) -> PlannedLaunch<'a, T, O> {
         let key = lease_key::<T, O>(device, fabric, lease, problem, tuple, kind, policy);
-        let plan = self.lookup(&key);
+        // A lease whose claimed link-class matrix contradicts the fabric
+        // must never replay a cached plan (the key's classes are
+        // fabric-derived, so it could otherwise hit): skip the lookup and
+        // let `run` surface `scan_on_lease`'s `InvalidConfig` cold.
+        let plan =
+            if lease.validate_link_classes(fabric).is_err() { None } else { self.lookup(&key) };
         let (remap, gpus_used) = match &plan {
             None => (Vec::new(), Arc::from([])),
             Some(plan) => {
@@ -857,6 +918,141 @@ mod tests {
         let hit = run_cached_on(&cache, problem, &input, &[3, 2], 0);
         assert_eq!(cache.stats().hits, 1);
         assert_replay_matches_cold(&hit, &run_cold(problem, &input, &[3, 2], 0));
+    }
+
+    /// A one-node TSUBAME tree rewired as a full intra-node NVLink mesh:
+    /// every in-node pair overridden to P2P, structure untouched.
+    fn nvlink_like() -> Fabric {
+        let topo = interconnect::Topology::tsubame_kfc(1);
+        let n = topo.total_gpus();
+        let mut classes = Vec::with_capacity(n * (n - 1) / 2);
+        for a in 0..n {
+            for b in a + 1..n {
+                let c = topo.structural_link_class(a, b);
+                classes.push(if c == LinkClass::InterNode { c } else { LinkClass::P2P });
+            }
+        }
+        Fabric::new(topo.with_link_overrides(classes), interconnect::FabricSpec::tsubame_kfc())
+    }
+
+    fn run_on_fabric(
+        cache: Option<&PlanCache>,
+        fabric: &Fabric,
+        problem: ProblemParams,
+        input: &[i32],
+        ids: &[usize],
+    ) -> LeaseRun<i32> {
+        let lease = GpuLease::new(ids.to_vec(), 0).unwrap();
+        match cache {
+            Some(cache) => scan_on_lease_cached(
+                cache,
+                Add,
+                SplkTuple::kepler_premises(0),
+                &DeviceSpec::tesla_k80(),
+                fabric,
+                &lease,
+                problem,
+                input,
+                ScanKind::Inclusive,
+                &PipelinePolicy::default(),
+            )
+            .unwrap(),
+            None => scan_on_lease(
+                Add,
+                SplkTuple::kepler_premises(0),
+                &DeviceSpec::tesla_k80(),
+                fabric,
+                &lease,
+                problem,
+                input,
+                ScanKind::Inclusive,
+                &PipelinePolicy::default(),
+            )
+            .unwrap(),
+        }
+    }
+
+    /// Under link-class overrides the class matrix stops implying
+    /// structure: on an NVLink mesh `[0, 1]` (one PCIe network) and
+    /// `[0, 4]` (two networks) are both all-P2P, but their transfers claim
+    /// different exclusive link resources. The structural pattern in the
+    /// key must keep them apart — while still letting genuinely equivalent
+    /// grants share.
+    #[test]
+    fn override_leases_key_structure_not_just_classes() {
+        let fabric = nvlink_like();
+        let cache = PlanCache::new();
+        let problem = ProblemParams::new(12, 1);
+        let input = pseudo(problem.total_elems());
+        run_on_fabric(Some(&cache), &fabric, problem, &input, &[0, 1]);
+        run_on_fabric(Some(&cache), &fabric, problem, &input, &[0, 4]);
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 2, bypasses: 0, entries: 2 });
+        // Same-network pair hits the same-network entry…
+        let hit = run_on_fabric(Some(&cache), &fabric, problem, &input, &[2, 3]);
+        assert_eq!(cache.stats().hits, 1);
+        assert_replay_matches_cold(&hit, &run_on_fabric(None, &fabric, problem, &input, &[2, 3]));
+        // …and the cross-network pair hits the cross-network entry.
+        let hit = run_on_fabric(Some(&cache), &fabric, problem, &input, &[1, 5]);
+        assert_eq!(cache.stats().hits, 2);
+        assert_replay_matches_cold(&hit, &run_on_fabric(None, &fabric, problem, &input, &[1, 5]));
+    }
+
+    /// Fabrics with equal dimensions and spec but different wiring get
+    /// different keys (the override digest), and a rewired fabric never
+    /// shares a key with the structural one.
+    #[test]
+    fn fabric_key_digests_the_override_matrix() {
+        let structural = Fabric::tsubame_kfc(1);
+        let meshed = nvlink_like();
+        assert_ne!(FabricKey::of(&structural), FabricKey::of(&meshed));
+
+        // Flip a single pair of the mesh back to HostStaged: still a
+        // distinct key.
+        let topo = interconnect::Topology::tsubame_kfc(1);
+        let n = topo.total_gpus();
+        let mut classes = Vec::with_capacity(n * (n - 1) / 2);
+        for a in 0..n {
+            for b in a + 1..n {
+                let c = topo.structural_link_class(a, b);
+                classes.push(if c == LinkClass::InterNode || (a, b) == (0, 4) {
+                    c
+                } else {
+                    LinkClass::P2P
+                });
+            }
+        }
+        let tweaked =
+            Fabric::new(topo.with_link_overrides(classes), interconnect::FabricSpec::tsubame_kfc());
+        assert_ne!(FabricKey::of(&meshed), FabricKey::of(&tweaked));
+    }
+
+    /// A lease claiming a link-class matrix the fabric contradicts must
+    /// not replay a cached plan built for the true classes — it is
+    /// rejected cold, even when the shape is already memoized.
+    #[test]
+    fn inconsistent_lease_never_replays_a_cached_plan() {
+        let cache = PlanCache::new();
+        let fabric = Fabric::tsubame_kfc(1);
+        let problem = ProblemParams::new(12, 1);
+        let input = pseudo(problem.total_elems());
+        run_on_fabric(Some(&cache), &fabric, problem, &input, &[0, 4]);
+        assert_eq!(cache.stats().entries, 1);
+
+        let lying = GpuLease::new(vec![0, 4], 0).unwrap().with_link_classes(vec![LinkClass::P2P]);
+        let device = DeviceSpec::tesla_k80();
+        let policy = PipelinePolicy::default();
+        let planned = cache.plan::<i32, Add>(
+            &device,
+            &fabric,
+            &lying,
+            problem,
+            SplkTuple::kepler_premises(0),
+            ScanKind::Inclusive,
+            &policy,
+        );
+        assert!(!planned.is_hit(), "a contradicted lease must not hit");
+        let err = planned.run(Add, &input).unwrap_err();
+        assert!(matches!(err, crate::error::ScanError::InvalidConfig(_)));
     }
 
     #[test]

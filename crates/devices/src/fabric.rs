@@ -1,0 +1,280 @@
+//! Named interconnect fabrics: PCIe trees, NVLink meshes, NVSwitch planes
+//! and the DGX box presets, lowered onto the existing `interconnect` link
+//! resources.
+//!
+//! Every preset keeps the *structural* PCIe tree (which node/network a GPU
+//! occupies, and therefore which exclusive link resources a transfer
+//! claims) and expresses richer wiring through the per-pair
+//! [`LinkClass`] override matrix of [`Topology::with_link_overrides`]: an
+//! NVLink-wired cross-network pair is overridden to [`LinkClass::P2P`] at
+//! NVLink bandwidth, while unwired pairs keep staging through the host.
+//! The [`FabricPreset::Pcie`] entry installs no overrides and uses the
+//! TSUBAME-KFC spec verbatim, so it is bit-identical to
+//! [`Fabric::tsubame_kfc`] — the conservativeness guarantee the paper's
+//! goldens rest on.
+
+use interconnect::{Fabric, FabricSpec, LinkClass, LinkParams, Topology};
+
+/// The registry of named fabric topologies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FabricPreset {
+    /// The paper's platform: PCIe trees of 2 networks × 4 GPUs per node,
+    /// InfiniBand FDR between nodes. Bit-identical to
+    /// [`Fabric::tsubame_kfc`].
+    Pcie,
+    /// A fully-connected NVLink mesh across each node's 8 GPUs; PCIe tree
+    /// retained for link resources, InfiniBand between nodes.
+    Nvlink,
+    /// NVSwitch: all-to-all switched NVLink inside each 8-GPU node.
+    Nvswitch,
+    /// DGX-1 hybrid cube-mesh: two quads of 4, fully wired inside each
+    /// quad plus one cross link per GPU (`i ↔ i+4`); the remaining
+    /// cross-quad pairs stage through the host.
+    Dgx1,
+    /// DGX-2: 16 GPUs per node, all-to-all over six NVSwitch planes.
+    Dgx2,
+}
+
+impl FabricPreset {
+    /// Every preset, in fixed registry order.
+    pub fn all() -> [FabricPreset; 5] {
+        [
+            FabricPreset::Pcie,
+            FabricPreset::Nvlink,
+            FabricPreset::Nvswitch,
+            FabricPreset::Dgx1,
+            FabricPreset::Dgx2,
+        ]
+    }
+
+    /// Short machine-readable slug, used by CLI flags and JSON reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FabricPreset::Pcie => "pcie",
+            FabricPreset::Nvlink => "nvlink",
+            FabricPreset::Nvswitch => "nvswitch",
+            FabricPreset::Dgx1 => "dgx1",
+            FabricPreset::Dgx2 => "dgx2",
+        }
+    }
+
+    /// Parse a slug produced by [`FabricPreset::name`].
+    pub fn parse(name: &str) -> Option<FabricPreset> {
+        Self::all().into_iter().find(|p| p.name() == name)
+    }
+
+    /// GPUs per node under this preset.
+    pub fn gpus_per_node(&self) -> usize {
+        match self {
+            FabricPreset::Dgx2 => 16,
+            _ => 8,
+        }
+    }
+
+    /// Build the fabric over `m` nodes.
+    pub fn build(&self, m: usize) -> Fabric {
+        match self {
+            // Exactly the constructor the whole repo has always used: no
+            // overrides, the TSUBAME spec verbatim.
+            FabricPreset::Pcie => Fabric::tsubame_kfc(m),
+            FabricPreset::Nvlink => {
+                let topo = mesh_overrides(Topology::tsubame_kfc(m), |_, _| true);
+                Fabric::new(topo, nvlink_spec())
+            }
+            FabricPreset::Nvswitch => {
+                let topo = mesh_overrides(Topology::tsubame_kfc(m), |_, _| true);
+                Fabric::new(topo, nvswitch_spec())
+            }
+            FabricPreset::Dgx1 => {
+                // Hybrid cube-mesh on the 2×4 tree: quads are the PCIe
+                // networks (already P2P); the cross links are i ↔ i+4.
+                let topo = mesh_overrides(Topology::tsubame_kfc(m), |a, b| {
+                    a.abs_diff(b) == 4 || a / 4 == b / 4
+                });
+                Fabric::new(topo, nvlink_spec())
+            }
+            FabricPreset::Dgx2 => {
+                let topo = mesh_overrides(Topology::regular(m, 2, 8), |_, _| true);
+                Fabric::new(topo, nvswitch_spec())
+            }
+        }
+    }
+
+    /// Build the fabric sized for a pool of `total_gpus` devices (at least
+    /// one node).
+    pub fn build_for_gpus(&self, total_gpus: usize) -> Fabric {
+        self.build(total_gpus.div_ceil(self.gpus_per_node()).max(1))
+    }
+}
+
+impl std::fmt::Display for FabricPreset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Install an override matrix on `topo`: intra-node pairs for which
+/// `wired(a_in_node, b_in_node)` holds become [`LinkClass::P2P`], unwired
+/// intra-node pairs keep their structural class, and inter-node pairs stay
+/// [`LinkClass::InterNode`]. `wired` receives within-node GPU indices so
+/// every node is wired identically.
+fn mesh_overrides(topo: Topology, wired: impl Fn(usize, usize) -> bool) -> Topology {
+    let n = topo.total_gpus();
+    let per_node = topo.gpus_per_node();
+    let mut classes = Vec::with_capacity(n * (n - 1) / 2);
+    for a in 0..n {
+        for b in a + 1..n {
+            let structural = topo.structural_link_class(a, b);
+            let class = if structural == LinkClass::InterNode {
+                LinkClass::InterNode
+            } else if wired(a % per_node, b % per_node) {
+                LinkClass::P2P
+            } else {
+                structural
+            };
+            classes.push(class);
+        }
+    }
+    topo.with_link_overrides(classes)
+}
+
+/// Direct NVLink (first/second generation, a handful of links per GPU):
+/// ~24 GB/s effective per pair, low setup latency, cheap strided rows.
+fn nvlink_spec() -> FabricSpec {
+    FabricSpec {
+        p2p: LinkParams { bandwidth: 24.0e9, latency: 5.0e-6 },
+        host_staged: LinkParams { bandwidth: 4.0e9, latency: 25.0e-6 },
+        inter_node: LinkParams { bandwidth: 6.0e9, latency: 30.0e-6 },
+        mpi_collective_overhead: 40.0e-6,
+        host_segment_overhead: 1.0e-6,
+        p2p_segment_overhead: 20.0e-9,
+    }
+}
+
+/// Switched NVLink (NVSwitch planes): every pair sees full aggregate
+/// bandwidth, ~130 GB/s effective.
+fn nvswitch_spec() -> FabricSpec {
+    FabricSpec {
+        p2p: LinkParams { bandwidth: 130.0e9, latency: 3.0e-6 },
+        host_staged: LinkParams { bandwidth: 4.0e9, latency: 25.0e-6 },
+        inter_node: LinkParams { bandwidth: 6.0e9, latency: 30.0e-6 },
+        mpi_collective_overhead: 40.0e-6,
+        host_segment_overhead: 1.0e-6,
+        p2p_segment_overhead: 10.0e-9,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The PCIe preset is byte-for-byte the historical constructor: same
+    /// spec, no overrides, same classification everywhere.
+    #[test]
+    fn pcie_preset_is_bit_identical_to_tsubame() {
+        for m in [1usize, 2] {
+            let preset = FabricPreset::Pcie.build(m);
+            let legacy = Fabric::tsubame_kfc(m);
+            assert_eq!(preset.spec(), legacy.spec());
+            assert_eq!(preset.topology(), legacy.topology());
+            assert!(!preset.topology().has_link_overrides());
+            for a in 0..legacy.topology().total_gpus() {
+                for b in 0..legacy.topology().total_gpus() {
+                    assert_eq!(preset.link_class(a, b), legacy.link_class(a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slugs_round_trip() {
+        for preset in FabricPreset::all() {
+            assert_eq!(FabricPreset::parse(preset.name()), Some(preset));
+            assert_eq!(preset.to_string(), preset.name());
+        }
+        assert_eq!(FabricPreset::parse("token_ring"), None);
+    }
+
+    #[test]
+    fn nvlink_mesh_is_all_p2p_within_a_node() {
+        let f = FabricPreset::Nvlink.build(2);
+        for a in 0..8 {
+            for b in 0..8 {
+                if a != b {
+                    assert_eq!(f.link_class(a, b), LinkClass::P2P, "({a}, {b})");
+                }
+            }
+        }
+        // Across nodes it is still InfiniBand.
+        assert_eq!(f.link_class(0, 8), LinkClass::InterNode);
+        // And faster than the PCIe tree for the cross-network pairs.
+        let pcie = FabricPreset::Pcie.build(1);
+        let bytes = 1 << 20;
+        assert!(f.transfer_time(0, 4, bytes) < pcie.transfer_time(0, 4, bytes));
+    }
+
+    #[test]
+    fn dgx1_cube_mesh_wires_quads_and_cross_links() {
+        let f = FabricPreset::Dgx1.build(1);
+        // Fully wired inside each quad.
+        for a in 0..4 {
+            for b in 0..4 {
+                if a != b {
+                    assert_eq!(f.link_class(a, b), LinkClass::P2P);
+                    assert_eq!(f.link_class(a + 4, b + 4), LinkClass::P2P);
+                }
+            }
+        }
+        // One cross link per GPU: i ↔ i+4.
+        for i in 0..4 {
+            assert_eq!(f.link_class(i, i + 4), LinkClass::P2P, "cross link {i}");
+        }
+        // Unwired cross-quad pairs still stage through the host.
+        assert_eq!(f.link_class(0, 5), LinkClass::HostStaged);
+        assert_eq!(f.link_class(1, 4), LinkClass::HostStaged);
+        assert_eq!(f.link_class(3, 6), LinkClass::HostStaged);
+    }
+
+    #[test]
+    fn dgx2_is_sixteen_wide_all_to_all() {
+        let f = FabricPreset::Dgx2.build(1);
+        assert_eq!(f.topology().total_gpus(), 16);
+        assert_eq!(FabricPreset::Dgx2.gpus_per_node(), 16);
+        for a in 0..16 {
+            for b in 0..16 {
+                if a != b {
+                    assert_eq!(f.link_class(a, b), LinkClass::P2P, "({a}, {b})");
+                }
+            }
+        }
+        // NVSwitch beats direct NVLink which beats PCIe, pairwise.
+        let bytes = 4 << 20;
+        let nvswitch = FabricPreset::Nvswitch.build(1).transfer_time(0, 1, bytes);
+        let nvlink = FabricPreset::Nvlink.build(1).transfer_time(0, 1, bytes);
+        let pcie = FabricPreset::Pcie.build(1).transfer_time(0, 1, bytes);
+        assert!(nvswitch < nvlink && nvlink < pcie);
+    }
+
+    #[test]
+    fn build_for_gpus_sizes_node_count() {
+        assert_eq!(FabricPreset::Pcie.build_for_gpus(8).topology().nodes(), 1);
+        assert_eq!(FabricPreset::Pcie.build_for_gpus(16).topology().nodes(), 2);
+        assert_eq!(FabricPreset::Dgx2.build_for_gpus(16).topology().nodes(), 1);
+        assert_eq!(FabricPreset::Nvlink.build_for_gpus(1).topology().nodes(), 1);
+    }
+
+    /// Overrides change classification only — the structural tree, and so
+    /// the exclusive link resources a transfer occupies, stay put.
+    #[test]
+    fn presets_preserve_the_structural_tree() {
+        for preset in [FabricPreset::Nvlink, FabricPreset::Nvswitch, FabricPreset::Dgx1] {
+            let f = preset.build(1);
+            let base = Topology::tsubame_kfc(1);
+            for gpu in 0..8 {
+                assert_eq!(f.topology().locate(gpu), base.locate(gpu), "{preset}");
+            }
+            assert_eq!(f.topology().networks_per_node(), 2);
+            assert_eq!(f.topology().gpus_per_network(), 4);
+        }
+    }
+}

@@ -38,11 +38,18 @@ pub enum LinkClass {
 
 /// A regular machine topology: `nodes` computing nodes, each with
 /// `networks_per_node` PCIe networks of `gpus_per_network` GPUs.
+///
+/// The PCIe tree fixes the *structure* (which node/network a GPU sits in,
+/// and therefore which link resources a transfer occupies); an optional
+/// per-pair override matrix refines the *class* of individual links, which
+/// is how NVLink meshes and NVSwitch planes are modelled on top of the
+/// same structural tree (see [`Topology::with_link_overrides`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Topology {
     nodes: usize,
     networks_per_node: usize,
     gpus_per_network: usize,
+    overrides: Option<std::sync::Arc<[LinkClass]>>,
 }
 
 impl Topology {
@@ -54,7 +61,7 @@ impl Topology {
         assert!(nodes > 0, "need at least one node");
         assert!(networks_per_node > 0, "need at least one PCIe network per node");
         assert!(gpus_per_network > 0, "need at least one GPU per PCIe network");
-        Topology { nodes, networks_per_node, gpus_per_network }
+        Topology { nodes, networks_per_node, gpus_per_network, overrides: None }
     }
 
     /// The paper's evaluation platform: TSUBAME-KFC nodes with 2 PCIe
@@ -129,8 +136,62 @@ impl Topology {
         (0..self.gpus_per_node()).map(|i| node * self.gpus_per_node() + i).collect()
     }
 
+    /// Index of the unordered pair `(a, b)` in the upper-triangular
+    /// row-major pair matrix (`a != b`).
+    fn pair_index(&self, a: usize, b: usize) -> usize {
+        let n = self.total_gpus();
+        let (i, j) = if a < b { (a, b) } else { (b, a) };
+        // Row i starts after rows 0..i, each row i holding n-1-i entries.
+        i * (2 * n - i - 1) / 2 + (j - i - 1)
+    }
+
+    /// Refine individual link classes with an explicit per-pair matrix:
+    /// entry `(a, b)` for every unordered GPU pair `a < b`, row-major over
+    /// the upper triangle. The structural tree (node/network membership and
+    /// thus the link *resources* a transfer occupies) is unchanged — only
+    /// classification, and with it cost, is overridden. This is how an
+    /// NVLink mesh is expressed: a cross-network pair wired by NVLink is
+    /// overridden to [`LinkClass::P2P`] while unwired pairs keep staging
+    /// through the host.
+    ///
+    /// # Panics
+    /// Panics if `classes` is not exactly one entry per unordered pair, or
+    /// if any entry is [`LinkClass::Local`] (only `a == b` is local).
+    pub fn with_link_overrides(mut self, classes: Vec<LinkClass>) -> Self {
+        let n = self.total_gpus();
+        assert_eq!(
+            classes.len(),
+            n * (n - 1) / 2,
+            "override matrix must hold one entry per unordered GPU pair"
+        );
+        assert!(classes.iter().all(|&c| c != LinkClass::Local), "distinct GPUs cannot be Local");
+        self.overrides = Some(classes.into());
+        self
+    }
+
+    /// The explicit per-pair override matrix, if one was installed.
+    pub fn link_overrides(&self) -> Option<&[LinkClass]> {
+        self.overrides.as_deref()
+    }
+
+    /// Whether link classification deviates from the structural PCIe tree.
+    pub fn has_link_overrides(&self) -> bool {
+        self.overrides.is_some()
+    }
+
     /// Classify the link between two GPUs.
     pub fn link_class(&self, a: usize, b: usize) -> LinkClass {
+        if a == b {
+            return LinkClass::Local;
+        }
+        if let Some(overrides) = &self.overrides {
+            return overrides[self.pair_index(a, b)];
+        }
+        self.structural_link_class(a, b)
+    }
+
+    /// The classification the bare PCIe tree implies, ignoring overrides.
+    pub fn structural_link_class(&self, a: usize, b: usize) -> LinkClass {
         if a == b {
             return LinkClass::Local;
         }
@@ -224,6 +285,78 @@ mod tests {
         let t = Topology::single_gpu();
         assert_eq!(t.total_gpus(), 1);
         assert_eq!(t.link_class(0, 0), LinkClass::Local);
+    }
+
+    /// An all-to-all override matrix: every distinct pair P2P.
+    fn all_p2p(t: &Topology) -> Vec<LinkClass> {
+        let n = t.total_gpus();
+        vec![LinkClass::P2P; n * (n - 1) / 2]
+    }
+
+    #[test]
+    fn overrides_reclassify_without_moving_gpus() {
+        let base = Topology::tsubame_kfc(1);
+        let t = base.clone().with_link_overrides(all_p2p(&base));
+        assert!(t.has_link_overrides());
+        // Cross-network pairs are host-staged structurally, P2P by override.
+        assert_eq!(base.link_class(0, 4), LinkClass::HostStaged);
+        assert_eq!(t.link_class(0, 4), LinkClass::P2P);
+        assert_eq!(t.structural_link_class(0, 4), LinkClass::HostStaged);
+        // Structure (locations, dimensions) is untouched.
+        for gpu in 0..t.total_gpus() {
+            assert_eq!(t.locate(gpu), base.locate(gpu));
+        }
+        assert_eq!(t.link_class(3, 3), LinkClass::Local, "self link stays local");
+    }
+
+    #[test]
+    fn overrides_are_symmetric_and_per_pair() {
+        let base = Topology::regular(2, 2, 2);
+        let n = base.total_gpus();
+        // Single out pair (1, 6): InterNode structurally, overridden P2P.
+        let mut classes: Vec<LinkClass> =
+            (0..n).flat_map(|a| (a + 1..n).map(move |b| (a, b))).map(|_| LinkClass::P2P).collect();
+        let mut idx = 0;
+        for a in 0..n {
+            for b in a + 1..n {
+                classes[idx] = if (a, b) == (1, 6) {
+                    LinkClass::P2P
+                } else {
+                    base.structural_link_class(a, b)
+                };
+                idx += 1;
+            }
+        }
+        let t = base.clone().with_link_overrides(classes);
+        assert_eq!(t.link_class(1, 6), LinkClass::P2P);
+        assert_eq!(t.link_class(6, 1), LinkClass::P2P, "overrides are symmetric");
+        assert_eq!(t.link_class(0, 6), LinkClass::InterNode, "other pairs unchanged");
+        assert_eq!(t.link_class(0, 1), LinkClass::P2P);
+        assert_eq!(t.link_class(0, 2), LinkClass::HostStaged);
+    }
+
+    #[test]
+    fn no_overrides_matches_structural_everywhere() {
+        let t = Topology::tsubame_kfc(2);
+        assert!(!t.has_link_overrides());
+        assert!(t.link_overrides().is_none());
+        for a in 0..t.total_gpus() {
+            for b in 0..t.total_gpus() {
+                assert_eq!(t.link_class(a, b), t.structural_link_class(a, b));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one entry per unordered GPU pair")]
+    fn short_override_matrix_rejected() {
+        Topology::tsubame_kfc(1).with_link_overrides(vec![LinkClass::P2P; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be Local")]
+    fn local_override_rejected() {
+        Topology::regular(1, 1, 2).with_link_overrides(vec![LinkClass::Local]);
     }
 
     #[test]

@@ -54,6 +54,14 @@ impl Fabric {
         &self.spec
     }
 
+    /// Classify the link between two GPUs — the fabric's own view,
+    /// honouring any per-pair overrides its topology carries. Prefer this
+    /// over reaching into [`Fabric::topology`]: the fabric is the single
+    /// authority on link classification.
+    pub fn link_class(&self, a: usize, b: usize) -> LinkClass {
+        self.topo.link_class(a, b)
+    }
+
     /// Time for a hypothetical transfer of `bytes` between two GPUs.
     pub fn transfer_time(&self, from: usize, to: usize, bytes: usize) -> f64 {
         self.spec.transfer_time(self.topo.link_class(from, to), bytes)

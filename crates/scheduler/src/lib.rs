@@ -9,7 +9,10 @@
 //!   (FIFO, shortest-job-first, earliest-deadline-first);
 //! * **leases** GPUs from a [`DevicePool`] — partial grants are planned
 //!   with the degraded-mode subset rule, and each lease gets its own
-//!   stream ids via `gpu_sim::StreamNamespace`;
+//!   stream ids via `gpu_sim::StreamNamespace`. Pools may mix device
+//!   generations ([`ServeConfig::devices`]): grants never span models,
+//!   and selection picks the fastest compatible subset by
+//!   `width · throughput`;
 //! * **coalesces** compatible small scans into one batched Scan-SP launch
 //!   (the paper's Fig. 11–13 batching insight applied across tenants),
 //!   bit-identically to serving each request alone;
@@ -62,7 +65,7 @@ pub use coalesce::CoalescePlan;
 pub use json::Json;
 pub use metrics::{FleetMetrics, ShardedMetrics};
 pub use policy::Policy;
-pub use pool::{DevicePool, PoolLease};
+pub use pool::{DevicePool, PoolDevice, PoolLease};
 pub use request::{OpKind, ServeRequest};
 pub use router::{
     Placement, Rejection, Router, RouterConfig, ShardReport, ShardedReport, SloConfig,

@@ -44,12 +44,22 @@ pub struct FleetMetrics {
     pub deadline_total: usize,
     /// Of those, how many finished late.
     pub deadline_misses: usize,
+    /// Per-device-generation busy fraction, in first-GPU-id order. Empty
+    /// for homogeneous pools, so their JSON reports keep the historical
+    /// bytes; a mixed pool gets one `(model slug, busy fraction)` entry
+    /// per generation, where busy time is each launch's start→finish span
+    /// attributed to its GPUs and the denominator is that generation's
+    /// device count times the makespan.
+    pub class_busy: Vec<(&'static str, f64)>,
 }
 
 impl FleetMetrics {
     /// Derive the metrics of one finished window. `stream_busy` is the
     /// fleet's total stream-resource busy time
-    /// ([`interconnect::FleetTimeline::stream_busy_seconds`]).
+    /// ([`interconnect::FleetTimeline::stream_busy_seconds`]);
+    /// `gpu_classes` maps GPU id → device-model slug
+    /// ([`crate::pool::DevicePool::gpu_classes`]).
+    #[allow(clippy::too_many_arguments)]
     pub fn compute(
         policy: Policy,
         pool_gpus: usize,
@@ -58,6 +68,7 @@ impl FleetMetrics {
         makespan: f64,
         stream_busy: f64,
         queue_samples: &[(f64, usize)],
+        gpu_classes: &[&'static str],
     ) -> FleetMetrics {
         let mut latencies: Vec<f64> = completions.iter().map(Completion::latency).collect();
         latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
@@ -99,19 +110,32 @@ impl FleetMetrics {
             mean_queue_depth: div(weighted),
             deadline_total: with_deadline.len(),
             deadline_misses: with_deadline.iter().filter(|c| c.missed_deadline()).count(),
+            class_busy: class_busy(completions, makespan, gpu_classes),
         }
     }
 
     /// Render as a JSON object (shortest round-trip float formatting, so
-    /// byte-stable across equal runs).
+    /// byte-stable across equal runs). Homogeneous windows render the
+    /// historical bytes exactly; mixed pools append a `class_busy` object.
     pub fn to_json(&self) -> String {
+        let class_busy = if self.class_busy.is_empty() {
+            String::new()
+        } else {
+            let entries: Vec<String> = self
+                .class_busy
+                .iter()
+                .map(|(class, busy)| format!("\"{class}\": {busy}"))
+                .collect();
+            format!(",\n  \"class_busy\": {{ {} }}", entries.join(", "))
+        };
         format!(
             "{{\n  \"policy\": \"{}\",\n  \"requests\": {},\n  \"launches\": {},\n  \
              \"coalescing_ratio\": {},\n  \"makespan_s\": {},\n  \"p50_latency_s\": {},\n  \
              \"p99_latency_s\": {},\n  \"mean_latency_s\": {},\n  \"max_latency_s\": {},\n  \
              \"throughput_elems_per_s\": {},\n  \"requests_per_s\": {},\n  \
              \"gpu_busy_fraction\": {},\n  \"max_queue_depth\": {},\n  \
-             \"mean_queue_depth\": {},\n  \"deadline_total\": {},\n  \"deadline_misses\": {}\n}}",
+             \"mean_queue_depth\": {},\n  \"deadline_total\": {},\n  \
+             \"deadline_misses\": {}{class_busy}\n}}",
             self.policy,
             self.requests,
             self.launches,
@@ -307,6 +331,51 @@ impl ShardedMetrics {
     }
 }
 
+/// Per-generation busy fractions of a mixed-pool window. A launch's
+/// completions all share one `gpus` allocation and one start/finish span,
+/// so launches deduplicate by `(gpus pointer, started bits, finished
+/// bits)`; each surviving launch charges `finished − started` to every GPU
+/// it held. Returns an empty vector (→ historical JSON bytes) unless the
+/// window genuinely mixed generations.
+fn class_busy(
+    completions: &[Completion],
+    makespan: f64,
+    gpu_classes: &[&'static str],
+) -> Vec<(&'static str, f64)> {
+    let mut distinct: Vec<&'static str> = Vec::new();
+    for &c in gpu_classes {
+        if !distinct.contains(&c) {
+            distinct.push(c);
+        }
+    }
+    if distinct.len() < 2 || makespan <= 0.0 {
+        return Vec::new();
+    }
+    let mut seen: Vec<(usize, u64, u64)> = Vec::new();
+    let mut busy = vec![0.0f64; gpu_classes.len()];
+    for c in completions {
+        let key = (c.gpus.as_ptr() as usize, c.started.to_bits(), c.finished.to_bits());
+        if seen.contains(&key) {
+            continue;
+        }
+        seen.push(key);
+        for &g in c.gpus.iter() {
+            busy[g] += c.finished - c.started;
+        }
+    }
+    distinct
+        .into_iter()
+        .map(|class| {
+            let (count, total) = gpu_classes
+                .iter()
+                .zip(&busy)
+                .filter(|&(&c, _)| c == class)
+                .fold((0usize, 0.0f64), |(n, t), (_, &b)| (n + 1, t + b));
+            (class, total / (count as f64 * makespan))
+        })
+        .collect()
+}
+
 /// Nearest-rank percentile of an ascending-sorted slice.
 fn percentile(sorted: &[f64], p: usize) -> f64 {
     if sorted.is_empty() {
@@ -319,6 +388,56 @@ fn percentile(sorted: &[f64], p: usize) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::request::OpKind;
+    use crate::serve::Completion;
+    use std::sync::Arc;
+
+    fn completion(gpus: Arc<[usize]>, started: f64, finished: f64) -> Completion {
+        Completion {
+            request: crate::request::ServeRequest {
+                id: 0,
+                arrival: 0.0,
+                n: 10,
+                g: 0,
+                gpus_wanted: gpus.len(),
+                priority: 0,
+                tenant: 0,
+                deadline: None,
+                op: OpKind::AddI32,
+            },
+            dispatched: started,
+            started,
+            finished,
+            coalesced: 1,
+            gpus,
+            checksum: 0,
+            output: None,
+        }
+    }
+
+    #[test]
+    fn class_busy_is_empty_for_homogeneous_pools() {
+        let c = completion(Arc::from(vec![0, 1]), 0.0, 1.0);
+        assert!(class_busy(&[c], 2.0, &["tesla_k80", "tesla_k80"]).is_empty());
+    }
+
+    #[test]
+    fn class_busy_attributes_launch_spans_per_generation() {
+        // GPUs 0-1 are v100, 2-3 a100. One 2-GPU v100 launch with two
+        // coalesced members (shared gpus allocation — counted once) plus
+        // one single-GPU a100 launch.
+        let classes = ["v100", "v100", "a100", "a100"];
+        let v_gpus: Arc<[usize]> = Arc::from(vec![0, 1]);
+        let cs = vec![
+            completion(v_gpus.clone(), 0.0, 1.0),
+            completion(v_gpus, 0.0, 1.0),
+            completion(Arc::from(vec![2]), 0.0, 4.0),
+        ];
+        let busy = class_busy(&cs, 4.0, &classes);
+        // v100: 1s on each of 2 GPUs over 2 GPUs x 4s; a100: 4s on one of
+        // two GPUs over 2 x 4s.
+        assert_eq!(busy, vec![("v100", 0.25), ("a100", 0.5)]);
+    }
 
     #[test]
     fn nearest_rank_percentiles() {

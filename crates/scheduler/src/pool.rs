@@ -1,21 +1,47 @@
 //! The device pool: who owns which GPU right now.
 //!
 //! Leasing is exclusive (a GPU serves one request at a time) and
-//! deterministic: the lowest free ids are granted first, and a request
-//! asking for more GPUs than are free receives the largest power-of-two
-//! subset available — a *partial* lease, which the core planner handles
-//! with the same degraded-mode rule it uses for eviction survivors
-//! (`scan_core::lease`). Each granted GPU also carries a stream id from a
-//! [`StreamNamespace`], so a lease's kernels are attributable to their
-//! tenant even when GPUs are later re-leased.
+//! deterministic: within the chosen device class the lowest free ids are
+//! granted first, and a request asking for more GPUs than are free
+//! receives the largest power-of-two subset available — a *partial*
+//! lease, which the core planner handles with the same degraded-mode rule
+//! it uses for eviction survivors (`scan_core::lease`). Each granted GPU
+//! also carries a stream id from a [`StreamNamespace`], so a lease's
+//! kernels are attributable to their tenant even when GPUs are later
+//! re-leased.
+//!
+//! A pool may be **heterogeneous** ([`DevicePool::heterogeneous`]): each
+//! GPU slot carries a device-model fingerprint ([`PoolDevice`]) and a
+//! grant never spans generations — one launch runs one cost model, so the
+//! planner's single `DeviceSpec` stays truthful and coalesced batches
+//! never mix hardware. The largest-power-of-two survivor rule generalizes
+//! to *fastest compatible subset*: among the classes with free devices,
+//! the grant maximizes `width · throughput` (ties to the higher
+//! per-device throughput, then to listing order). A homogeneous pool has
+//! one class, so the rule reduces exactly to the legacy
+//! lowest-free-ids-first behavior.
 
 use gpu_sim::{StreamGrant, StreamNamespace};
 use scan_core::GpuLease;
 
-/// One grant from the pool: GPUs plus their stream ids.
+/// One device slot's model identity in a (possibly heterogeneous) pool.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoolDevice {
+    /// Model slug (`devices::DeviceModel::name`): the generation
+    /// fingerprint grants are partitioned by.
+    pub class: &'static str,
+    /// Relative per-device throughput
+    /// (`devices::DeviceModel::throughput_score`) weighing grant
+    /// selection.
+    pub throughput: f64,
+}
+
+/// One grant from the pool: GPUs plus their stream ids, all of one device
+/// class.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PoolLease {
     grants: Vec<StreamGrant>,
+    class: &'static str,
 }
 
 impl PoolLease {
@@ -42,6 +68,12 @@ impl PoolLease {
         s
     }
 
+    /// The device-model fingerprint every granted GPU shares: a grant
+    /// never spans generations.
+    pub fn device_class(&self) -> &'static str {
+        self.class
+    }
+
     /// Convert to the core planner's lease type.
     pub fn to_gpu_lease(&self) -> GpuLease {
         GpuLease::new(self.gpu_ids(), self.stream()).expect("pool grants are unique and non-empty")
@@ -53,13 +85,45 @@ impl PoolLease {
 pub struct DevicePool {
     busy: Vec<bool>,
     streams: StreamNamespace,
+    /// Per-GPU index into `classes`.
+    slot_class: Vec<usize>,
+    classes: Vec<PoolDevice>,
 }
 
+/// The legacy single-generation fingerprint [`DevicePool::new`] assigns:
+/// the paper's Tesla K80.
+const LEGACY_CLASS: PoolDevice = PoolDevice { class: "tesla_k80", throughput: 1.0 };
+
 impl DevicePool {
-    /// A pool of GPUs `0..total`, all free.
+    /// A homogeneous pool of GPUs `0..total`, all free (the paper's
+    /// single-generation cluster; every slot carries the `tesla_k80`
+    /// fingerprint).
     pub fn new(total: usize) -> Self {
         assert!(total > 0, "a pool needs at least one GPU");
-        DevicePool { busy: vec![false; total], streams: StreamNamespace::new() }
+        Self::heterogeneous(vec![(LEGACY_CLASS, total)])
+    }
+
+    /// A mixed-generation pool: `runs` lists `(model, count)` in GPU-id
+    /// order, so the first run owns ids `0..count0`, the next
+    /// `count0..count0+count1`, and so on.
+    pub fn heterogeneous(runs: Vec<(PoolDevice, usize)>) -> Self {
+        let total: usize = runs.iter().map(|&(_, count)| count).sum();
+        assert!(total > 0, "a pool needs at least one GPU");
+        let mut classes: Vec<PoolDevice> = Vec::new();
+        let mut slot_class = Vec::with_capacity(total);
+        for (device, count) in runs {
+            let ci = classes.iter().position(|c| c.class == device.class).unwrap_or_else(|| {
+                classes.push(device);
+                classes.len() - 1
+            });
+            slot_class.extend(std::iter::repeat_n(ci, count));
+        }
+        DevicePool {
+            busy: vec![false; total],
+            streams: StreamNamespace::new(),
+            slot_class,
+            classes,
+        }
     }
 
     /// Cluster size.
@@ -72,27 +136,59 @@ impl DevicePool {
         self.busy.iter().filter(|&&b| !b).count()
     }
 
-    /// Lease up to `wanted` GPUs: the largest power of two not exceeding
-    /// `min(wanted, free)`, lowest ids first. Returns `None` when no GPU
-    /// is free (`wanted` must be ≥ 1).
+    /// Per-GPU model slug, indexed by GPU id.
+    pub fn gpu_classes(&self) -> Vec<&'static str> {
+        self.slot_class.iter().map(|&ci| self.classes[ci].class).collect()
+    }
+
+    /// Whether the pool mixes device generations.
+    pub fn is_heterogeneous(&self) -> bool {
+        self.classes.len() > 1
+    }
+
+    /// Lease up to `wanted` GPUs from the *fastest compatible subset*: per
+    /// device class, the candidate grant is the largest power of two not
+    /// exceeding `min(wanted, free in class)`; the class maximizing
+    /// `width · throughput` wins (ties to the higher per-device
+    /// throughput, then to listing order), and its lowest free ids are
+    /// granted. A grant therefore never spans generations. Returns `None`
+    /// when no GPU is free (`wanted` must be ≥ 1).
     pub fn lease(&mut self, wanted: usize) -> Option<PoolLease> {
         assert!(wanted >= 1, "a lease must ask for at least one GPU");
-        let available = self.free_count().min(wanted);
-        if available == 0 {
-            return None;
+        let mut best: Option<(usize, usize)> = None; // (class index, width)
+        for ci in 0..self.classes.len() {
+            let free =
+                self.slot_class.iter().zip(&self.busy).filter(|&(&c, &b)| c == ci && !b).count();
+            if free == 0 {
+                continue;
+            }
+            let width = largest_pow2(free.min(wanted));
+            let score = width as f64 * self.classes[ci].throughput;
+            let better = match best {
+                None => true,
+                Some((bci, bwidth)) => {
+                    let bscore = bwidth as f64 * self.classes[bci].throughput;
+                    score > bscore
+                        || (score == bscore
+                            && self.classes[ci].throughput > self.classes[bci].throughput)
+                }
+            };
+            if better {
+                best = Some((ci, width));
+            }
         }
-        let grant_len = largest_pow2(available);
+        let (ci, grant_len) = best?;
         let mut grants: Vec<StreamGrant> = Vec::with_capacity(grant_len);
         for g in 0..self.busy.len() {
             if grants.len() == grant_len {
                 break;
             }
-            if !self.busy[g] {
+            if !self.busy[g] && self.slot_class[g] == ci {
                 self.busy[g] = true;
                 grants.push(self.streams.grant(g));
             }
         }
-        Some(PoolLease { grants })
+        Some(PoolLease { grants, class: self.classes[ci].class })
     }
 
     /// Return a lease's GPUs and streams to the pool.
@@ -156,5 +252,70 @@ mod tests {
     #[should_panic(expected = "at least one GPU")]
     fn zero_wanted_is_a_bug() {
         DevicePool::new(2).lease(0);
+    }
+
+    fn mixed_pool() -> DevicePool {
+        // 4 V100s (ids 0..4) + 4 A100s (ids 4..8), A100 ~1.7x faster.
+        DevicePool::heterogeneous(vec![
+            (PoolDevice { class: "v100", throughput: 810.0e9 }, 4),
+            (PoolDevice { class: "a100", throughput: 1400.0e9 }, 4),
+        ])
+    }
+
+    #[test]
+    fn heterogeneous_grants_never_span_generations() {
+        let mut pool = mixed_pool();
+        assert!(pool.is_heterogeneous());
+        let expected = ["v100", "v100", "v100", "v100", "a100", "a100", "a100", "a100"];
+        assert_eq!(pool.gpu_classes(), expected);
+        // 8 wanted: both classes offer width 4; the A100s' 4·1400 beats
+        // the V100s' 4·810.
+        let a = pool.lease(8).unwrap();
+        assert_eq!(a.gpu_ids(), vec![4, 5, 6, 7]);
+        assert_eq!(a.device_class(), "a100");
+        // With the A100s busy, the V100 quad is the fastest subset left.
+        let b = pool.lease(8).unwrap();
+        assert_eq!(b.gpu_ids(), vec![0, 1, 2, 3]);
+        assert_eq!(b.device_class(), "v100");
+        assert_eq!(pool.lease(1), None);
+        pool.release(a);
+        pool.release(b);
+        assert_eq!(pool.free_count(), 8);
+    }
+
+    #[test]
+    fn width_beats_per_device_speed_when_it_wins_on_throughput() {
+        // 1 A100 free vs 4 V100s free, wanted 4: 4·810 > 1·1400, so the
+        // wider V100 grant wins.
+        let mut pool = mixed_pool();
+        // Three singles drain the faster A100 class first.
+        let hold: Vec<_> = (0..3).map(|_| pool.lease(1).unwrap()).collect();
+        for l in &hold {
+            assert_eq!(l.device_class(), "a100");
+        }
+        let wide = pool.lease(4).unwrap();
+        assert_eq!(wide.device_class(), "v100");
+        assert_eq!(wide.gpu_ids(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn homogeneous_pool_reduces_to_legacy_grants() {
+        // DevicePool::new and a single-class heterogeneous pool grant
+        // identically.
+        let mut legacy = DevicePool::new(8);
+        let mut single = DevicePool::heterogeneous(vec![(
+            PoolDevice { class: "tesla_k80", throughput: 1.0 },
+            8,
+        )]);
+        for wanted in [4, 8, 3] {
+            let a = legacy.lease(wanted);
+            let b = single.lease(wanted);
+            assert_eq!(
+                a.as_ref().map(|l| l.gpu_ids()),
+                b.as_ref().map(|l| l.gpu_ids()),
+                "wanted {wanted}"
+            );
+            assert!(!single.is_heterogeneous());
+        }
     }
 }

@@ -29,6 +29,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use devices::{DevicePreset, FabricPreset};
 use interconnect::{merge_fleet_parts, Resource, Trace};
 use scan_core::{ScanError, ScanResult};
 
@@ -127,6 +128,13 @@ pub struct RouterConfig {
     /// (differential tests; same meaning as
     /// [`ServeConfig::reference_timings`]).
     pub reference_timings: bool,
+    /// Each shard's device mix, in GPU-id order (same meaning as
+    /// [`ServeConfig::devices`]); empty = a homogeneous Tesla K80 pool of
+    /// [`RouterConfig::gpus_per_shard`] GPUs.
+    pub devices: Vec<(DevicePreset, usize)>,
+    /// Each shard's interconnect fabric (same meaning as
+    /// [`ServeConfig::fabric`]).
+    pub fabric: FabricPreset,
 }
 
 impl RouterConfig {
@@ -146,6 +154,8 @@ impl RouterConfig {
             keep_outputs: false,
             plan_cache: true,
             reference_timings: false,
+            devices: Vec::new(),
+            fabric: FabricPreset::Pcie,
         }
     }
 
@@ -158,6 +168,8 @@ impl RouterConfig {
             keep_outputs: self.keep_outputs,
             plan_cache: self.plan_cache,
             reference_timings: self.reference_timings,
+            devices: self.devices.clone(),
+            fabric: self.fabric,
         }
     }
 }
@@ -245,7 +257,7 @@ impl Router {
         if config.shards == 0 {
             return Err(ScanError::InvalidConfig("router needs at least one shard".into()));
         }
-        if config.gpus_per_shard == 0 {
+        if config.serve_config().total_gpus() == 0 {
             return Err(ScanError::InvalidConfig("a shard needs at least one GPU".into()));
         }
         if config.queue_capacity == Some(0) {
@@ -271,7 +283,7 @@ impl Router {
         );
         let shards = self.config.shards;
         let mut states: Vec<ShardState> = (0..shards)
-            .map(|s| ShardState::new(s, self.config.gpus_per_shard, self.config.reference_timings))
+            .map(|s| ShardState::new(s, self.engines[s].new_pool(), self.config.reference_timings))
             .collect();
         let mut rejections: Vec<Rejection> = Vec::new();
         let mut redirects_in = vec![0usize; shards];
@@ -400,9 +412,10 @@ impl Router {
         redirects_in: Vec<usize>,
         steals_out: Vec<usize>,
     ) -> ShardedReport {
-        let gpus = self.config.gpus_per_shard;
-        // Every shard's fabric holds `gpus` GPUs at 8 per node.
-        let nodes_per_shard = gpus.div_ceil(8).max(1);
+        let gpus = self.config.serve_config().total_gpus();
+        // Every shard's fabric holds `gpus` GPUs at the preset's node
+        // arity (8 for the PCIe tree, 16 for DGX-2 chassis).
+        let nodes_per_shard = gpus.div_ceil(self.config.fabric.gpus_per_node()).max(1);
         let mut shard_reports = Vec::with_capacity(states.len());
         let mut parts = Vec::with_capacity(states.len());
         for (s, mut state) in states.into_iter().enumerate() {

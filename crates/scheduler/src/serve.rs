@@ -37,6 +37,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
+use devices::{DeviceModel, DevicePreset, FabricPreset};
 use gpu_sim::DeviceSpec;
 use interconnect::{Fabric, FleetTimeline, FleetTrace};
 use scan_core::{
@@ -49,7 +50,7 @@ use skeletons::{
 use crate::coalesce;
 use crate::metrics::FleetMetrics;
 use crate::policy::Policy;
-use crate::pool::PoolLease;
+use crate::pool::{DevicePool, PoolDevice, PoolLease};
 use crate::request::{OpKind, ServeRequest};
 use crate::shard::{self, Launch, ShardState};
 use crate::workload::{request_input, request_input_f64, request_input_gated, request_input_seg};
@@ -78,6 +79,16 @@ pub struct ServeConfig {
     /// either way, just slower.
     #[doc(hidden)]
     pub reference_timings: bool,
+    /// Device generations in the pool, as `(model, count)` runs in GPU-id
+    /// order. Empty (the default) = a homogeneous pool of
+    /// [`ServeConfig::pool_gpus`] Tesla K80s — the paper's cluster,
+    /// bit-identical to the pre-heterogeneity behavior. Non-empty runs
+    /// override `pool_gpus` with their total.
+    pub devices: Vec<(DevicePreset, usize)>,
+    /// Named interconnect fabric the pool's GPUs sit on.
+    /// [`FabricPreset::Pcie`] (the default) builds exactly the historical
+    /// TSUBAME-KFC PCIe tree.
+    pub fabric: FabricPreset,
 }
 
 impl ServeConfig {
@@ -92,6 +103,18 @@ impl ServeConfig {
             keep_outputs: false,
             plan_cache: true,
             reference_timings: false,
+            devices: Vec::new(),
+            fabric: FabricPreset::Pcie,
+        }
+    }
+
+    /// Total GPUs the configuration describes: the device runs' sum, or
+    /// [`ServeConfig::pool_gpus`] for the homogeneous default.
+    pub fn total_gpus(&self) -> usize {
+        if self.devices.is_empty() {
+            self.pool_gpus
+        } else {
+            self.devices.iter().map(|&(_, count)| count).sum()
         }
     }
 }
@@ -310,10 +333,17 @@ struct ResponseMemo {
     served: u64,
 }
 
+/// One device generation the server can plan on: its pool fingerprint and
+/// the lowered spec the pipeline builder costs against.
+struct DeviceClass {
+    name: &'static str,
+    spec: DeviceSpec,
+}
+
 /// The multi-tenant scheduler.
 pub struct Server {
     config: ServeConfig,
-    device: DeviceSpec,
+    classes: Vec<DeviceClass>,
     tuple: SplkTuple,
     fabric: Fabric,
     cache: PlanCache,
@@ -321,20 +351,67 @@ pub struct Server {
 }
 
 impl Server {
-    /// A server over `config.pool_gpus` simulated K80s on the paper's
-    /// TSUBAME-KFC fabric (enough nodes to hold the pool).
-    pub fn new(config: ServeConfig) -> Self {
+    /// A server over the configured pool — by default
+    /// `config.pool_gpus` simulated K80s on the paper's TSUBAME-KFC
+    /// fabric (enough nodes to hold the pool); with
+    /// [`ServeConfig::devices`] set, a mixed-generation pool on the
+    /// configured [`ServeConfig::fabric`] preset. Every launch is planned
+    /// against its lease's own generation.
+    pub fn new(mut config: ServeConfig) -> Self {
+        config.pool_gpus = config.total_gpus();
         assert!(config.pool_gpus >= 1);
-        let per_node = Fabric::tsubame_kfc(1).topology().total_gpus();
-        let fabric = Fabric::tsubame_kfc(config.pool_gpus.div_ceil(per_node));
+        let fabric = config.fabric.build_for_gpus(config.pool_gpus);
+        let classes = if config.devices.is_empty() {
+            vec![DeviceClass { name: "tesla_k80", spec: DeviceSpec::tesla_k80() }]
+        } else {
+            let mut classes: Vec<DeviceClass> = Vec::new();
+            for &(preset, _) in &config.devices {
+                if !classes.iter().any(|c| c.name == preset.name()) {
+                    classes.push(DeviceClass { name: preset.name(), spec: preset.spec() });
+                }
+            }
+            classes
+        };
         Server {
             config,
-            device: DeviceSpec::tesla_k80(),
+            classes,
             tuple: SplkTuple::kepler_premises(0),
             fabric,
             cache: PlanCache::new(),
             responses: Mutex::new(ResponseMemo::default()),
         }
+    }
+
+    /// The device pool the configuration describes (each serve loop gets a
+    /// fresh one).
+    pub(crate) fn new_pool(&self) -> DevicePool {
+        if self.config.devices.is_empty() {
+            DevicePool::new(self.config.pool_gpus)
+        } else {
+            DevicePool::heterogeneous(
+                self.config
+                    .devices
+                    .iter()
+                    .map(|&(preset, count)| {
+                        let device = PoolDevice {
+                            class: preset.name(),
+                            throughput: preset.throughput_score(),
+                        };
+                        (device, count)
+                    })
+                    .collect(),
+            )
+        }
+    }
+
+    /// The lowered spec of one registered device class.
+    fn spec_for(&self, class: &str) -> &DeviceSpec {
+        &self
+            .classes
+            .iter()
+            .find(|c| c.name == class)
+            .expect("every leased class is registered at construction")
+            .spec
     }
 
     /// Plan-cache accounting so far (across every window this server ran).
@@ -359,7 +436,7 @@ impl Server {
         // One shard's worth of state is the whole server here; the sharded
         // router drives N of these with the same dispatch/sample/retire
         // methods, which is what makes its 1-shard path byte-equal.
-        let mut state = ShardState::new(0, self.config.pool_gpus, self.config.reference_timings);
+        let mut state = ShardState::new(0, self.new_pool(), self.config.reference_timings);
         let mut next = 0; // index into `requests`
         let mut now = 0.0f64;
 
@@ -474,7 +551,7 @@ impl Server {
 
     /// Finalize one serve loop's state into its report.
     pub(crate) fn report(&self, state: ShardState) -> ServeReport {
-        let ShardState { fleet, completions, queue_samples, launches, .. } = state;
+        let ShardState { fleet, completions, queue_samples, launches, pool, .. } = state;
         let makespan = fleet.makespan();
         // Busy accounting comes straight off the fleet's admission records;
         // the merged graph only materializes if a trace consumer asks.
@@ -488,6 +565,7 @@ impl Server {
             makespan,
             stream_busy,
             &queue_samples,
+            &pool.gpu_classes(),
         );
         ServeReport {
             completions,
@@ -552,6 +630,10 @@ impl Server {
     ) -> ScanResult<Launch> {
         let head = &requests[members[0]];
         let problem = ProblemParams::new(head.n, g_combined);
+        // Every GPU in a grant shares one generation (the pool never spans
+        // them), so the launch plans against that generation's own spec —
+        // and the plan-cache DeviceKey keeps generations' entries apart.
+        let device = self.spec_for(lease.device_class());
         let gpu_lease = lease.to_gpu_lease();
         let policy = PipelinePolicy::default();
         let mut prefix = String::with_capacity(16);
@@ -574,7 +656,7 @@ impl Server {
             match self
                 .cache
                 .plan::<T, O>(
-                    &self.device,
+                    device,
                     &self.fabric,
                     &gpu_lease,
                     problem,
@@ -663,7 +745,7 @@ impl Server {
                     None => scan_on_lease(
                         op,
                         self.tuple,
-                        &self.device,
+                        device,
                         &self.fabric,
                         &gpu_lease,
                         problem,

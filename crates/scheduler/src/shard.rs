@@ -68,10 +68,10 @@ pub(crate) struct ShardState {
 }
 
 impl ShardState {
-    pub(crate) fn new(shard: usize, pool_gpus: usize, reference_timings: bool) -> Self {
+    pub(crate) fn new(shard: usize, pool: DevicePool, reference_timings: bool) -> Self {
         ShardState {
             shard,
-            pool: DevicePool::new(pool_gpus),
+            pool,
             fleet: if reference_timings {
                 FleetTimeline::reference()
             } else {

@@ -1,0 +1,67 @@
+//! Heterogeneous fleet walk-through: serve one mixed-operator window on a
+//! pool that mixes device generations — four V100s and four A100s on a
+//! DGX-2 all-to-all fabric — and see where the time went.
+//!
+//! ```sh
+//! cargo run --release --example heterogeneous_fleet [-- OUT_DIR]
+//! ```
+//!
+//! The pool's lease rule picks the fastest compatible subset per request
+//! (`width · throughput`), so the A100s soak up work until they saturate
+//! and the backlog spills onto the V100s — but a single launch never
+//! spans generations, because one batch plans against one `DeviceSpec`.
+//! The rollup's per-generation busy fractions make that split visible,
+//! and the whole window exports as one Perfetto trace.
+
+use multigpu_scan::prelude::*;
+
+fn main() {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| "target/traces".into());
+    std::fs::create_dir_all(&dir).expect("create trace dir");
+
+    // A mixed-operator window: i32 sums, f64 maxes, segmented sums and
+    // gated recurrences, four tenants, bursty arrivals.
+    let mut spec = WorkloadSpec::mixed_ops_for(42, 48);
+    spec.n_range = (10, 12);
+    spec.g_range = (0, 2);
+    spec.tenants = 4;
+    let requests = spec.generate();
+
+    // Four V100s (pool GPUs 0-3) and four A100s (pool GPUs 4-7) on one
+    // DGX-2 chassis. Deadline-driven admission, coalescing on.
+    let mut config = ServeConfig::new(Policy::Edf, 42);
+    config.devices = vec![(DevicePreset::V100, 4), (DevicePreset::A100, 4)];
+    config.fabric = FabricPreset::Dgx2;
+    let report = Server::new(config).run(&requests).expect("serve the window");
+
+    println!("{}\n", report.metrics.summary());
+
+    // Which generation did the work? Busy fraction = attributed launch
+    // seconds / (GPUs in the generation × window makespan).
+    println!("per-generation busy fractions:");
+    for &(class, busy) in &report.metrics.class_busy {
+        let bar = "#".repeat((busy * 40.0).round() as usize);
+        println!("  {class:>10}  {:>5.1}%  {bar}", busy * 100.0);
+    }
+
+    // Per-generation launch counts straight from the completions: GPUs
+    // 0-3 are the V100s, 4-7 the A100s, and no GPU set crosses over.
+    let mut v100 = 0usize;
+    let mut a100 = 0usize;
+    for c in &report.completions {
+        assert!(
+            c.gpus.iter().all(|&g| g < 4) || c.gpus.iter().all(|&g| g >= 4),
+            "a launch must never span generations"
+        );
+        if c.gpus[0] < 4 {
+            v100 += 1;
+        } else {
+            a100 += 1;
+        }
+    }
+    println!("\ncompletions per generation: v100 {v100}, a100 {a100}");
+
+    let path = format!("{dir}/heterogeneous_fleet.trace.json");
+    report.trace.write_chrome_trace(&path).expect("write trace");
+    println!("\nwrote {path} — load it in chrome://tracing or ui.perfetto.dev");
+}

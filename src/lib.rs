@@ -11,6 +11,7 @@
 //!
 //! * [`sim`] — the GPU simulator (`gpu-sim`);
 //! * [`fabric`] — the interconnect model (`interconnect`);
+//! * [`devices`] — hardware models and fabric presets (`devices`);
 //! * [`kernels`] — scan skeletons (`skeletons`);
 //! * [`scan`] — the paper's proposals (`scan-core`);
 //! * [`serve`] — the multi-tenant serving layer (`scan-serve`);
@@ -23,6 +24,7 @@
 //! evaluation.
 
 pub use baselines as competitors;
+pub use devices;
 pub use gpu_sim as sim;
 pub use interconnect as fabric;
 pub use scan_core as scan;
@@ -36,6 +38,7 @@ pub use scan_core::{CacheStats, PlanCache, Proposal, ScanRequest, TraceHandle, T
 /// The most common entry points, re-exported flat.
 pub mod prelude {
     pub use baselines::{Cub, Cudpp, LightScan, ModernGpu, ScanLibrary, Thrust};
+    pub use devices::{DeviceModel, DevicePreset, FabricPreset};
     pub use gpu_sim::DeviceSpec;
     pub use interconnect::{
         Fabric, FaultError, FaultEvent, FaultPlan, FaultReport, GpuEviction, LinkFault, Topology,

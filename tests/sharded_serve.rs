@@ -340,6 +340,68 @@ fn slo_escalation_preempts_the_queue_but_not_the_answers() {
     }
 }
 
+/// A mixed-generation pool must never coalesce (or even launch) one batch
+/// across device models: a batch is planned against a single `DeviceSpec`,
+/// so a grant spanning generations would cost one model's timings on the
+/// other's hardware. With `v100:4 + a100:4` the pool assigns GPUs 0–3 to
+/// the V100s and 4–7 to the A100s, and every launch's GPU set must stay
+/// on one side of that boundary — while the answers still match the
+/// isolated (homogeneous K80) reference bit-for-bit, because scheduling
+/// hardware changes *when*, never *what*.
+#[test]
+fn mixed_generation_pool_never_spans_models_in_one_launch() {
+    let requests = mixed_workload(21, 40);
+    let reference = isolated_checksums(&requests, 21);
+
+    let mut config = ServeConfig::new(Policy::Fifo, 21);
+    config.devices = vec![(DevicePreset::V100, 4), (DevicePreset::A100, 4)];
+    config.fabric = FabricPreset::Dgx2;
+    let report = Server::new(config).run(&requests).unwrap();
+    assert_eq!(report.completions.len(), requests.len());
+
+    // Group completions into launches (same idiom as the stealing test).
+    type LaunchKey<'a> = (&'a Arc<[usize]>, u64, u64, u64);
+    let mut launches: Vec<(LaunchKey, Vec<&multigpu_scan::serve::Completion>)> = Vec::new();
+    for c in &report.completions {
+        let key: LaunchKey =
+            (&c.gpus, c.dispatched.to_bits(), c.started.to_bits(), c.finished.to_bits());
+        match launches.iter_mut().find(|((gpus, d, s, f), _)| {
+            Arc::ptr_eq(gpus, key.0) && (*d, *s, *f) == (key.1, key.2, key.3)
+        }) {
+            Some((_, members)) => members.push(c),
+            None => launches.push((key, vec![c])),
+        }
+    }
+
+    let mut v100_launches = 0usize;
+    let mut a100_launches = 0usize;
+    for ((gpus, ..), members) in &launches {
+        let on_v100 = gpus.iter().all(|&g| g < 4);
+        let on_a100 = gpus.iter().all(|&g| (4..8).contains(&g));
+        assert!(on_v100 || on_a100, "launch over GPUs {gpus:?} spans both device generations");
+        if on_v100 {
+            v100_launches += 1;
+        } else {
+            a100_launches += 1;
+        }
+        let kind = members[0].request.op;
+        assert!(members.iter().all(|c| c.request.op == kind), "kind-uniform launches");
+    }
+    assert!(a100_launches > 0, "the faster generation must serve some of the window");
+    assert!(v100_launches > 0, "the backlog must spill onto the slower generation");
+
+    for c in &report.completions {
+        assert_eq!(c.checksum, reference[&c.request.id], "request {}", c.request.id);
+    }
+
+    // The rollup attributes busy time to both generations.
+    let classes: Vec<&str> = report.metrics.class_busy.iter().map(|&(c, _)| c).collect();
+    assert_eq!(classes, ["v100", "a100"], "per-generation busy fractions in the rollup");
+    for &(class, busy) in &report.metrics.class_busy {
+        assert!((0.0..=1.0).contains(&busy), "{class} busy fraction {busy} out of range");
+    }
+}
+
 /// The tentpole differential: incremental fleet admission (per-resource
 /// availability index with lazy pruning) must be **bit-equal** to the
 /// retained O(n²) reference list scheduler — same completion order, same
