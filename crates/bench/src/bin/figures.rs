@@ -3,8 +3,9 @@
 //! ```text
 //! figures [--total-log2 N] [--n-lo N] [--no-verify] [--trace-dir DIR]
 //!         [--seed N] [--requests N] [--policy fifo|sjf|edf|all]
-//!         [--pool-gpus N] [--no-coalesce] [--shards N] [--out DIR]
-//!         [--workload FILE] [--op-mix] [CMD...]
+//!         [--pool-gpus N] [--no-coalesce] [--shards N] [--threads N]
+//!         [--serial-stepping] [--out DIR] [--workload FILE] [--op-mix]
+//!         [CMD...]
 //!
 //! CMD: table3 fig1 fig9 fig10 fig11 fig12 fig13 fig14 mw-sweep k-sweep
 //!      ablations trace serve bench-scan self all (default: all)
@@ -34,7 +35,10 @@
 //! sharded front-end router (N shards of `--pool-gpus` GPUs each, hash
 //! placement, work stealing on) and appends a `"sharded"` section to the
 //! JSON — the unsharded section stays byte-identical, so point `--out`
-//! elsewhere to keep the committed golden. See `docs/sharding.md`.
+//! elsewhere to keep the committed golden. `--threads N` sizes the
+//! router's worker pool (0 = one per core) and `--serial-stepping`
+//! forces the retained serial engine; both produce byte-identical
+//! output, which CI pins by diffing the two. See `docs/sharding.md`.
 //!
 //! `bench-scan` runs a pinned set of single-scan configurations
 //! (independent of the sweep flags, so the output is byte-stable) and
@@ -48,6 +52,45 @@ use bench::{average_speedups, render_table, Harness, Series};
 use devices::{DevicePreset, FabricPreset};
 use gpu_sim::{occupancy, AccessWidth, DeviceSpec, Gpu, LaunchConfig};
 use skeletons::{lf, shared_scan, warp_scan_exclusive, warp_scan_inclusive, Add, Max};
+
+/// A counting wrapper around the system allocator — **bench binary
+/// only**, the library crates never pay for it. `self` uses the
+/// per-thread counter to report `allocs_per_request` on the steady
+/// (memo-hit) serve path and to hold it to O(1): allocator pressure is
+/// the regression the wall-clock gate can miss on a fast machine.
+struct CountingAlloc;
+
+thread_local! {
+    static ALLOCS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+// SAFETY: defers to `System` for every operation; the counter is
+// thread-local bookkeeping on the side.
+unsafe impl std::alloc::GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: std::alloc::Layout) -> *mut u8 {
+        // try_with: the counter itself may be mid-teardown during thread
+        // exit, and the allocator must keep working then.
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        std::alloc::System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: std::alloc::Layout) {
+        std::alloc::System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: std::alloc::Layout, new_size: usize) -> *mut u8 {
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        std::alloc::System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Heap allocations charged to this thread so far.
+fn allocs_now() -> u64 {
+    ALLOCS.try_with(std::cell::Cell::get).unwrap_or(0)
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -92,6 +135,11 @@ fn main() {
                 i += 1;
                 serve_opts.shards = args[i].parse().expect("--shards takes an integer");
             }
+            "--threads" => {
+                i += 1;
+                serve_opts.threads = args[i].parse().expect("--threads takes an integer");
+            }
+            "--serial-stepping" => serve_opts.serial_stepping = true,
             "--out" => {
                 i += 1;
                 serve_opts.out = args[i].clone();
@@ -115,7 +163,8 @@ fn main() {
                 println!(
                     "figures [--total-log2 N] [--n-lo N] [--no-verify] [--trace-dir DIR] \
                      [--seed N] [--requests N] [--policy fifo|sjf|edf|all] [--pool-gpus N] \
-                     [--no-coalesce] [--shards N] [--out DIR] [--workload FILE] [--op-mix] \
+                     [--no-coalesce] [--shards N] [--threads N] [--serial-stepping] [--out DIR] \
+                     [--workload FILE] [--op-mix] \
                      [--fabric-sweep] [--devices model:count,...] \
                      [--fabric pcie|nvlink|nvswitch|dgx1|dgx2] \
                      [table3 fig1 fig9 fig10 fig11 fig12 fig13 fig14 mw-sweep k-sweep ablations \
@@ -367,6 +416,8 @@ struct ServeOpts {
     pool_gpus: usize,
     coalesce: bool,
     shards: usize,
+    threads: usize,
+    serial_stepping: bool,
     out: String,
     workload: Option<String>,
     op_mix: bool,
@@ -384,6 +435,8 @@ impl Default for ServeOpts {
             pool_gpus: 8,
             coalesce: true,
             shards: 1,
+            threads: 0,
+            serial_stepping: false,
             out: String::from("."),
             workload: None,
             op_mix: false,
@@ -494,8 +547,17 @@ fn serve(opts: &ServeOpts, trace_dir: &str) {
     // router as well, and append a "sharded" section to the JSON. The
     // unsharded section — and so the committed default golden — is
     // unaffected.
-    let sharded = (opts.shards > 1)
-        .then(|| sharded_windows(&requests, opts.seed, opts.shards, opts.pool_gpus, opts.coalesce));
+    let sharded = (opts.shards > 1).then(|| {
+        sharded_windows(
+            &requests,
+            opts.seed,
+            opts.shards,
+            opts.pool_gpus,
+            opts.coalesce,
+            opts.threads,
+            opts.serial_stepping,
+        )
+    });
     if let Some(sharded) = &sharded {
         for (policy, report) in sharded {
             if selected.contains(policy) {
@@ -610,12 +672,15 @@ fn bench_self(opts: &ServeOpts) {
     const STEADY_WINDOWS: usize = 10;
     let warmed = Server::new(ServeConfig::new(Policy::Fifo, opts.seed));
     warmed.run(&requests).expect("warmup serve");
-    let t = Instant::now();
     let mut steady_reports = Vec::with_capacity(STEADY_WINDOWS);
+    let t = Instant::now();
+    let allocs_before = allocs_now();
     for _ in 0..STEADY_WINDOWS {
         steady_reports.push(warmed.run(&requests).expect("steady serve"));
     }
+    let steady_allocs = allocs_now() - allocs_before;
     let steady_s = t.elapsed().as_secs_f64() / STEADY_WINDOWS as f64;
+    let allocs_per_request = steady_allocs as f64 / (requests.len() * STEADY_WINDOWS) as f64;
     let steady = steady_reports.pop().expect("at least one steady window");
 
     // Slow path: the retained references, for both the baseline timing and
@@ -717,7 +782,12 @@ fn bench_self(opts: &ServeOpts) {
     let mut incr_fleet = interconnect::FleetTimeline::new();
     for i in 0..ADMISSIONS {
         let release = incr_fleet.makespan();
-        incr_fleet.admit_shared(unit.clone(), Vec::new(), release, format!("a{i}:"));
+        incr_fleet.admit_shared(
+            unit.clone(),
+            interconnect::empty_remap(),
+            release,
+            format!("a{i}:"),
+        );
     }
     let admit_incr_s = t.elapsed().as_secs_f64();
     let t = Instant::now();
@@ -742,6 +812,70 @@ fn bench_self(opts: &ServeOpts) {
         unit.nodes().len()
     );
 
+    // Parallel shard stepping: the same sharded window under the retained
+    // serial engine and under the worker pool. Byte-equality is asserted
+    // here (the differential suite proves it per-tick; this proves it on
+    // the benchmark workload too), then both are timed. The speedup is
+    // machine-dependent — on a single-core host the pool degrades to
+    // ~1.0x and the committed number says so honestly.
+    const PAR_SHARDS: usize = 4;
+    const PAR_THREADS: usize = 4;
+    const PAR_WINDOWS: usize = 5;
+    let run_sharded = |serial: bool| {
+        let mut config = scan_serve::RouterConfig::new(PAR_SHARDS, Policy::Fifo, opts.seed);
+        config.serial_stepping = serial;
+        config.threads = PAR_THREADS;
+        scan_serve::Router::new(config)
+            .expect("valid shard topology")
+            .run(&requests)
+            .expect("sharded serve")
+    };
+    let serial_report = run_sharded(true);
+    let parallel_report = run_sharded(false);
+    assert_eq!(
+        serial_report.metrics.to_json(),
+        parallel_report.metrics.to_json(),
+        "parallel stepping must be byte-equal to serial"
+    );
+    assert_eq!(
+        serial_report.trace.chrome_trace_json(),
+        parallel_report.trace.chrome_trace_json(),
+        "parallel stepping must merge the same trace bytes"
+    );
+    let t = Instant::now();
+    for _ in 0..PAR_WINDOWS {
+        run_sharded(true);
+    }
+    let serial_s = t.elapsed().as_secs_f64() / PAR_WINDOWS as f64;
+    let t = Instant::now();
+    for _ in 0..PAR_WINDOWS {
+        run_sharded(false);
+    }
+    let parallel_s = t.elapsed().as_secs_f64() / PAR_WINDOWS as f64;
+    let serial_rps = requests.len() as f64 / serial_s;
+    let parallel_rps = requests.len() as f64 / parallel_s;
+    let parallel_speedup = serial_s / parallel_s;
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!(
+        "  sharded serial   : {serial_s:>8.3} s  ({serial_rps:>9.1} req/s)  \
+         {PAR_SHARDS} shards, 1 thread"
+    );
+    println!(
+        "  sharded parallel : {parallel_s:>8.3} s  ({parallel_rps:>9.1} req/s)  \
+         {PAR_SHARDS} shards, {PAR_THREADS} threads on {cores} core(s)"
+    );
+    println!("  speedup          : {parallel_speedup:>8.2}x  (byte-identical windows)");
+    println!("  allocs/request   : {allocs_per_request:>8.2}  (steady memo-hit path)");
+    // The steady path is allocation-free per request up to report
+    // assembly: a memo-hit request may append to the completion log and
+    // amortize a handful of growths, but never rebuilds keys, inputs or
+    // remap tables. A small constant bounds it; rebuilding any of those
+    // shows up as 10x this.
+    assert!(
+        allocs_per_request <= 16.0,
+        "steady path must stay O(1) allocations per memo-hit request, got {allocs_per_request:.2}"
+    );
+
     std::fs::create_dir_all(&opts.out).expect("create --out dir");
     let path = format!("{}/BENCH_wall.json", opts.out);
     let json = format!(
@@ -754,9 +888,12 @@ fn bench_self(opts: &ServeOpts) {
          \"admissions\": {},\n    \"graph_nodes\": {},\n    \"incremental_s\": {:.6},\n    \
          \"reference_s\": {:.6},\n    \"incremental_admissions_per_s\": {:.1},\n    \
          \"reference_admissions_per_s\": {:.1},\n    \"speedup\": {:.3}\n  }},\n  \
+         \"parallel\": {{\n    \"shards\": {},\n    \"threads\": {},\n    \"cores\": {},\n    \
+         \"serial_s\": {:.6},\n    \"parallel_s\": {:.6},\n    \"serial_rps\": {:.3},\n    \
+         \"parallel_rps\": {:.3},\n    \"speedup\": {:.3}\n  }},\n  \
          \"cache\": {{\n    \
          \"hits\": {},\n    \"misses\": {},\n    \"hit_rate\": {:.4},\n    \
-         \"responses_served\": {}\n  }}\n}}\n",
+         \"responses_served\": {},\n    \"allocs_per_request\": {:.3}\n  }}\n}}\n",
         opts.seed,
         requests.len(),
         fast_s,
@@ -780,10 +917,19 @@ fn bench_self(opts: &ServeOpts) {
         incr_aps,
         ref_aps,
         admit_speedup,
+        PAR_SHARDS,
+        PAR_THREADS,
+        cores,
+        serial_s,
+        parallel_s,
+        serial_rps,
+        parallel_rps,
+        parallel_speedup,
         stats.hits,
         stats.misses,
         hit_rate,
         responses.served,
+        allocs_per_request,
     );
     std::fs::write(&path, json).expect("write BENCH_wall.json");
     println!("wrote {path}\n");

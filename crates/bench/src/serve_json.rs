@@ -41,12 +41,20 @@ pub fn serve_windows(
 
 /// Run `requests` through a `shards`-way [`Router`] under every
 /// [`Policy`] (hash placement, stealing on — the benchmark defaults).
+///
+/// `threads` and `serial_stepping` select the stepping engine
+/// ([`RouterConfig`] semantics: 0 threads = auto). The report — and so
+/// the JSON — is byte-identical either way; the knobs only change how
+/// the window is computed, which is exactly what CI's differential
+/// byte-compare pins.
 pub fn sharded_windows(
     requests: &[ServeRequest],
     seed: u64,
     shards: usize,
     gpus_per_shard: usize,
     coalesce: bool,
+    threads: usize,
+    serial_stepping: bool,
 ) -> Vec<(Policy, ShardedReport)> {
     Policy::all()
         .iter()
@@ -54,6 +62,8 @@ pub fn sharded_windows(
             let mut config = RouterConfig::new(shards, policy, seed);
             config.gpus_per_shard = gpus_per_shard;
             config.coalesce = coalesce;
+            config.threads = threads;
+            config.serial_stepping = serial_stepping;
             let router = Router::new(config).expect("valid shard topology");
             (policy, router.run(requests).expect("serve the sharded window"))
         })
@@ -87,7 +97,22 @@ pub fn bench_serve_json(
         let entries: Vec<String> = windows
             .iter()
             .map(|(policy, report)| {
-                let metrics = report.metrics.to_json().replace('\n', "\n      ");
+                // Splice the per-shard p99 tail into the fleet rollup: each
+                // shard's own 99th-percentile latency (simulated seconds),
+                // in shard-id order, so CI can gate every shard — a fleet
+                // rollup can hide one pathological shard behind the union.
+                let per_shard: Vec<String> = report
+                    .shards
+                    .iter()
+                    .map(|s| s.report.metrics.p99_latency.to_string())
+                    .collect();
+                let rollup = report.metrics.to_json();
+                let rollup = rollup.strip_suffix("\n}").expect("rollup is a JSON object");
+                let metrics = format!(
+                    "{rollup},\n  \"per_shard_p99_latency_s\": [{}]\n}}",
+                    per_shard.join(", ")
+                )
+                .replace('\n', "\n      ");
                 format!("      \"{}\": {metrics}", policy.name())
             })
             .collect();

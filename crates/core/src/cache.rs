@@ -33,12 +33,17 @@
 //!   (faults rewrite graphs nondeterministically relative to the shape
 //!   key); bypasses are counted in [`CacheStats`].
 
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::hash::BuildHasher;
 use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use gpu_sim::DeviceSpec;
-use interconnect::{ExecGraph, Fabric, FxBuildHasher, LinkClass, Resource};
+use interconnect::{
+    empty_remap, ExecGraph, Fabric, FxBuildHasher, LinkClass, RemapTable, Resource,
+};
 use skeletons::{ScanOp, Scannable, SplkTuple};
 
 use crate::error::ScanResult;
@@ -226,9 +231,21 @@ pub struct CacheKey {
     pub fabric: Option<FabricKey>,
 }
 
+/// One memoized retarget of a cached plan: the remap table and remapped
+/// GPU list for a specific `(granted ids, stream)` the plan has already
+/// been replayed on. Steady-state hits on the same lease reuse the shared
+/// tables with a refcount bump instead of rebuilding them per request.
+#[derive(Debug, Clone)]
+pub(crate) struct RetargetEntry {
+    ids: Box<[usize]>,
+    stream: usize,
+    remap: RemapTable,
+    gpus_used: Arc<[usize]>,
+}
+
 /// One memoized plan: the shape-determined report (graph, timeline,
 /// makespan, counters) and which GPUs the plan settled on.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct CachedPlan {
     /// The run report produced by the cold run (label, timeline, makespan,
     /// execution graph).
@@ -253,6 +270,26 @@ pub struct CachedPlan {
     pub(crate) lease_ids: Vec<usize>,
     /// Lease paths: the stream id the cold run's kernels were issued on.
     pub(crate) lease_stream: usize,
+    /// Memoized retargets of this plan onto other leases — one entry per
+    /// distinct `(granted ids, stream)` seen. Tiny (a serving shard
+    /// replays a plan onto a handful of leases), so a linear scan under a
+    /// short critical section beats hashing.
+    pub(crate) retargets: Mutex<Vec<RetargetEntry>>,
+}
+
+impl Clone for CachedPlan {
+    fn clone(&self) -> Self {
+        CachedPlan {
+            report: self.report.clone(),
+            gpus_used: self.gpus_used.clone(),
+            graph: self.graph.clone(),
+            resources: self.resources.clone(),
+            replayable: self.replayable,
+            lease_ids: self.lease_ids.clone(),
+            lease_stream: self.lease_stream,
+            retargets: Mutex::new(self.retargets.lock().expect("plan cache poisoned").clone()),
+        }
+    }
 }
 
 /// Hit/miss/bypass accounting, exact per lookup.
@@ -273,17 +310,24 @@ struct Inner {
     map: HashMap<CacheKey, Arc<CachedPlan>, FxBuildHasher>,
     hits: u64,
     misses: u64,
-    bypasses: u64,
 }
+
+/// Bucket count of the sharded cache map. A small power of two: enough
+/// that concurrent serving shards rarely contend on one lock, cheap enough
+/// that `stats` sums stay trivial.
+const CACHE_BUCKETS: usize = 8;
 
 /// A shared, thread-safe memo of built execution plans.
 ///
-/// Interior mutability (a mutex around the map and counters) lets the
-/// serving loop consult the cache through `&self`; the critical sections
-/// are map lookups only, never simulation.
+/// Interior mutability lets the serving loop consult the cache through
+/// `&self`; the map is sharded into 8 independently locked
+/// buckets (keyed by the entry's own hash) so read-mostly lookups from
+/// parallel serving shards do not serialize on one mutex, and the critical
+/// sections are map lookups only, never simulation.
 #[derive(Debug, Default)]
 pub struct PlanCache {
-    inner: Mutex<Inner>,
+    buckets: [Mutex<Inner>; CACHE_BUCKETS],
+    bypasses: AtomicU64,
 }
 
 impl PlanCache {
@@ -292,26 +336,35 @@ impl PlanCache {
         Self::default()
     }
 
-    /// Current accounting.
+    /// The bucket `key` lives in: the same Fx hash the bucket's map uses,
+    /// folded onto the bucket count.
+    fn bucket(&self, key: &CacheKey) -> &Mutex<Inner> {
+        let h = FxBuildHasher.hash_one(key);
+        &self.buckets[(h as usize) % CACHE_BUCKETS]
+    }
+
+    /// Current accounting, summed over the buckets.
     pub fn stats(&self) -> CacheStats {
-        let inner = self.inner.lock().expect("plan cache poisoned");
-        CacheStats {
-            hits: inner.hits,
-            misses: inner.misses,
-            bypasses: inner.bypasses,
-            entries: inner.map.len(),
+        let mut stats =
+            CacheStats { bypasses: self.bypasses.load(Ordering::Relaxed), ..CacheStats::default() };
+        for bucket in &self.buckets {
+            let inner = bucket.lock().expect("plan cache poisoned");
+            stats.hits += inner.hits;
+            stats.misses += inner.misses;
+            stats.entries += inner.map.len();
         }
+        stats
     }
 
     /// Record a deliberate cache bypass (a faulted run).
     pub fn note_bypass(&self) {
-        self.inner.lock().expect("plan cache poisoned").bypasses += 1;
+        self.bypasses.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Look `key` up, counting a hit only when a replayable plan is found
     /// (anything else is a miss and the caller runs cold).
     pub(crate) fn lookup(&self, key: &CacheKey) -> Option<Arc<CachedPlan>> {
-        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        let mut inner = self.bucket(key).lock().expect("plan cache poisoned");
         let hit = inner.map.get(key).filter(|p| p.replayable).cloned();
         if hit.is_some() {
             inner.hits += 1;
@@ -324,7 +377,7 @@ impl PlanCache {
     /// Store the plan a cold run produced. First write wins; a concurrent
     /// duplicate cold run inserts an identical plan anyway.
     pub(crate) fn insert(&self, key: CacheKey, plan: CachedPlan) {
-        self.inner
+        self.bucket(&key)
             .lock()
             .expect("plan cache poisoned")
             .map
@@ -347,6 +400,15 @@ pub(crate) fn reference_result<T: Scannable, O: ScanOp<T>>(
     }
 }
 
+thread_local! {
+    /// Per-thread scratch [`CacheKey`]: the steady-state serving path
+    /// rebuilds the lookup key for every request, so the key's heap
+    /// buffers (the lease shape's `classes`/`structure` vectors) are
+    /// recycled across requests instead of reallocated. Only a cold miss
+    /// clones the key into owned storage for memoization.
+    static SCRATCH_KEY: RefCell<Option<CacheKey>> = const { RefCell::new(None) };
+}
+
 /// The cache key of a lease-path run: the lease enters as its topological
 /// shape (width + pairwise link classes), not its raw GPU ids. The
 /// operator and element type are part of the key — see [`CacheKey::op`].
@@ -359,9 +421,34 @@ pub(crate) fn lease_key<T: Scannable, O: ScanOp<T>>(
     kind: ScanKind,
     policy: &PipelinePolicy,
 ) -> CacheKey {
+    let mut slot = None;
+    lease_key_into::<T, O>(&mut slot, device, fabric, lease, problem, tuple, kind, policy);
+    slot.expect("lease_key_into always fills the slot")
+}
+
+/// Build (or rebuild, in place) the lease cache key into `slot`, recycling
+/// the previous key's `classes`/`structure` vector capacity. The filled
+/// key is identical to what [`lease_key`] returns.
+#[allow(clippy::too_many_arguments)]
+fn lease_key_into<T: Scannable, O: ScanOp<T>>(
+    slot: &mut Option<CacheKey>,
+    device: &DeviceSpec,
+    fabric: &Fabric,
+    lease: &GpuLease,
+    problem: ProblemParams,
+    tuple: SplkTuple,
+    kind: ScanKind,
+    policy: &PipelinePolicy,
+) {
+    let (mut classes, mut structure) = match slot.take().map(|k| k.device) {
+        Some(DeviceSel::Lease { classes, structure, .. }) => (classes, structure),
+        _ => (Vec::new(), Vec::new()),
+    };
+    classes.clear();
+    structure.clear();
     let ids = lease.granted();
     let topo = fabric.topology();
-    let mut classes = Vec::with_capacity(ids.len() * ids.len().saturating_sub(1) / 2);
+    classes.reserve(ids.len() * ids.len().saturating_sub(1) / 2);
     for i in 0..ids.len() {
         for j in (i + 1)..ids.len() {
             // The fabric is the authority on classification (overrides
@@ -369,28 +456,24 @@ pub(crate) fn lease_key<T: Scannable, O: ScanOp<T>>(
             classes.push(fabric.link_class(ids[i], ids[j]));
         }
     }
-    let structure = if topo.has_link_overrides() {
+    if topo.has_link_overrides() {
         let mut node_ranks: Vec<usize> = Vec::new();
         let mut net_ranks: Vec<(usize, usize)> = Vec::new();
-        ids.iter()
-            .map(|&g| {
-                let l = topo.locate(g);
-                let nr = node_ranks.iter().position(|&n| n == l.node).unwrap_or_else(|| {
-                    node_ranks.push(l.node);
-                    node_ranks.len() - 1
+        structure.extend(ids.iter().map(|&g| {
+            let l = topo.locate(g);
+            let nr = node_ranks.iter().position(|&n| n == l.node).unwrap_or_else(|| {
+                node_ranks.push(l.node);
+                node_ranks.len() - 1
+            });
+            let wr =
+                net_ranks.iter().position(|&p| p == (l.node, l.network)).unwrap_or_else(|| {
+                    net_ranks.push((l.node, l.network));
+                    net_ranks.len() - 1
                 });
-                let wr =
-                    net_ranks.iter().position(|&p| p == (l.node, l.network)).unwrap_or_else(|| {
-                        net_ranks.push((l.node, l.network));
-                        net_ranks.len() - 1
-                    });
-                (nr, wr)
-            })
-            .collect()
-    } else {
-        Vec::new()
-    };
-    CacheKey {
+            (nr, wr)
+        }));
+    }
+    *slot = Some(CacheKey {
         proposal: "Lease",
         problem,
         tuple,
@@ -403,7 +486,7 @@ pub(crate) fn lease_key<T: Scannable, O: ScanOp<T>>(
         device: DeviceSel::Lease { width: ids.len(), classes, structure },
         spec: DeviceKey::of(device),
         fabric: Some(FabricKey::of(fabric)),
-    }
+    });
 }
 
 /// Map one pristine plan resource through a hit's remap table (empty
@@ -429,8 +512,10 @@ pub struct PlanHit {
     pub graph: Arc<ExecGraph>,
     /// `(plan resource, lease resource)` pairs covering every distinct
     /// resource `graph` claims; empty when the lease is the very one the
-    /// plan was built on (identity).
-    pub remap: Vec<(Resource, Resource)>,
+    /// plan was built on (identity). Shared storage — the table is
+    /// memoized per `(lease ids, stream)` on the plan, so repeated hits
+    /// hand it out with a refcount bump.
+    pub remap: RemapTable,
     /// The plan's `gpus_used`, mapped onto the actual lease. Identity hits
     /// share the plan's own list (no allocation).
     pub gpus_used: Arc<[usize]>,
@@ -456,9 +541,11 @@ pub struct PlannedLaunch<'a, T: Scannable, O: ScanOp<T>> {
     tuple: SplkTuple,
     kind: ScanKind,
     policy: &'a PipelinePolicy,
-    key: CacheKey,
+    /// Owned copy of the lookup key — populated only on a miss (the cold
+    /// run needs it for memoization); hits never clone the scratch key.
+    key: Option<CacheKey>,
     plan: Option<Arc<CachedPlan>>,
-    remap: Vec<(Resource, Resource)>,
+    remap: RemapTable,
     gpus_used: Arc<[usize]>,
     _elem: PhantomData<fn() -> (T, O)>,
 }
@@ -487,68 +574,103 @@ impl PlanCache {
         kind: ScanKind,
         policy: &'a PipelinePolicy,
     ) -> PlannedLaunch<'a, T, O> {
-        let key = lease_key::<T, O>(device, fabric, lease, problem, tuple, kind, policy);
-        // A lease whose claimed link-class matrix contradicts the fabric
-        // must never replay a cached plan (the key's classes are
-        // fabric-derived, so it could otherwise hit): skip the lookup and
-        // let `run` surface `scan_on_lease`'s `InvalidConfig` cold.
-        let plan =
-            if lease.validate_link_classes(fabric).is_err() { None } else { self.lookup(&key) };
-        let (remap, gpus_used) = match &plan {
-            None => (Vec::new(), Arc::from([])),
-            Some(plan) => {
-                let ids = lease.granted();
-                let stream = lease.stream();
-                if plan.lease_ids == ids && plan.lease_stream == stream {
-                    // Identity: the lease is the one the plan was built on.
-                    (Vec::new(), plan.gpus_used.clone())
-                } else {
-                    let topo = fabric.topology();
-                    let map_gpu = |g: usize| {
-                        let i = plan.lease_ids.iter().position(|&x| x == g);
-                        ids[i.expect("plan resources come from granted GPUs")]
-                    };
-                    let map_node = |n: usize| {
-                        let i = plan.lease_ids.iter().position(|&x| topo.locate(x).node == n);
-                        topo.locate(ids[i.expect("plan nodes come from granted GPUs")]).node
-                    };
-                    let map_res = |r: Resource| match r {
-                        Resource::Stream { gpu, stream: _ } => {
-                            Resource::Stream { gpu: map_gpu(gpu), stream }
-                        }
-                        Resource::PcieNetwork { node, network } => {
-                            let i = plan.lease_ids.iter().position(|&x| {
-                                let l = topo.locate(x);
-                                l.node == node && l.network == network
-                            });
-                            let l = topo.locate(ids[i.expect("plan networks come from grants")]);
-                            Resource::PcieNetwork { node: l.node, network: l.network }
-                        }
-                        Resource::HostBridge { node } => {
-                            Resource::HostBridge { node: map_node(node) }
-                        }
-                        Resource::IbLink { a, b } => Resource::ib(map_node(a), map_node(b)),
-                    };
-                    let remap = plan.resources.iter().map(|&r| (r, map_res(r))).collect();
-                    (remap, plan.gpus_used.iter().map(|&g| map_gpu(g)).collect::<Vec<_>>().into())
+        SCRATCH_KEY.with(|slot| {
+            let mut slot = slot.borrow_mut();
+            lease_key_into::<T, O>(&mut slot, device, fabric, lease, problem, tuple, kind, policy);
+            let key = slot.as_ref().expect("lease_key_into always fills the slot");
+            // A lease whose claimed link-class matrix contradicts the
+            // fabric must never replay a cached plan (the key's classes
+            // are fabric-derived, so it could otherwise hit): skip the
+            // lookup and let `run` surface `scan_on_lease`'s
+            // `InvalidConfig` cold.
+            let plan =
+                if lease.validate_link_classes(fabric).is_err() { None } else { self.lookup(key) };
+            let (remap, gpus_used) = match &plan {
+                None => (empty_remap(), Arc::from([])),
+                Some(plan) => {
+                    let ids = lease.granted();
+                    let stream = lease.stream();
+                    if plan.lease_ids == ids && plan.lease_stream == stream {
+                        // Identity: the lease is the one the plan was
+                        // built on.
+                        (empty_remap(), plan.gpus_used.clone())
+                    } else {
+                        plan.retarget(ids, stream, fabric)
+                    }
                 }
+            };
+            PlannedLaunch {
+                cache: self,
+                device,
+                fabric,
+                lease,
+                problem,
+                tuple,
+                kind,
+                policy,
+                key: plan.is_none().then(|| key.clone()),
+                plan,
+                remap,
+                gpus_used,
+                _elem: PhantomData,
             }
-        };
-        PlannedLaunch {
-            cache: self,
-            device,
-            fabric,
-            lease,
-            problem,
-            tuple,
-            kind,
-            policy,
-            key,
-            plan,
-            remap,
-            gpus_used,
-            _elem: PhantomData,
+        })
+    }
+}
+
+impl CachedPlan {
+    /// The remap table and remapped GPU list retargeting this plan onto
+    /// the lease `(ids, stream)`, memoized per distinct target.
+    ///
+    /// The remap construction: the cached plan and the incoming lease have
+    /// equal pairwise link-class matrices (key equality guarantees it), so
+    /// `lease_ids[i] -> ids[i]` induces consistent bijections on GPUs,
+    /// PCIe networks, host bridges and IB links; mapping each distinct
+    /// plan resource through them reproduces exactly what a cold build on
+    /// the actual lease would emit.
+    fn retarget(
+        &self,
+        ids: &[usize],
+        stream: usize,
+        fabric: &Fabric,
+    ) -> (RemapTable, Arc<[usize]>) {
+        let mut memo = self.retargets.lock().expect("plan cache poisoned");
+        if let Some(e) = memo.iter().find(|e| *e.ids == *ids && e.stream == stream) {
+            return (e.remap.clone(), e.gpus_used.clone());
         }
+        let topo = fabric.topology();
+        let map_gpu = |g: usize| {
+            let i = self.lease_ids.iter().position(|&x| x == g);
+            ids[i.expect("plan resources come from granted GPUs")]
+        };
+        let map_node = |n: usize| {
+            let i = self.lease_ids.iter().position(|&x| topo.locate(x).node == n);
+            topo.locate(ids[i.expect("plan nodes come from granted GPUs")]).node
+        };
+        let map_res = |r: Resource| match r {
+            Resource::Stream { gpu, stream: _ } => Resource::Stream { gpu: map_gpu(gpu), stream },
+            Resource::PcieNetwork { node, network } => {
+                let i = self.lease_ids.iter().position(|&x| {
+                    let l = topo.locate(x);
+                    l.node == node && l.network == network
+                });
+                let l = topo.locate(ids[i.expect("plan networks come from grants")]);
+                Resource::PcieNetwork { node: l.node, network: l.network }
+            }
+            Resource::HostBridge { node } => Resource::HostBridge { node: map_node(node) },
+            Resource::IbLink { a, b } => Resource::ib(map_node(a), map_node(b)),
+        };
+        let remap: RemapTable =
+            self.resources.iter().map(|&r| (r, map_res(r))).collect::<Vec<_>>().into();
+        let gpus_used: Arc<[usize]> =
+            self.gpus_used.iter().map(|&g| map_gpu(g)).collect::<Vec<_>>().into();
+        memo.push(RetargetEntry {
+            ids: ids.into(),
+            stream,
+            remap: remap.clone(),
+            gpus_used: gpus_used.clone(),
+        });
+        (remap, gpus_used)
     }
 }
 
@@ -618,7 +740,8 @@ impl<T: Scannable, O: ScanOp<T>> PlannedLaunch<'_, T, O> {
             self.kind,
             self.policy,
         )?;
-        memoize_cold(self.cache, self.key, self.lease, op, self.problem, input, self.kind, &cold);
+        let key = self.key.expect("cold runs own their key");
+        memoize_cold(self.cache, key, self.lease, op, self.problem, input, self.kind, &cold);
         Ok(cold)
     }
 }
@@ -657,6 +780,7 @@ fn memoize_cold<T: Scannable, O: ScanOp<T>>(
             replayable,
             lease_ids: lease.granted().to_vec(),
             lease_stream: lease.stream(),
+            retargets: Mutex::new(Vec::new()),
         },
     );
 }

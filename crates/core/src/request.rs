@@ -520,6 +520,7 @@ impl<O: Copy> ScanRequest<O> {
                     replayable,
                     lease_ids: Vec::new(),
                     lease_stream: 0,
+                    retargets: std::sync::Mutex::new(Vec::new()),
                 },
             );
         }

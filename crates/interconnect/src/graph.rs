@@ -614,6 +614,20 @@ pub fn reference_schedule(graph: &ExecGraph) -> Schedule {
     Schedule { start, finish, pred, makespan }
 }
 
+/// A shared admission resource-remap table: maps each *distinct* resource
+/// a plan's graph claims onto the resource of the lease a launch actually
+/// runs on. Shared (`Arc<[..]>`) so the plan cache can memoize one table
+/// per retarget and every replaying launch admits it with a refcount bump
+/// instead of rebuilding a `Vec` per request.
+pub type RemapTable = Arc<[(Resource, Resource)]>;
+
+/// The shared empty (identity) remap table. Cloning it is a refcount bump,
+/// so identity admissions stay allocation-free on the steady-state path.
+pub fn empty_remap() -> RemapTable {
+    static EMPTY: std::sync::OnceLock<RemapTable> = std::sync::OnceLock::new();
+    EMPTY.get_or_init(|| Arc::from(Vec::new())).clone()
+}
+
 /// Map one pristine resource through an admission's remap table (empty
 /// table = identity). Tables are tiny — one entry per *distinct* resource
 /// a plan's graph touches (a handful of streams and links) — so a linear
@@ -807,7 +821,7 @@ impl Admission {
 struct AdmittedGraph {
     prefix: String,
     graph: Arc<ExecGraph>,
-    remap: Box<[(Resource, Resource)]>,
+    remap: RemapTable,
 }
 
 /// One shared resource timeline that many [`ExecGraph`]s are admitted
@@ -912,7 +926,7 @@ impl FleetTimeline {
     /// Panics if `release` is negative, non-finite, or earlier than a
     /// previous admission's release.
     pub fn admit(&mut self, graph: &ExecGraph, release: f64, prefix: &str) -> Admission {
-        self.admit_shared(Arc::new(graph.clone()), Vec::new(), release, prefix.to_string())
+        self.admit_shared(Arc::new(graph.clone()), empty_remap(), release, prefix.to_string())
     }
 
     /// Admit shared graph storage at `release` — the zero-copy fast path.
@@ -937,7 +951,7 @@ impl FleetTimeline {
     pub fn admit_shared(
         &mut self,
         graph: Arc<ExecGraph>,
-        remap: Vec<(Resource, Resource)>,
+        remap: RemapTable,
         release: f64,
         prefix: String,
     ) -> Admission {
@@ -995,7 +1009,7 @@ impl FleetTimeline {
         };
         self.makespan = self.makespan.max(makespan);
         self.nodes_total += n;
-        self.log.push(AdmittedGraph { prefix, graph, remap: remap.into_boxed_slice() });
+        self.log.push(AdmittedGraph { prefix, graph, remap });
 
         Admission {
             nodes: offset..offset + n,
@@ -1476,7 +1490,8 @@ mod tests {
         let mut copied = FleetTimeline::new();
         shared.admit(&pristine, 0.0, "r0:");
         copied.admit(&pristine, 0.0, "r0:");
-        let a = shared.admit_shared(Arc::new(pristine.clone()), remap, 0.5, "r1:".to_string());
+        let a =
+            shared.admit_shared(Arc::new(pristine.clone()), remap.into(), 0.5, "r1:".to_string());
         let b = copied.admit(&manual, 0.5, "r1:");
 
         assert_eq!(a.start.to_bits(), b.start.to_bits());

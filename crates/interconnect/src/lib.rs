@@ -39,8 +39,8 @@ pub use fault::{
     apply_link_faults, FaultError, FaultEvent, FaultPlan, FaultReport, GpuEviction, LinkFault,
 };
 pub use graph::{
-    merge_fleet_parts, Admission, ExecGraph, ExecNode, FleetTimeline, FxBuildHasher, FxHasher,
-    NodeId, NodeMeta, Resource, ResourceMap, Schedule,
+    empty_remap, merge_fleet_parts, Admission, ExecGraph, ExecNode, FleetTimeline, FxBuildHasher,
+    FxHasher, NodeId, NodeMeta, RemapTable, Resource, ResourceMap, Schedule,
 };
 #[doc(hidden)]
 pub use graph::{reference_list_schedule, reference_schedule};

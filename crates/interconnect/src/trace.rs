@@ -832,7 +832,7 @@ mod tests {
         fleet.admit(&g, 0.0, "r0:");
         fleet.admit_shared(
             std::sync::Arc::new(g.clone()),
-            vec![(stream(0), stream(2))],
+            vec![(stream(0), stream(2))].into(),
             0.25,
             "r1:".to_string(),
         );

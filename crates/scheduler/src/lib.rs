@@ -72,6 +72,7 @@ pub use router::{
 };
 pub use serve::{Completion, ResponseStats, ServeConfig, ServeReport, ServedOutput, Server};
 pub use workload::{
-    request_input, request_input_f64, request_input_gated, request_input_seg, requests_from_json,
-    requests_to_json, WorkloadSpec,
+    request_input, request_input_f64, request_input_f64_into, request_input_gated,
+    request_input_gated_into, request_input_into, request_input_seg, request_input_seg_into,
+    requests_from_json, requests_to_json, WorkloadSpec,
 };

@@ -39,7 +39,7 @@ use std::sync::{Arc, Mutex};
 
 use devices::{DeviceModel, DevicePreset, FabricPreset};
 use gpu_sim::DeviceSpec;
-use interconnect::{Fabric, FleetTimeline, FleetTrace};
+use interconnect::{empty_remap, Fabric, FleetTimeline, FleetTrace};
 use scan_core::{
     scan_on_lease, CacheStats, PipelinePolicy, PlanCache, ProblemParams, ScanKind, ScanResult,
 };
@@ -53,7 +53,9 @@ use crate::policy::Policy;
 use crate::pool::{DevicePool, PoolDevice, PoolLease};
 use crate::request::{OpKind, ServeRequest};
 use crate::shard::{self, Launch, ShardState};
-use crate::workload::{request_input, request_input_f64, request_input_gated, request_input_seg};
+use crate::workload::{
+    request_input_f64_into, request_input_gated_into, request_input_into, request_input_seg_into,
+};
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -220,15 +222,43 @@ impl ServedOutput {
 /// deterministic input stream, hash an output value into the response
 /// checksum, and box a kept output.
 trait ServedElem: Scannable {
-    fn fetch(seed: u64, id: usize, len: usize) -> Vec<Self>;
+    /// Fetch the tenant's deterministic input stream, appending into a
+    /// pooled buffer — no allocation once the buffer has grown.
+    fn fetch_into(seed: u64, id: usize, len: usize, out: &mut Vec<Self>);
+    /// Hand the hot path this thread's pooled `(input, compacted)` buffer
+    /// pair, cleared. Thread-local per concrete element type, so a steady
+    /// request's input generation never allocates once the buffers reach
+    /// the window's largest batch.
+    fn with_buffers<R>(f: impl FnOnce(&mut Vec<Self>, &mut Vec<Self>) -> R) -> R;
     fn push(hash: u64, v: Self) -> u64;
     fn wrap(out: Vec<Self>) -> ServedOutput;
 }
 
+/// One pooled `(input, compacted)` buffer pair, cleared before each use.
+/// Declared per concrete [`ServedElem`] impl (thread-locals cannot be
+/// generic), so each element type recycles its own pool.
+macro_rules! served_buffers {
+    ($ty:ty) => {
+        fn with_buffers<R>(f: impl FnOnce(&mut Vec<$ty>, &mut Vec<$ty>) -> R) -> R {
+            thread_local! {
+                static BUFS: std::cell::RefCell<(Vec<$ty>, Vec<$ty>)> =
+                    const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
+            }
+            BUFS.with(|bufs| {
+                let (input, compacted) = &mut *bufs.borrow_mut();
+                input.clear();
+                compacted.clear();
+                f(input, compacted)
+            })
+        }
+    };
+}
+
 impl ServedElem for i32 {
-    fn fetch(seed: u64, id: usize, len: usize) -> Vec<i32> {
-        request_input(seed, id, len)
+    fn fetch_into(seed: u64, id: usize, len: usize, out: &mut Vec<i32>) {
+        request_input_into(seed, id, len, out)
     }
+    served_buffers!(i32);
     fn push(hash: u64, v: i32) -> u64 {
         fnv1a_push(hash, v)
     }
@@ -238,9 +268,10 @@ impl ServedElem for i32 {
 }
 
 impl ServedElem for f64 {
-    fn fetch(seed: u64, id: usize, len: usize) -> Vec<f64> {
-        request_input_f64(seed, id, len)
+    fn fetch_into(seed: u64, id: usize, len: usize, out: &mut Vec<f64>) {
+        request_input_f64_into(seed, id, len, out)
     }
+    served_buffers!(f64);
     fn push(hash: u64, v: f64) -> u64 {
         fnv1a_bytes(hash, &v.to_bits().to_le_bytes())
     }
@@ -250,9 +281,10 @@ impl ServedElem for f64 {
 }
 
 impl ServedElem for SegPair<i32> {
-    fn fetch(seed: u64, id: usize, len: usize) -> Vec<SegPair<i32>> {
-        request_input_seg(seed, id, len)
+    fn fetch_into(seed: u64, id: usize, len: usize, out: &mut Vec<SegPair<i32>>) {
+        request_input_seg_into(seed, id, len, out)
     }
+    served_buffers!(SegPair<i32>);
     fn push(hash: u64, v: SegPair<i32>) -> u64 {
         fnv1a_bytes(fnv1a_push(hash, v.v), &[v.reset as u8])
     }
@@ -262,9 +294,10 @@ impl ServedElem for SegPair<i32> {
 }
 
 impl ServedElem for AffinePair<f64> {
-    fn fetch(seed: u64, id: usize, len: usize) -> Vec<AffinePair<f64>> {
-        request_input_gated(seed, id, len)
+    fn fetch_into(seed: u64, id: usize, len: usize, out: &mut Vec<AffinePair<f64>>) {
+        request_input_gated_into(seed, id, len, out)
     }
+    served_buffers!(AffinePair<f64>);
     fn push(hash: u64, v: AffinePair<f64>) -> u64 {
         let hash = fnv1a_bytes(hash, &v.a.to_bits().to_le_bytes());
         fnv1a_bytes(hash, &v.b.to_bits().to_le_bytes())
@@ -704,19 +737,21 @@ impl Server {
                 } else {
                     outputs.clear();
                     let warm = self.warm_sums(&mut memo, requests, members, keep);
-                    // Memo misses concatenate into one buffer and hash in a
-                    // single batched sweep, like the blocks of one simulated
-                    // launch rather than member by member.
-                    let mut input: Vec<T> = Vec::new();
+                    // Memo misses concatenate into one pooled buffer and
+                    // hash in a single batched sweep, like the blocks of
+                    // one simulated launch rather than member by member.
                     let mut spans: Vec<(usize, usize)> = Vec::new();
-                    for (&m, w) in members.iter().zip(&warm) {
-                        if w.is_none() {
-                            let m = &requests[m];
-                            input.extend(T::fetch(self.config.input_seed, m.id, m.total_elems()));
-                            spans.push((m.problem().problem_size(), m.total_elems()));
+                    let hashed = T::with_buffers(|input, _| {
+                        for (&m, w) in members.iter().zip(&warm) {
+                            if w.is_none() {
+                                let m = &requests[m];
+                                T::fetch_into(self.config.input_seed, m.id, m.total_elems(), input);
+                                spans.push((m.problem().problem_size(), m.total_elems()));
+                            }
                         }
-                    }
-                    let mut hashed = scanned_checksums_batch(op, &input, &spans, keep).into_iter();
+                        scanned_checksums_batch(op, input, &spans, keep)
+                    });
+                    let mut hashed = hashed.into_iter();
                     outputs.extend(members.iter().zip(warm).map(|(&m, w)| match w {
                         Some(sum) => (sum, None),
                         None => {
@@ -731,17 +766,16 @@ impl Server {
                 let admission = fleet.admit_shared(hit.graph, hit.remap, now, prefix);
                 (admission, hit.gpus_used, outputs)
             }
-            None => {
-                let mut input = Vec::with_capacity(problem.total_elems());
+            None => T::with_buffers(|input, compacted| -> ScanResult<_> {
                 for &m in members {
                     let m = &requests[m];
-                    input.extend(T::fetch(self.config.input_seed, m.id, m.total_elems()));
+                    T::fetch_into(self.config.input_seed, m.id, m.total_elems(), input);
                 }
                 debug_assert_eq!(input.len(), problem.total_elems());
                 let leased = match cold_plan {
                     // A cache miss runs cold and memoizes the plan as it
                     // finishes; the next launch of this shape hits.
-                    Some(planned) => planned.run(op, &input)?,
+                    Some(planned) => planned.run(op, input)?,
                     None => scan_on_lease(
                         op,
                         self.tuple,
@@ -749,7 +783,7 @@ impl Server {
                         &self.fabric,
                         &gpu_lease,
                         problem,
-                        &input,
+                        input,
                         ScanKind::Inclusive,
                         &policy,
                     )?,
@@ -773,7 +807,6 @@ impl Server {
                     None => vec![None; members.len()],
                 };
                 let mut spans: Vec<(usize, usize)> = Vec::new();
-                let mut compacted: Vec<T> = Vec::new();
                 let all_cold = warm.iter().all(Option::is_none);
                 let mut offset = 0;
                 for (&m, w) in members.iter().zip(&warm) {
@@ -786,7 +819,7 @@ impl Server {
                     }
                     offset += m.total_elems();
                 }
-                let batch_input: &[T] = if all_cold { &input } else { &compacted };
+                let batch_input: &[T] = if all_cold { &input[..] } else { &compacted[..] };
                 let mut hashed = scanned_checksums_batch(op, batch_input, &spans, keep).into_iter();
                 let outputs = members
                     .iter()
@@ -804,9 +837,9 @@ impl Server {
                     })
                     .collect();
                 let admission =
-                    fleet.admit_shared(Arc::new(leased.run.graph), Vec::new(), now, prefix);
-                (admission, leased.gpus_used.into(), outputs)
-            }
+                    fleet.admit_shared(Arc::new(leased.run.graph), empty_remap(), now, prefix);
+                Ok((admission, leased.gpus_used.into(), outputs))
+            })?,
         };
 
         let group = members.len();
@@ -939,7 +972,9 @@ fn fnv1a_bytes(mut hash: u64, bytes: &[u8]) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::workload::WorkloadSpec;
+    use crate::workload::{
+        request_input, request_input_f64, request_input_gated, request_input_seg, WorkloadSpec,
+    };
     use skeletons::reference_inclusive;
 
     fn small_workload(seed: u64, count: usize) -> Vec<ServeRequest> {

@@ -216,8 +216,17 @@ fn us_to_s(us: u64) -> f64 {
 /// whether it runs alone or inside a coalesced batch — the bit-identity
 /// property tests depend on this.
 pub fn request_input(seed: u64, id: usize, len: usize) -> Vec<i32> {
+    let mut out = Vec::with_capacity(len);
+    request_input_into(seed, id, len, &mut out);
+    out
+}
+
+/// [`request_input`], appending into a caller-owned buffer (the serving
+/// hot path recycles pooled buffers instead of allocating per request).
+/// The RNG stream — and therefore every value — is identical.
+pub fn request_input_into(seed: u64, id: usize, len: usize, out: &mut Vec<i32>) {
     let mut rng = request_rng(seed, id);
-    (0..len).map(|_| rng.gen_range(-100..=100)).collect()
+    out.extend((0..len).map(|_| rng.gen_range(-100..=100)));
 }
 
 fn request_rng(seed: u64, id: usize) -> StdRng {
@@ -228,21 +237,33 @@ fn request_rng(seed: u64, id: usize) -> StdRng {
 /// values on `[-100, 100]`, exactly representable so max-scans are
 /// bit-reproducible under any combine order.
 pub fn request_input_f64(seed: u64, id: usize, len: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity(len);
+    request_input_f64_into(seed, id, len, &mut out);
+    out
+}
+
+/// [`request_input_f64`], appending into a caller-owned buffer.
+pub fn request_input_f64_into(seed: u64, id: usize, len: usize, out: &mut Vec<f64>) {
     let mut rng = request_rng(seed, id);
-    (0..len).map(|_| rng.gen_range(-400i32..=400) as f64 * 0.25).collect()
+    out.extend((0..len).map(|_| rng.gen_range(-400i32..=400) as f64 * 0.25));
 }
 
 /// [`request_input`] for segmented-sum tenants ([`OpKind::SegSumI32`]):
 /// the same value range as the plain-sum stream, with roughly one element
 /// in eight opening a new segment.
 pub fn request_input_seg(seed: u64, id: usize, len: usize) -> Vec<SegPair<i32>> {
+    let mut out = Vec::with_capacity(len);
+    request_input_seg_into(seed, id, len, &mut out);
+    out
+}
+
+/// [`request_input_seg`], appending into a caller-owned buffer.
+pub fn request_input_seg_into(seed: u64, id: usize, len: usize, out: &mut Vec<SegPair<i32>>) {
     let mut rng = request_rng(seed, id);
-    (0..len)
-        .map(|_| {
-            let v = rng.gen_range(-100..=100);
-            SegPair::new(v, rng.gen_range(0..8u32) == 0)
-        })
-        .collect()
+    out.extend((0..len).map(|_| {
+        let v = rng.gen_range(-100..=100);
+        SegPair::new(v, rng.gen_range(0..8u32) == 0)
+    }));
 }
 
 /// [`request_input`] for gated-recurrence tenants ([`OpKind::GatedF64`]):
@@ -250,14 +271,19 @@ pub fn request_input_seg(seed: u64, id: usize, len: usize) -> Vec<SegPair<i32>> 
 /// `0.999 + 0.001·u` with `u` uniform on `[0, 1]` — the near-1 decay the
 /// SSM workloads use — and tokens are dyadic rationals on `[-1, 1]`.
 pub fn request_input_gated(seed: u64, id: usize, len: usize) -> Vec<AffinePair<f64>> {
+    let mut out = Vec::with_capacity(len);
+    request_input_gated_into(seed, id, len, &mut out);
+    out
+}
+
+/// [`request_input_gated`], appending into a caller-owned buffer.
+pub fn request_input_gated_into(seed: u64, id: usize, len: usize, out: &mut Vec<AffinePair<f64>>) {
     let mut rng = request_rng(seed, id);
-    (0..len)
-        .map(|_| {
-            let gate = 0.999 + 0.001 * (rng.gen_range(0..=1000u32) as f64 / 1000.0);
-            let token = rng.gen_range(-128i32..=128) as f64 / 128.0;
-            AffinePair::new(gate, token)
-        })
-        .collect()
+    out.extend((0..len).map(|_| {
+        let gate = 0.999 + 0.001 * (rng.gen_range(0..=1000u32) as f64 / 1000.0);
+        let token = rng.gen_range(-128i32..=128) as f64 / 128.0;
+        AffinePair::new(gate, token)
+    }));
 }
 
 /// Read a request trace from JSON.

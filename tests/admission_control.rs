@@ -126,6 +126,65 @@ fn unbounded_queues_reject_nothing() {
 }
 
 #[test]
+fn stealing_skips_tenants_over_their_miss_budget() {
+    // Tenant 0 blows its SLO budget first: request 0 carries an
+    // unmeetable deadline, so the moment it retires the miss ledger puts
+    // tenant 0 over a zero-miss budget. The add-scan backlog then holds
+    // requests from both tenants, and under FIFO the least-urgent entry —
+    // the one the steal loop prefers — is tenant 0's request 5. The
+    // tenant-aware victim filter must pass it over and steal tenant 1's
+    // request 3 instead, and must not touch the shard at all once only
+    // over-budget work remains queued.
+    let mk = |id: usize, tenant: u8, n: u32, op: OpKind, deadline: Option<f64>| ServeRequest {
+        id,
+        arrival: 0.0,
+        n,
+        g: 0,
+        gpus_wanted: 1,
+        priority: 0,
+        tenant,
+        deadline,
+        op,
+    };
+    let requests = vec![
+        // Occupies the add-scan shard and misses its deadline first.
+        mk(0, 0, 12, OpKind::AddI32, Some(1e-9)),
+        // Keeps the max-scan shard busy past request 0's retirement, so
+        // the first steal opportunity comes after the ledger settles.
+        mk(1, 1, 13, OpKind::MaxF64, None),
+        // Dispatched on the add-scan shard at request 0's retirement and
+        // still running when the max-scan shard goes idle.
+        mk(2, 1, 13, OpKind::AddI32, None),
+        mk(3, 1, 10, OpKind::AddI32, None),
+        mk(4, 0, 10, OpKind::AddI32, None),
+        mk(5, 0, 10, OpKind::AddI32, None),
+    ];
+
+    let mut config = RouterConfig::new(2, Policy::Fifo, 7);
+    config.gpus_per_shard = 1;
+    config.placement = Placement::LocalityByOp;
+    config.slo = Some(SloConfig { miss_budget: 0 });
+    let report = Router::new(config).unwrap().run(&requests).unwrap();
+    assert_partition(&report, 6);
+
+    // The trigger actually fired: tenant 0's probe request missed.
+    let completions = report.completions();
+    let probe = completions.iter().find(|c| c.request.id == 0).unwrap();
+    assert!(probe.missed_deadline(), "request 0 must miss its 1ns deadline");
+
+    // Steals still happen — the filter narrows victims, it does not
+    // disable stealing — but only tenant 1's request is taken, even
+    // though tenant 0's request 5 was the least-urgent queued entry.
+    let stolen: Vec<usize> =
+        report.shards.iter().flat_map(|s| s.stolen_ids.iter().copied()).collect();
+    assert_eq!(stolen, vec![3], "steal the eligible entry, skip over-budget tenant 0");
+    assert!(
+        stolen.iter().all(|&id| requests[id].tenant != 0),
+        "no over-budget tenant may be stolen"
+    );
+}
+
+#[test]
 fn zero_capacity_shards_are_invalid_config() {
     let mut config = RouterConfig::new(2, Policy::Fifo, 7);
     config.queue_capacity = Some(0);
